@@ -1,0 +1,48 @@
+"""Shared configuration for the paper-artifact benchmarks.
+
+Each ``benchmarks/test_*.py`` regenerates one table or figure of the paper
+(see DESIGN.md §4): it trains — or loads from the shared ``.repro_cache`` —
+the models involved, runs the Monte Carlo fault campaign, prints the same
+rows/series the paper reports, and asserts the qualitative *shape* of the
+result (who wins, direction of degradation), not absolute numbers.
+
+Scale is controlled by presets (``REPRO_PRESET=tiny|small|paper`` or
+``REPRO_FULL=1``); the default ``small`` finishes on a laptop CPU.
+``pytest-benchmark`` wraps the measured kernel of each experiment with
+``rounds=1`` (experiments are minutes-long; statistical timing repetition
+is not meaningful here).
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval import active_preset
+from repro.tensor import manual_seed
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "paper_artifact(name): benchmark regenerates a paper artifact"
+    )
+
+
+@pytest.fixture(scope="session")
+def preset() -> str:
+    return active_preset(default="small")
+
+
+@pytest.fixture(autouse=True)
+def _seed():
+    manual_seed(0)
+    yield
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def print_banner(title: str) -> None:
+    print("\n" + "=" * 72)
+    print(title)
+    print("=" * 72)

@@ -1,0 +1,67 @@
+"""Section IV-F: impact of affine-parameter initialization.
+
+Paper reference: sigma_gamma = sigma_beta = 0.3 is the operating point;
+"initializing with larger sigma can improve robustness to variations and
+bit-flip faults, as it introduces more randomness to the weighted sum.
+However, it can reduce the accuracy of baseline by 1-2%."
+
+Shape claims:
+
+* all sigma settings train to a usable clean accuracy,
+* the largest sigma's clean accuracy does not exceed the smallest sigma's
+  by a meaningful margin (more init randomness never helps clean accuracy),
+* robustness at the strongest fault level does not degrade with larger
+  sigma (trend check with tolerance).
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval import build_task, make_evaluator, mc_runs, mc_samples, trained_model
+from repro.faults import MonteCarloCampaign, bitflip_sweep
+from repro.models import proposed
+
+from conftest import print_banner, run_once
+
+SIGMAS = [0.1, 0.3, 0.5]
+FLIP_LEVELS = [0.0, 0.05, 0.10]
+
+
+@pytest.mark.paper_artifact("sec4f")
+def test_initialization_ablation(benchmark, preset):
+    task = build_task("audio", preset=preset)
+
+    def experiment():
+        rows = []
+        for sigma in SIGMAS:
+            method = proposed(sigma_gamma=sigma, sigma_beta=sigma)
+            model = trained_model(task, method, preset)
+            evaluator = make_evaluator(
+                "audio", task.test_set, method, mc_samples=mc_samples(preset)
+            )
+            campaign = MonteCarloCampaign(
+                model, evaluator, n_runs=mc_runs(preset), base_seed=0
+            )
+            results = campaign.sweep(bitflip_sweep(FLIP_LEVELS))
+            rows.append((sigma, [r.mean for r in results], [r.std for r in results]))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+
+    print_banner("Section IV-F: initialization sigma ablation (audio / bit flips)")
+    header = f"{'sigma':>6} | " + " | ".join(f"flip={l:4.0%}" for l in FLIP_LEVELS)
+    print(header)
+    for sigma, means, stds in rows:
+        print(f"{sigma:6.1f} | " + " | ".join(
+            f"{m:.3f}±{s:.3f}" for m, s in zip(means, stds)))
+
+    clean = {sigma: means[0] for sigma, means, _ in rows}
+    worst = {sigma: means[-1] for sigma, means, _ in rows}
+    # Every configuration trains (clean accuracy far above 10-class chance).
+    assert all(v > 0.3 for v in clean.values())
+    # Larger init sigma should not *improve* clean accuracy meaningfully
+    # (the paper reports a 1-2% cost).
+    assert clean[SIGMAS[-1]] <= clean[SIGMAS[0]] + 0.05
+    # Robustness trend: the largest sigma is not less robust than the
+    # smallest at the strongest fault level (tolerance for MC noise).
+    assert worst[SIGMAS[-1]] >= worst[SIGMAS[0]] - 0.10

@@ -1,0 +1,54 @@
+"""Fig. 1: bit-flip faults shift and widen the weighted-sum distribution.
+
+The paper motivates inverted normalization by showing (Fig. 1) that 10% and
+20% bit flips visibly change the density of a layer's pre-normalization
+activations.  This benchmark captures the weighted sums of a trained
+network's deepest quantized layer at 0 / 10 / 20 % flips and prints the
+histogram summary; the assertion checks the paper's qualitative message —
+the faulty distributions diverge measurably from the fault-free one.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval import activation_shift_experiment, build_task, trained_model
+from repro.models import proposed
+from repro.tensor import Tensor
+
+from conftest import print_banner, run_once
+
+
+def _total_variation(a, b) -> float:
+    pa = a.histogram / max(1, a.histogram.sum())
+    pb = b.histogram / max(1, b.histogram.sum())
+    return 0.5 * float(np.abs(pa - pb).sum())
+
+
+@pytest.mark.paper_artifact("fig1")
+def test_fig1_activation_distribution_shift(benchmark, preset):
+    task = build_task("image", preset=preset)
+    model = trained_model(task, proposed(), preset)
+    x = Tensor(task.test_set.inputs[:32])
+
+    results = run_once(
+        benchmark,
+        lambda: activation_shift_experiment(
+            model, x, flip_rates=(0.0, 0.10, 0.20), layer_index=-1, bins=40
+        ),
+    )
+
+    print_banner("Fig. 1: weighted-sum distribution under bit flips")
+    print(f"{'scenario':>16} | {'mean':>9} | {'std':>9} | {'TV vs clean':>11}")
+    clean = results[0.0]
+    for rate in (0.0, 0.10, 0.20):
+        r = results[rate]
+        tv = _total_variation(clean, r)
+        print(f"{r.label:>16} | {r.mean:9.3f} | {r.std:9.3f} | {tv:11.4f}")
+
+    tv10 = _total_variation(clean, results[0.10])
+    tv20 = _total_variation(clean, results[0.20])
+    # Faults measurably move the distribution, and more faults move it more.
+    assert tv10 > 0.01, "10% bit flips left the activation distribution unchanged"
+    assert tv20 > tv10 * 0.8, "20% flips should distort at least as much as 10%"
+    # Spread changes (paper's density plots widen/flatten under faults).
+    assert abs(results[0.20].std - clean.std) / clean.std > 0.02

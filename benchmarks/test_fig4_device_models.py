@@ -1,0 +1,85 @@
+"""Fig. 4: STT-MRAM non-ideality examples at the device level.
+
+(a) stochastic switching of the magnetic tunnel junction under different
+    write voltages — switching probability vs pulse duration;
+(b) influence of temperature on the resistance distributions (Monte Carlo
+    simulation of R_P / R_AP lots).
+
+Shape claims: P_sw is monotone in voltage and pulse width, spanning the
+deterministic-to-stochastic regimes the SpinDrop RNGs exploit; rising
+temperature degrades TMR, moving the distributions together and increasing
+the midpoint-read bit-error rate (the physical grounding of the bit-flip
+fault model).
+"""
+
+import numpy as np
+import pytest
+
+from repro.imc import (
+    MTJParams,
+    bit_error_rate,
+    sample_resistances,
+    switching_curve,
+    tmr_at_temperature,
+)
+
+from conftest import print_banner, run_once
+
+VOLTAGES = [0.30, 0.35, 0.40, 0.45]
+PULSES_NS = np.logspace(0, 3, 13)  # 1 ns .. 1 us
+TEMPERATURES = [300, 350, 400, 450, 500]
+
+
+@pytest.mark.paper_artifact("fig4a")
+def test_fig4a_stochastic_switching(benchmark):
+    curves = run_once(benchmark, lambda: switching_curve(VOLTAGES, PULSES_NS))
+
+    print_banner("Fig. 4a: switching probability vs pulse width")
+    header = f"{'pulse[ns]':>10} | " + " | ".join(f"{v:>7.2f}V" for v in VOLTAGES)
+    print(header)
+    for i, t in enumerate(PULSES_NS):
+        print(f"{t:10.1f} | " + " | ".join(f"{curves[v][i]:8.4f}" for v in VOLTAGES))
+
+    for v in VOLTAGES:
+        assert (np.diff(curves[v]) >= -1e-12).all(), f"non-monotone in pulse at {v}V"
+    for lo, hi in zip(VOLTAGES[:-1], VOLTAGES[1:]):
+        assert (curves[hi] >= curves[lo] - 1e-12).all(), "non-monotone in voltage"
+    # The family spans the deterministic and stochastic regimes.
+    assert curves[VOLTAGES[-1]][-1] > 0.999
+    assert curves[VOLTAGES[0]][0] < 0.01
+
+
+@pytest.mark.paper_artifact("fig4b")
+def test_fig4b_thermal_resistance_distributions(benchmark):
+    params = MTJParams(sigma_r=0.12)
+    rng = np.random.default_rng(0)
+
+    def experiment():
+        rows = []
+        for temp in TEMPERATURES:
+            r_p, r_ap = sample_resistances(temp, 20000, rng, params)
+            rows.append(
+                (temp, r_p.mean(), r_p.std(), r_ap.mean(), r_ap.std(),
+                 tmr_at_temperature(temp, params), bit_error_rate(temp, params))
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+
+    print_banner("Fig. 4b: resistance distributions vs temperature (MC)")
+    print(f"{'T[K]':>6} | {'R_P [Ω]':>16} | {'R_AP [Ω]':>16} | "
+          f"{'TMR':>6} | {'read BER':>9}")
+    for temp, rp_m, rp_s, rap_m, rap_s, tmr, ber in rows:
+        print(f"{temp:6d} | {rp_m:8.0f} ±{rp_s:5.0f} | {rap_m:8.0f} ±{rap_s:5.0f} | "
+              f"{tmr:6.3f} | {ber:9.2e}")
+
+    tmrs = [r[5] for r in rows]
+    assert all(a > b for a, b in zip(tmrs, tmrs[1:])), "TMR must fall with T"
+    separations = [
+        (r[3] - r[1]) / np.sqrt(r[2] ** 2 + r[4] ** 2) for r in rows
+    ]
+    assert all(
+        a >= b - 1e-9 for a, b in zip(separations, separations[1:])
+    ), "read margin must shrink with temperature"
+    bers = [r[6] for r in rows]
+    assert bers[-1] >= bers[0], "bit-error rate must not fall with temperature"

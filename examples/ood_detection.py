@@ -1,0 +1,61 @@
+"""Out-of-distribution detection with predictive NLL (paper Fig. 7).
+
+Trains the binarized ResNet-18 with inverted normalization on the synthetic
+image task, then progressively shifts the test distribution (rotations in
+7-degree steps; escalating uniform noise) and shows accuracy falling while
+predictive NLL — the paper's uncertainty score — rises, enabling OOD
+detection by thresholding at the clean-set average NLL.
+
+Run:  python examples/ood_detection.py
+"""
+
+import numpy as np
+
+from repro.core import BayesianClassifier
+from repro.data import noise_stages, rotation_stages
+from repro.eval import build_task, trained_model
+from repro.models import proposed
+from repro.tensor import manual_seed
+from repro.uncertainty import evaluate_shift_sweep
+
+
+def print_sweep(result, unit: str) -> None:
+    print(f"{'shift':>8} | {'accuracy':>9} | {'NLL':>7} | {'flagged OOD':>11}")
+    print("-" * 46)
+    for stage in result.stages:
+        print(
+            f"{stage.magnitude:7.1f}{unit} | {stage.accuracy:9.3f} | "
+            f"{stage.nll:7.3f} | {stage.detection_rate:10.1%}"
+        )
+    print(f"overall detection rate on shifted data: "
+          f"{result.overall_detection_rate():.1%}\n")
+
+
+def main() -> None:
+    manual_seed(0)
+    print("=== OOD detection via predictive NLL (Fig. 7) ===\n")
+    task = build_task("image", preset="small")
+    model = trained_model(task, proposed(), "small")
+    clf = BayesianClassifier(model, num_samples=8)
+
+    inputs = task.test_set.inputs[:100]
+    labels = task.test_set.targets[:100]
+
+    print("rotation sweep (7-degree increments, 12 stages):")
+    rotation = evaluate_shift_sweep(
+        clf, inputs, labels, "rotation", rotation_stages()[::2]
+    )
+    print_sweep(rotation, "°")
+
+    print("uniform-noise sweep:")
+    noise = evaluate_shift_sweep(
+        clf, inputs, labels, "uniform", noise_stages(max_strength=2.0, stages=5)
+    )
+    print_sweep(noise, " ")
+
+    print("The NLL threshold (average clean-test NLL) separates "
+          f"in-distribution (NLL<{rotation.threshold:.3f}) from shifted inputs.")
+
+
+if __name__ == "__main__":
+    main()

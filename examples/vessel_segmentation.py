@@ -1,0 +1,54 @@
+"""Retinal-vessel segmentation with a binary U-Net (paper Fig. 5b scenario).
+
+Trains the 1-bit-weight / 4-bit-PACT-activation U-Net with group-wise
+inverted normalization on procedurally generated vessel trees, renders a
+test prediction as ASCII art, and measures mIoU under bit-flip faults.
+
+Run:  python examples/vessel_segmentation.py
+"""
+
+import numpy as np
+
+from repro.core import mc_forward
+from repro.eval import build_task, make_evaluator, trained_model
+from repro.faults import MonteCarloCampaign, bitflip_sweep
+from repro.models import proposed
+from repro.tensor import Tensor, manual_seed
+from repro.train import binary_miou
+
+
+def ascii_render(mask: np.ndarray, title: str) -> None:
+    print(title)
+    chars = np.where(mask, "#", ".")
+    step = max(1, mask.shape[0] // 32)
+    for row in chars[::step]:
+        print("  " + "".join(row[::step]))
+
+
+def main() -> None:
+    manual_seed(0)
+    print("=== Vessel segmentation (binary U-Net, 4-bit PACT) ===\n")
+    task = build_task("vessels", preset="small")
+    method = proposed()
+    model = trained_model(task, method, "small")
+
+    # --- render one MC-averaged prediction ----------------------------------
+    x = Tensor(task.test_set.inputs[:1])
+    logits = mc_forward(model, x, 8).mean(axis=0)[0]
+    prediction = logits > 0.0
+    truth = task.test_set.targets[0] > 0.5
+    ascii_render(truth, "ground truth:")
+    ascii_render(prediction, "\nMC-averaged prediction:")
+    print(f"\nsample mIoU: {binary_miou(prediction, truth):.3f}")
+
+    # --- fault robustness -----------------------------------------------------
+    evaluator = make_evaluator("vessels", task.test_set, method, mc_samples=6)
+    campaign = MonteCarloCampaign(model, evaluator, n_runs=5, base_seed=0)
+    print("\nmIoU vs bit-flip rate (binary U-Net weights):")
+    for i, spec in enumerate(bitflip_sweep([0.0, 0.05, 0.10, 0.20])):
+        r = campaign.run(spec, i)
+        print(f"  {spec.level * 100:5.1f}% -> {r.mean:.3f} ± {r.std:.3f}")
+
+
+if __name__ == "__main__":
+    main()

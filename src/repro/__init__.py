@@ -1,0 +1,62 @@
+"""repro — Inverted Normalization with Stochastic Affine Transformations.
+
+A from-scratch reproduction of "Enhancing Reliability of Neural Networks at
+the Edge: Inverted Normalization with Stochastic Affine Transformations"
+(Ahmed et al., DATE 2024), including every substrate the paper depends on:
+
+* :mod:`repro.tensor` — numpy autograd engine,
+* :mod:`repro.nn` — layers, norms, dropout variants, LSTM,
+* :mod:`repro.quant` — binarization / k-bit / PACT quantization,
+* :mod:`repro.core` — **the contribution**: :class:`~repro.core.InvertedNorm`
+  (inverted normalization + affine dropout) and MC Bayesian inference,
+* :mod:`repro.faults` — NVM non-ideality models + Monte Carlo campaigns,
+* :mod:`repro.imc` — crossbar / STT-MRAM device simulation,
+* :mod:`repro.data` — synthetic datasets for the four evaluated tasks,
+* :mod:`repro.models` — ResNet-18, M5, LSTM forecaster, U-Net,
+* :mod:`repro.baselines` — SpinDrop / SpatialSpinDrop / conventional-NN
+  method configurations,
+* :mod:`repro.train` — optimizers, losses, metrics, trainer,
+* :mod:`repro.uncertainty` — OOD detection via predictive NLL,
+* :mod:`repro.eval` — experiment harness regenerating every paper artifact.
+
+Quickstart::
+
+    from repro.core import InvertedNorm, BayesianClassifier
+    from repro import nn
+
+    model = nn.Sequential(
+        nn.Linear(16, 64),
+        InvertedNorm(64, p=0.3),   # affine-first, then normalization
+        nn.ReLU(),
+        nn.Linear(64, 10),
+    )
+    clf = BayesianClassifier(model, num_samples=10)
+"""
+
+__version__ = "1.0.0"
+
+from . import core, data, eval, faults, imc, models, nn, quant, tensor, train
+from . import baselines, uncertainty
+from .core import BayesianClassifier, BayesianRegressor, InvertedNorm
+from .tensor import Tensor, manual_seed
+
+__all__ = [
+    "__version__",
+    "tensor",
+    "nn",
+    "quant",
+    "core",
+    "faults",
+    "imc",
+    "data",
+    "models",
+    "baselines",
+    "train",
+    "uncertainty",
+    "eval",
+    "Tensor",
+    "manual_seed",
+    "InvertedNorm",
+    "BayesianClassifier",
+    "BayesianRegressor",
+]

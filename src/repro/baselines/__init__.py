@@ -1,0 +1,41 @@
+"""Baseline methods the paper compares against (Table I, Figs. 5-6).
+
+* **Conventional NN** — point-estimate network, conventional normalization,
+  single deterministic forward pass at inference.
+* **SpinDrop** [8] — Bayesian binary NN realized with Bernoulli dropout
+  after each normalization; MC sampling at inference (the spintronic
+  implementation samples the dropout mask with stochastic MTJ switching —
+  see :func:`repro.imc.switching_probability` for the device mechanism).
+* **SpatialSpinDrop** [7] — same, with spatial (channel-wise) dropout,
+  cheaper in a crossbar datapath because one RNG gates a whole feature map.
+
+These are thin re-exports of :mod:`repro.models.methods` plus the dropout
+modules themselves; models built from a
+:class:`~repro.models.methods.MethodConfig` share backbone, training recipe
+and fault-injection surface with the proposed method, so comparisons are
+apples-to-apples.
+"""
+
+from ..models.methods import (
+    METHOD_NAMES,
+    MethodConfig,
+    all_methods,
+    conventional,
+    proposed,
+    spatial_spindrop,
+    spindrop,
+)
+from ..nn.dropout import Dropout, SpatialDropout1d, SpatialDropout2d
+
+__all__ = [
+    "MethodConfig",
+    "METHOD_NAMES",
+    "conventional",
+    "spindrop",
+    "spatial_spindrop",
+    "proposed",
+    "all_methods",
+    "Dropout",
+    "SpatialDropout1d",
+    "SpatialDropout2d",
+]

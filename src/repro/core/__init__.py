@@ -1,0 +1,30 @@
+"""The paper's primary contribution.
+
+:class:`InvertedNorm` — the inverted normalization layer with stochastic
+affine transformations (affine dropout) — plus the Monte Carlo Bayesian
+inference wrappers that turn a network of such layers into a BayNN.
+"""
+
+from .bayesian import (
+    BayesianClassifier,
+    BayesianRegressor,
+    enable_stochastic_inference,
+    mc_forward,
+    stochastic_inference,
+)
+from .inverted_norm import (
+    AffineDropoutSampler,
+    ConventionalNormAdapter,
+    InvertedNorm,
+)
+
+__all__ = [
+    "InvertedNorm",
+    "AffineDropoutSampler",
+    "ConventionalNormAdapter",
+    "BayesianClassifier",
+    "BayesianRegressor",
+    "enable_stochastic_inference",
+    "stochastic_inference",
+    "mc_forward",
+]

@@ -1,0 +1,101 @@
+"""Synthetic audio-command dataset (Google Speech Commands stand-in).
+
+Ten waveform classes over a fixed-length 1-D signal: up/down chirps, two
+pure tones, AM and FM tones, a square wave, a pulse train, a noise burst and
+a dual tone.  Randomized phase, amplitude, timing jitter and additive noise
+provide intra-class variation; the classes exercise exactly the temporal
+convolution + pooling pipeline of the paper's M5 topology.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..tensor.random import get_rng
+from .dataset import ArrayDataset
+
+NUM_CLASSES = 10
+
+
+def generate_waveform(
+    label: int, length: int, rng: np.random.Generator, noise: float = 0.1
+) -> np.ndarray:
+    """One waveform of class ``label``, shape ``(1, length)`` in [-1, 1]."""
+    t = np.linspace(0.0, 1.0, length, endpoint=False)
+    phase = rng.uniform(0.0, 2.0 * np.pi)
+    amp = rng.uniform(0.7, 1.0)
+    jitter = rng.uniform(0.9, 1.1)
+    if label == 0:  # up-chirp
+        f0, f1 = 2.0 * jitter, 24.0 * jitter
+        signal = np.sin(2 * np.pi * (f0 * t + 0.5 * (f1 - f0) * t**2) + phase)
+    elif label == 1:  # down-chirp
+        f0, f1 = 24.0 * jitter, 2.0 * jitter
+        signal = np.sin(2 * np.pi * (f0 * t + 0.5 * (f1 - f0) * t**2) + phase)
+    elif label == 2:  # low tone
+        signal = np.sin(2 * np.pi * 4.0 * jitter * t + phase)
+    elif label == 3:  # high tone
+        signal = np.sin(2 * np.pi * 20.0 * jitter * t + phase)
+    elif label == 4:  # AM tone
+        carrier = np.sin(2 * np.pi * 16.0 * jitter * t + phase)
+        envelope = 0.5 * (1.0 + np.sin(2 * np.pi * 2.0 * t))
+        signal = carrier * envelope
+    elif label == 5:  # FM tone
+        mod = 4.0 * np.sin(2 * np.pi * 2.0 * t)
+        signal = np.sin(2 * np.pi * 12.0 * jitter * t + mod + phase)
+    elif label == 6:  # square wave
+        signal = np.sign(np.sin(2 * np.pi * 6.0 * jitter * t + phase))
+    elif label == 7:  # pulse train
+        period = max(4, int(length / (8.0 * jitter)))
+        offset = rng.integers(0, period)
+        signal = np.zeros(length)
+        signal[offset::period] = 1.0
+        kernel = np.exp(-np.arange(8) / 2.0)
+        signal = np.convolve(signal, kernel, mode="same")
+    elif label == 8:  # noise burst in a window
+        signal = np.zeros(length)
+        start = rng.integers(0, length // 2)
+        width = length // 4
+        signal[start : start + width] = rng.normal(0.0, 1.0, width)
+    else:  # dual tone
+        signal = 0.5 * (
+            np.sin(2 * np.pi * 5.0 * jitter * t + phase)
+            + np.sin(2 * np.pi * 17.0 * jitter * t)
+        )
+    signal = amp * signal + rng.normal(0.0, noise, length)
+    return signal[None, :]
+
+
+def make_audio_dataset(
+    n_per_class: int = 80,
+    length: int = 256,
+    noise: float = 0.1,
+    rng: Optional[np.random.Generator] = None,
+) -> ArrayDataset:
+    """Balanced dataset of ``NUM_CLASSES * n_per_class`` waveforms (NCL)."""
+    rng = rng or get_rng()
+    signals = np.empty((NUM_CLASSES * n_per_class, 1, length))
+    labels = np.empty(NUM_CLASSES * n_per_class, dtype=np.int64)
+    i = 0
+    for label in range(NUM_CLASSES):
+        for _ in range(n_per_class):
+            signals[i] = generate_waveform(label, length, rng, noise=noise)
+            labels[i] = label
+            i += 1
+    order = rng.permutation(len(labels))
+    return ArrayDataset(signals[order], labels[order])
+
+
+def make_audio_task(
+    n_train_per_class: int = 80,
+    n_test_per_class: int = 20,
+    length: int = 256,
+    noise: float = 0.1,
+    seed: int = 0,
+) -> Tuple[ArrayDataset, ArrayDataset]:
+    """Train/test pair with disjoint random draws."""
+    rng = np.random.default_rng(seed)
+    train = make_audio_dataset(n_train_per_class, length=length, noise=noise, rng=rng)
+    test = make_audio_dataset(n_test_per_class, length=length, noise=noise, rng=rng)
+    return train, test

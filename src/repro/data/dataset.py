@@ -1,0 +1,74 @@
+"""Dataset containers and minibatch loading."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..tensor import Tensor
+from ..tensor.random import get_rng
+
+
+class ArrayDataset:
+    """In-memory dataset of (inputs, targets) numpy arrays."""
+
+    def __init__(self, inputs: np.ndarray, targets: np.ndarray):
+        if len(inputs) != len(targets):
+            raise ValueError(
+                f"inputs ({len(inputs)}) and targets ({len(targets)}) "
+                "must have the same length"
+            )
+        self.inputs = np.asarray(inputs, dtype=np.float64)
+        self.targets = np.asarray(targets)
+
+    def __len__(self) -> int:
+        return len(self.inputs)
+
+    def __getitem__(self, index) -> Tuple[np.ndarray, np.ndarray]:
+        return self.inputs[index], self.targets[index]
+
+    def subset(self, indices: np.ndarray) -> "ArrayDataset":
+        return ArrayDataset(self.inputs[indices], self.targets[indices])
+
+    def split(self, train_fraction: float, rng: Optional[np.random.Generator] = None):
+        """Shuffled train/test split."""
+        if not 0.0 < train_fraction < 1.0:
+            raise ValueError("train_fraction must be in (0, 1)")
+        rng = rng or get_rng()
+        order = rng.permutation(len(self))
+        cut = int(len(self) * train_fraction)
+        return self.subset(order[:cut]), self.subset(order[cut:])
+
+    def tensors(self) -> Tuple[Tensor, np.ndarray]:
+        """Whole dataset as one (inputs tensor, raw targets) pair."""
+        return Tensor(self.inputs), self.targets
+
+
+class DataLoader:
+    """Minibatch iterator yielding ``(Tensor inputs, ndarray targets)``."""
+
+    def __init__(
+        self,
+        dataset: ArrayDataset,
+        batch_size: int = 32,
+        shuffle: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.dataset = dataset
+        self.batch_size = int(batch_size)
+        self.shuffle = shuffle
+        self.rng = rng
+
+    def __len__(self) -> int:
+        return (len(self.dataset) + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[Tensor, np.ndarray]]:
+        n = len(self.dataset)
+        order = (
+            (self.rng or get_rng()).permutation(n) if self.shuffle else np.arange(n)
+        )
+        for start in range(0, n, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            x, y = self.dataset[idx]
+            yield Tensor(x), y

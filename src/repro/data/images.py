@@ -1,0 +1,132 @@
+"""Synthetic 10-class image dataset (CIFAR-10 stand-in).
+
+Substitution note (DESIGN.md §2): the paper's image-classification fault
+experiments measure *relative* accuracy degradation of trained networks
+under parameter faults; what matters is a learnable multi-class task with
+non-trivial intra-class variation, not natural-image statistics.  This
+generator produces parametric texture classes — oriented gratings at two
+spatial frequencies, radial rings, and checkerboards — with randomized
+phase, position, amplitude, per-channel color mixing, and additive noise,
+which a small CNN learns to high (but not perfect) accuracy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..tensor.random import get_rng
+from .dataset import ArrayDataset
+
+NUM_CLASSES = 10
+
+#: (orientation in radians, cycles across the image) for grating classes 0-7.
+_GRATING_PARAMS = [
+    (0.0, 2.0),
+    (np.pi / 4, 2.0),
+    (np.pi / 2, 2.0),
+    (3 * np.pi / 4, 2.0),
+    (0.0, 4.0),
+    (np.pi / 4, 4.0),
+    (np.pi / 2, 4.0),
+    (3 * np.pi / 4, 4.0),
+]
+
+#: Per-class RGB tint; gives color a secondary (non-sufficient) cue.
+_CLASS_TINTS = np.array(
+    [
+        [1.0, 0.6, 0.6],
+        [0.6, 1.0, 0.6],
+        [0.6, 0.6, 1.0],
+        [1.0, 1.0, 0.6],
+        [1.0, 0.6, 1.0],
+        [0.6, 1.0, 1.0],
+        [1.0, 0.8, 0.6],
+        [0.8, 0.6, 1.0],
+        [0.7, 1.0, 0.8],
+        [1.0, 0.7, 0.9],
+    ]
+)
+
+
+def _grating(size: int, theta: float, cycles: float, phase: float) -> np.ndarray:
+    coords = np.linspace(0.0, 1.0, size, endpoint=False)
+    yy, xx = np.meshgrid(coords, coords, indexing="ij")
+    proj = xx * np.cos(theta) + yy * np.sin(theta)
+    return np.sin(2.0 * np.pi * cycles * proj + phase)
+
+
+def _rings(size: int, cycles: float, cx: float, cy: float, phase: float) -> np.ndarray:
+    coords = np.linspace(0.0, 1.0, size, endpoint=False)
+    yy, xx = np.meshgrid(coords, coords, indexing="ij")
+    r = np.sqrt((xx - cx) ** 2 + (yy - cy) ** 2)
+    return np.sin(2.0 * np.pi * cycles * r + phase)
+
+
+def _checkerboard(size: int, cells: int, ox: float, oy: float) -> np.ndarray:
+    coords = np.linspace(0.0, 1.0, size, endpoint=False)
+    yy, xx = np.meshgrid(coords, coords, indexing="ij")
+    pattern = np.sign(np.sin(np.pi * cells * (xx + ox)) * np.sin(np.pi * cells * (yy + oy)))
+    return pattern
+
+
+def generate_image(
+    label: int, size: int, rng: np.random.Generator, noise: float = 0.15
+) -> np.ndarray:
+    """One CHW image of class ``label`` with randomized nuisance parameters."""
+    phase = rng.uniform(0.0, 2.0 * np.pi)
+    amplitude = rng.uniform(0.7, 1.0)
+    if label < 8:
+        theta, cycles = _GRATING_PARAMS[label]
+        theta = theta + rng.normal(0.0, 0.06)
+        cycles = cycles * rng.uniform(0.9, 1.1)
+        base = _grating(size, theta, cycles, phase)
+    elif label == 8:
+        base = _rings(
+            size,
+            rng.uniform(2.5, 3.5),
+            rng.uniform(0.3, 0.7),
+            rng.uniform(0.3, 0.7),
+            phase,
+        )
+    else:
+        base = _checkerboard(size, 4, rng.uniform(0, 0.5), rng.uniform(0, 0.5))
+    tint = _CLASS_TINTS[label] * rng.uniform(0.85, 1.15, size=3)
+    image = amplitude * base[None, :, :] * tint[:, None, None]
+    image = image + rng.normal(0.0, noise, size=image.shape)
+    return image
+
+
+def make_image_dataset(
+    n_per_class: int = 100,
+    size: int = 16,
+    noise: float = 0.15,
+    rng: Optional[np.random.Generator] = None,
+) -> ArrayDataset:
+    """Balanced dataset of ``NUM_CLASSES * n_per_class`` CHW images."""
+    rng = rng or get_rng()
+    images = np.empty((NUM_CLASSES * n_per_class, 3, size, size))
+    labels = np.empty(NUM_CLASSES * n_per_class, dtype=np.int64)
+    i = 0
+    for label in range(NUM_CLASSES):
+        for _ in range(n_per_class):
+            images[i] = generate_image(label, size, rng, noise=noise)
+            labels[i] = label
+            i += 1
+    order = rng.permutation(len(labels))
+    return ArrayDataset(images[order], labels[order])
+
+
+def make_image_task(
+    n_train_per_class: int = 100,
+    n_test_per_class: int = 25,
+    size: int = 16,
+    noise: float = 0.15,
+    seed: int = 0,
+) -> Tuple[ArrayDataset, ArrayDataset]:
+    """Train/test pair with disjoint random draws."""
+    rng = np.random.default_rng(seed)
+    train = make_image_dataset(n_train_per_class, size=size, noise=noise, rng=rng)
+    test = make_image_dataset(n_test_per_class, size=size, noise=noise, rng=rng)
+    return train, test

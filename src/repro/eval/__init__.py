@@ -1,0 +1,71 @@
+"""Experiment harness: tasks, evaluators, caches, campaigns, reporting."""
+
+from .activations import (
+    DistributionSummary,
+    activation_shift_experiment,
+    capture_weighted_sums,
+)
+from .cache import cache_dir, clear_memory_cache, trained_model
+from .campaigns import (
+    MethodCurve,
+    RobustnessSweep,
+    baseline_metrics,
+    run_robustness_sweep,
+)
+from .evaluators import (
+    classification_accuracy,
+    make_evaluator,
+    regression_rmse,
+    segmentation_miou,
+)
+from .reporting import (
+    METHOD_LABELS,
+    format_sweep,
+    format_table_row,
+    summarize_improvements,
+    table_header,
+)
+from .tasks import (
+    PRESETS,
+    Task,
+    active_preset,
+    audio_task,
+    build_task,
+    co2_task,
+    image_task,
+    mc_runs,
+    mc_samples,
+    vessel_task,
+)
+
+__all__ = [
+    "Task",
+    "build_task",
+    "image_task",
+    "audio_task",
+    "co2_task",
+    "vessel_task",
+    "active_preset",
+    "mc_runs",
+    "mc_samples",
+    "PRESETS",
+    "trained_model",
+    "cache_dir",
+    "clear_memory_cache",
+    "classification_accuracy",
+    "segmentation_miou",
+    "regression_rmse",
+    "make_evaluator",
+    "run_robustness_sweep",
+    "baseline_metrics",
+    "RobustnessSweep",
+    "MethodCurve",
+    "format_table_row",
+    "table_header",
+    "format_sweep",
+    "summarize_improvements",
+    "METHOD_LABELS",
+    "capture_weighted_sums",
+    "activation_shift_experiment",
+    "DistributionSummary",
+]

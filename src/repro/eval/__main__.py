@@ -1,0 +1,5 @@
+"""Entry point: ``python -m repro.eval <command>`` (see cli.py)."""
+
+from .cli import main
+
+main()

@@ -1,0 +1,76 @@
+"""Trained-model cache shared by tests, examples and benchmarks.
+
+Training a model for every (task, method) pair in every benchmark would
+dominate runtime, so trained weights are cached in-process and persisted to
+``REPRO_CACHE_DIR`` (default ``<repo>/.repro_cache``) as ``.npz`` state
+dicts keyed by (task, method, preset, seed).  Delete the directory to force
+retraining.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from typing import Dict, Tuple
+
+from ..models import MethodConfig
+from ..nn.module import Module
+from .tasks import Task
+
+_MEMORY: Dict[Tuple, Module] = {}
+
+
+def cache_dir() -> pathlib.Path:
+    path = pathlib.Path(
+        os.environ.get(
+            "REPRO_CACHE_DIR",
+            pathlib.Path(__file__).resolve().parents[3] / ".repro_cache",
+        )
+    )
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def _method_key(method: MethodConfig) -> str:
+    parts = [method.name, f"p{method.p}"]
+    if method.uses_inverted_norm:
+        parts += [
+            f"sg{method.sigma_gamma}",
+            f"sb{method.sigma_beta}",
+            method.granularity,
+            method.init,
+        ]
+    else:
+        parts.append(method.conventional_norm)
+    return "-".join(parts)
+
+
+def trained_model(
+    task: Task,
+    method: MethodConfig,
+    preset: str,
+    seed: int = 0,
+    verbose: bool = False,
+) -> Module:
+    """Return a trained model, training and caching on first request."""
+    key = (task.name, task.cache_tag, _method_key(method), preset, seed)
+    if key in _MEMORY:
+        return _MEMORY[key]
+    path = cache_dir() / ("_".join(str(k) for k in key) + ".npz")
+    model = task.build_model(method, seed=seed)
+    if path.exists():
+        try:
+            model.load(str(path))
+            _MEMORY[key] = model
+            return model
+        except (KeyError, ValueError):
+            path.unlink()  # stale checkpoint from an older layout
+    model = task.train_model(method, seed=seed, verbose=verbose)
+    model.save(str(path))
+    _MEMORY[key] = model
+    return model
+
+
+def clear_memory_cache() -> None:
+    """Drop in-process cached models (disk cache untouched)."""
+    _MEMORY.clear()

@@ -1,0 +1,141 @@
+"""High-level experiment drivers: robustness sweeps over methods.
+
+These produce the data behind Table I and the curves of Figs. 5 and 6:
+for each method, train (or fetch the cached) model, then run a Monte Carlo
+fault campaign per fault level and collect mean ± std of the task metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..faults import CampaignResult, FaultSpec, MonteCarloCampaign
+from ..models import MethodConfig
+from .cache import trained_model
+from .evaluators import make_evaluator
+from .tasks import Task, mc_runs, mc_samples
+
+
+@dataclass
+class MethodCurve:
+    """One method's metric across a fault-level sweep."""
+
+    method: MethodConfig
+    levels: np.ndarray
+    means: np.ndarray
+    stds: np.ndarray
+
+    def value_at(self, level: float) -> float:
+        idx = int(np.argmin(np.abs(self.levels - level)))
+        return float(self.means[idx])
+
+    @property
+    def clean(self) -> float:
+        """Metric at the first (fault-free) level."""
+        return float(self.means[0])
+
+
+@dataclass
+class RobustnessSweep:
+    """All methods' curves for one (task, fault-kind) experiment."""
+
+    task_name: str
+    metric_name: str
+    higher_is_better: bool
+    fault_kind: str
+    curves: Dict[str, MethodCurve] = field(default_factory=dict)
+
+    def improvement_over(
+        self, baseline: str, ours: str = "proposed"
+    ) -> np.ndarray:
+        """Percent improvement of ``ours`` vs ``baseline`` at each level."""
+        base = self.curves[baseline].means
+        out = self.curves[ours].means
+        with np.errstate(divide="ignore", invalid="ignore"):
+            if self.higher_is_better:
+                rel = 100.0 * (out - base) / np.abs(base)
+            else:
+                rel = 100.0 * (base - out) / np.abs(base)
+        return np.nan_to_num(rel)
+
+    def max_improvement_over(self, baseline: str, ours: str = "proposed") -> float:
+        return float(self.improvement_over(baseline, ours).max())
+
+
+def campaign_eval_cap(preset: str) -> Optional[int]:
+    """Evaluation-set cap for fault campaigns (None = whole test set)."""
+    return {"tiny": None, "small": 100, "paper": None}[preset]
+
+
+def run_robustness_sweep(
+    task: Task,
+    methods: Sequence[MethodConfig],
+    specs: Sequence[FaultSpec],
+    preset: str = "small",
+    seed: int = 0,
+    n_runs: Optional[int] = None,
+    samples: Optional[int] = None,
+    max_eval_samples: Optional[int] = -1,
+    progress=None,
+) -> RobustnessSweep:
+    """Train/fetch each method's model and sweep the fault levels.
+
+    Returns mean ± std of the task metric per method per level — the data
+    behind one panel of Fig. 5 or Fig. 6.
+    """
+    n_runs = n_runs if n_runs is not None else mc_runs(preset)
+    samples = samples if samples is not None else mc_samples(preset)
+    if max_eval_samples == -1:
+        max_eval_samples = campaign_eval_cap(preset)
+    fault_kind = next((s.kind for s in specs if s.kind != "none"), "none")
+    sweep = RobustnessSweep(
+        task_name=task.name,
+        metric_name=task.metric_name,
+        higher_is_better=task.higher_is_better,
+        fault_kind=fault_kind,
+    )
+    for method in methods:
+        model = trained_model(task, method, preset, seed=seed)
+        evaluator = make_evaluator(
+            task.name,
+            task.test_set,
+            method,
+            mc_samples=samples,
+            max_samples=max_eval_samples,
+        )
+        campaign = MonteCarloCampaign(
+            model, evaluator, n_runs=n_runs, base_seed=seed
+        )
+        results: List[CampaignResult] = campaign.sweep(
+            specs,
+            progress=(lambda msg, m=method: progress(f"[{task.name}/{m.name}] {msg}"))
+            if progress
+            else None,
+        )
+        sweep.curves[method.name] = MethodCurve(
+            method=method,
+            levels=np.array([s.level for s in specs]),
+            means=np.array([r.mean for r in results]),
+            stds=np.array([r.std for r in results]),
+        )
+    return sweep
+
+
+def baseline_metrics(
+    task: Task,
+    methods: Sequence[MethodConfig],
+    preset: str = "small",
+    seed: int = 0,
+    samples: Optional[int] = None,
+) -> Dict[str, float]:
+    """Fault-free metric per method (one Table I row)."""
+    samples = samples if samples is not None else mc_samples(preset)
+    row = {}
+    for method in methods:
+        model = trained_model(task, method, preset, seed=seed)
+        evaluator = make_evaluator(task.name, task.test_set, method, mc_samples=samples)
+        row[method.name] = evaluator(model)
+    return row

@@ -1,0 +1,150 @@
+"""Command-line experiment runner.
+
+Regenerate any paper artifact without pytest::
+
+    python -m repro.eval table1 --preset small
+    python -m repro.eval fig5 --task image --fault bitflip
+    python -m repro.eval fig6 --task co2 --fault multiplicative
+    python -m repro.eval fig7 --shift rotation
+    python -m repro.eval campaign --task audio --fault additive \
+        --levels 0 0.1 0.2 --runs 10
+
+Trained models are cached under ``.repro_cache`` exactly as the benchmarks
+do, so repeated invocations are fast.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List
+
+from ..core.bayesian import BayesianClassifier
+from ..data import noise_stages, rotation_stages
+from ..faults import (
+    FaultSpec,
+    additive_sweep,
+    bitflip_sweep,
+    multiplicative_sweep,
+    uniform_sweep,
+)
+from ..models import all_methods, proposed
+from ..tensor import manual_seed
+from ..uncertainty import evaluate_shift_sweep
+from .campaigns import baseline_metrics, run_robustness_sweep
+from .cache import trained_model
+from .reporting import format_sweep, format_table_row, summarize_improvements, table_header
+from .tasks import build_task, mc_samples
+
+_SWEEP_BUILDERS = {
+    "bitflip": bitflip_sweep,
+    "additive": additive_sweep,
+    "multiplicative": multiplicative_sweep,
+    "uniform": uniform_sweep,
+}
+
+_DEFAULT_LEVELS = {
+    "bitflip": [0.0, 0.05, 0.10, 0.20],
+    "additive": [0.0, 0.1, 0.2, 0.4],
+    "multiplicative": [0.0, 0.2, 0.4, 0.8],
+    "uniform": [0.0, 0.1, 0.2, 0.4],
+}
+
+_CONVENTIONAL_NORM = {"image": "batch", "audio": "batch", "co2": "batch",
+                      "vessels": "group"}
+
+
+def _methods_for(task_name: str):
+    return all_methods(conventional_norm=_CONVENTIONAL_NORM[task_name])
+
+
+def cmd_table1(args) -> None:
+    rows = [
+        ("image", "ResNet-18", "Accuracy", "1/1"),
+        ("audio", "M5", "Accuracy", "8/8"),
+        ("vessels", "U-Net", "mIoU", "1/4"),
+        ("co2", "LSTM", "RMSE", "8/8"),
+    ]
+    print(table_header())
+    for task_name, topology, metric, precision in rows:
+        task = build_task(task_name, preset=args.preset)
+        values = baseline_metrics(task, _methods_for(task_name), preset=args.preset)
+        print(format_table_row(topology, task_name, metric, precision, values))
+
+
+def cmd_sweep(args) -> None:
+    task = build_task(args.task, preset=args.preset)
+    levels = args.levels if args.levels else _DEFAULT_LEVELS[args.fault]
+    specs = _SWEEP_BUILDERS[args.fault](levels)
+    sweep = run_robustness_sweep(
+        task,
+        _methods_for(args.task),
+        specs,
+        preset=args.preset,
+        n_runs=args.runs,
+        progress=print if args.verbose else None,
+    )
+    print(format_sweep(sweep))
+    print(summarize_improvements(sweep))
+
+
+def cmd_fig7(args) -> None:
+    task = build_task("image", preset=args.preset)
+    model = trained_model(task, proposed(), args.preset)
+    clf = BayesianClassifier(model, num_samples=mc_samples(args.preset))
+    inputs = task.test_set.inputs[:100]
+    labels = task.test_set.targets[:100]
+    magnitudes = (
+        rotation_stages() if args.shift == "rotation"
+        else noise_stages(max_strength=2.0, stages=8)
+    )
+    result = evaluate_shift_sweep(clf, inputs, labels, args.shift, magnitudes)
+    print(f"{'shift':>9} | {'accuracy':>9} | {'NLL':>8} | {'flagged':>8}")
+    for stage in result.stages:
+        print(f"{stage.magnitude:9.1f} | {stage.accuracy:9.3f} | "
+              f"{stage.nll:8.3f} | {stage.detection_rate:8.1%}")
+    print(f"overall OOD detection rate: {result.overall_detection_rate():.1%}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval",
+        description="Regenerate paper artifacts from the command line.",
+    )
+    parser.add_argument("--preset", default="small",
+                        choices=("tiny", "small", "paper"))
+    parser.add_argument("--seed", type=int, default=0)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="Table I fault-free metrics")
+
+    for name, help_text in (
+        ("fig5", "Fig. 5 robustness panel (image/vessels)"),
+        ("fig6", "Fig. 6 robustness panel (audio/co2)"),
+        ("campaign", "custom fault sweep"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--task", required=True,
+                       choices=("image", "audio", "co2", "vessels"))
+        p.add_argument("--fault", default="bitflip", choices=tuple(_SWEEP_BUILDERS))
+        p.add_argument("--levels", type=float, nargs="*", default=None)
+        p.add_argument("--runs", type=int, default=None)
+        p.add_argument("--verbose", action="store_true")
+
+    p7 = sub.add_parser("fig7", help="Fig. 7 OOD shift sweep")
+    p7.add_argument("--shift", default="rotation", choices=("rotation", "uniform"))
+    return parser
+
+
+def main(argv: List[str] | None = None) -> None:
+    args = build_parser().parse_args(argv)
+    manual_seed(args.seed)
+    if args.command == "table1":
+        cmd_table1(args)
+    elif args.command in ("fig5", "fig6", "campaign"):
+        cmd_sweep(args)
+    elif args.command == "fig7":
+        cmd_fig7(args)
+
+
+if __name__ == "__main__":
+    main()

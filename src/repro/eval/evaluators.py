@@ -1,0 +1,120 @@
+"""Metric evaluators used by training, campaigns and benchmarks.
+
+Bayesian methods are scored with Monte Carlo averaging (fresh dropout /
+affine-dropout masks per pass); the conventional NN is scored with a single
+deterministic pass — exactly the paper's evaluation protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..core.bayesian import BayesianClassifier, BayesianRegressor, mc_forward
+from ..data.dataset import ArrayDataset
+from ..models import MethodConfig
+from ..nn.module import Module
+from ..tensor import Tensor, no_grad
+from ..train.metrics import accuracy, binary_miou, rmse
+
+
+def classification_accuracy(
+    model: Module,
+    test_set: ArrayDataset,
+    method: MethodConfig,
+    mc_samples: int = 8,
+    batch_size: int = 256,
+) -> float:
+    """Test-set accuracy (MC-averaged for Bayesian methods)."""
+    correct = 0
+    total = 0
+    for start in range(0, len(test_set), batch_size):
+        x, y = test_set[np.s_[start : start + batch_size]]
+        xt = Tensor(x)
+        if method.is_bayesian:
+            clf = BayesianClassifier(model, num_samples=mc_samples)
+            pred = clf.predict(xt)
+        else:
+            model.eval()
+            with no_grad():
+                pred = model(xt).data.argmax(axis=-1)
+        correct += int((pred == y).sum())
+        total += len(y)
+    return correct / total
+
+
+def segmentation_miou(
+    model: Module,
+    test_set: ArrayDataset,
+    method: MethodConfig,
+    mc_samples: int = 8,
+    batch_size: int = 8,
+) -> float:
+    """Mean IoU of thresholded sigmoid predictions (MC-averaged logits)."""
+    ious = []
+    for start in range(0, len(test_set), batch_size):
+        x, y = test_set[np.s_[start : start + batch_size]]
+        xt = Tensor(x)
+        if method.is_bayesian:
+            logits = mc_forward(model, xt, mc_samples).mean(axis=0)
+        else:
+            model.eval()
+            with no_grad():
+                logits = model(xt).data
+        pred_mask = logits > 0.0  # sigmoid(logit) > 0.5
+        for i in range(len(y)):
+            ious.append(binary_miou(pred_mask[i], y[i] > 0.5))
+    return float(np.mean(ious))
+
+
+def regression_rmse(
+    model: Module,
+    test_set: ArrayDataset,
+    method: MethodConfig,
+    mc_samples: int = 8,
+    batch_size: int = 256,
+) -> float:
+    """RMSE of one-step forecasts (MC-averaged for Bayesian methods)."""
+    preds = []
+    targets = []
+    for start in range(0, len(test_set), batch_size):
+        x, y = test_set[np.s_[start : start + batch_size]]
+        xt = Tensor(x)
+        if method.is_bayesian:
+            reg = BayesianRegressor(model, num_samples=mc_samples)
+            preds.append(reg.predict(xt))
+        else:
+            model.eval()
+            with no_grad():
+                preds.append(model(xt).data)
+        targets.append(y)
+    return rmse(np.concatenate(preds), np.concatenate(targets))
+
+
+EVALUATORS: dict[str, Callable] = {
+    "image": classification_accuracy,
+    "audio": classification_accuracy,
+    "co2": regression_rmse,
+    "vessels": segmentation_miou,
+}
+
+
+def make_evaluator(
+    task_name: str,
+    test_set: ArrayDataset,
+    method: MethodConfig,
+    mc_samples: int = 8,
+    max_samples: int | None = None,
+) -> Callable[[Module], float]:
+    """Bind a task's metric to its test set → ``model -> float``.
+
+    This is the ``evaluator`` consumed by
+    :class:`~repro.faults.campaign.MonteCarloCampaign`.  ``max_samples``
+    caps the evaluation set (deterministic prefix) so Monte Carlo fault
+    campaigns stay affordable on CPU.
+    """
+    fn = EVALUATORS[task_name]
+    if max_samples is not None and len(test_set) > max_samples:
+        test_set = test_set.subset(np.arange(max_samples))
+    return lambda model: fn(model, test_set, method, mc_samples=mc_samples)

@@ -1,0 +1,79 @@
+"""Text rendering of experiment results in the paper's format."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from .campaigns import RobustnessSweep
+
+#: Paper column labels for the four methods.
+METHOD_LABELS = {
+    "conventional": "NN",
+    "spindrop": "SpinDrop",
+    "spatial-spindrop": "SpatialSpinDrop",
+    "proposed": "Proposed",
+    "proposed-conventional-order": "Proposed (conv. order)",
+}
+
+
+def format_table_row(
+    topology: str,
+    dataset: str,
+    metric: str,
+    precision: str,
+    values: Dict[str, float],
+    order: Sequence[str] = ("conventional", "spindrop", "spatial-spindrop", "proposed"),
+) -> str:
+    """One Table-I row: topology, dataset, metric, W/A, method columns."""
+    cells = [f"{topology:<10}", f"{dataset:<18}", f"{metric:<9}", f"{precision:<5}"]
+    for name in order:
+        value = values.get(name)
+        cells.append(f"{value:8.4f}" if value is not None else f"{'-':>8}")
+    return " | ".join(cells)
+
+
+def table_header(
+    order: Sequence[str] = ("conventional", "spindrop", "spatial-spindrop", "proposed"),
+) -> str:
+    cells = [f"{'Topology':<10}", f"{'Dataset':<18}", f"{'Metric':<9}", f"{'W/A':<5}"]
+    cells += [f"{METHOD_LABELS[n]:>8}" for n in order]
+    line = " | ".join(cells)
+    return line + "\n" + "-" * len(line)
+
+
+def format_sweep(sweep: RobustnessSweep, level_format: str = "{:g}") -> str:
+    """Render one fault sweep as a levels-by-methods text table."""
+    names = list(sweep.curves)
+    header = f"{'level':>8} | " + " | ".join(
+        f"{METHOD_LABELS.get(n, n):>22}" for n in names
+    )
+    lines = [
+        f"{sweep.task_name} / {sweep.fault_kind} ({sweep.metric_name}"
+        f"{'↑' if sweep.higher_is_better else '↓'})",
+        header,
+        "-" * len(header),
+    ]
+    levels = sweep.curves[names[0]].levels
+    for i, level in enumerate(levels):
+        cells = [f"{level_format.format(level):>8}"]
+        for n in names:
+            curve = sweep.curves[n]
+            cells.append(f"{curve.means[i]:14.4f} ±{curve.stds[i]:5.4f}")
+        lines.append(" | ".join(cells))
+    return "\n".join(lines)
+
+
+def summarize_improvements(sweep: RobustnessSweep) -> str:
+    """The paper's headline numbers: max improvement vs each baseline."""
+    lines = []
+    for baseline in sweep.curves:
+        if baseline == "proposed":
+            continue
+        value = sweep.max_improvement_over(baseline)
+        lines.append(
+            f"max improvement of Proposed over {METHOD_LABELS.get(baseline, baseline)}: "
+            f"{value:+.2f}%"
+        )
+    return "\n".join(lines)

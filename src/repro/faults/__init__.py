@@ -1,0 +1,41 @@
+"""NVM non-ideality models and Monte Carlo fault campaigns."""
+
+from .campaign import (
+    CampaignResult,
+    FaultInjector,
+    MonteCarloCampaign,
+    additive_sweep,
+    bitflip_sweep,
+    multiplicative_sweep,
+    uniform_sweep,
+)
+from .models import (
+    ActivationNoise,
+    AdditiveVariation,
+    BitFlipFault,
+    FaultSpec,
+    MultiplicativeVariation,
+    RetentionDriftFault,
+    StuckAtFault,
+    UniformNoiseFault,
+    WeightFaultModel,
+)
+
+__all__ = [
+    "FaultSpec",
+    "WeightFaultModel",
+    "BitFlipFault",
+    "AdditiveVariation",
+    "MultiplicativeVariation",
+    "UniformNoiseFault",
+    "StuckAtFault",
+    "RetentionDriftFault",
+    "ActivationNoise",
+    "FaultInjector",
+    "MonteCarloCampaign",
+    "CampaignResult",
+    "bitflip_sweep",
+    "additive_sweep",
+    "multiplicative_sweep",
+    "uniform_sweep",
+]

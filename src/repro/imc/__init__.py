@@ -1,0 +1,27 @@
+"""In-memory-computing substrate: crossbar arrays and STT-MRAM devices."""
+
+from .crossbar import CrossbarArray, CrossbarConfig
+from .devices import (
+    MTJParams,
+    bit_error_rate,
+    read_margin,
+    sample_resistances,
+    switching_curve,
+    switching_probability,
+    tmr_at_temperature,
+)
+from .mapping import CrossbarLinear, deploy_linear_layers
+
+__all__ = [
+    "CrossbarArray",
+    "CrossbarConfig",
+    "CrossbarLinear",
+    "deploy_linear_layers",
+    "MTJParams",
+    "switching_probability",
+    "switching_curve",
+    "sample_resistances",
+    "tmr_at_temperature",
+    "read_margin",
+    "bit_error_rate",
+]

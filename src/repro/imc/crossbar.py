@@ -1,0 +1,184 @@
+"""Analog crossbar simulation of the in-memory weighted sum (Section II-D).
+
+Models the full IMC datapath the paper abstracts away:
+
+1. quantized weight codes are programmed as *differential conductance
+   pairs* ``(G+, G-)`` — positive part on the G+ column, negative on G-;
+2. the input vector is converted to voltages by a DAC of configurable
+   resolution;
+3. the array computes the weighted sum in the analog domain,
+   ``I = V @ (G+ - G-)``, in O(1) time, optionally with conductance
+   variation and stuck cells from the device model;
+4. an ADC digitizes the column currents.
+
+Large matrices are tiled into ``tile_rows``-row sub-arrays whose partial
+sums are accumulated digitally, as real macros do.  The ideal crossbar
+(infinite DAC/ADC resolution, no variation) reproduces the integer
+matmul of :mod:`repro.quant` exactly — a property the test suite checks —
+which justifies running the paper's fault campaigns at the algorithmic
+level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..quant.functional import QuantizedWeight
+from .devices import MTJParams
+
+
+@dataclass
+class CrossbarConfig:
+    """Crossbar macro parameters.
+
+    Attributes
+    ----------
+    g_on, g_off:
+        Conductances (siemens) of the on/off cell states; multi-bit codes
+        interpolate linearly between them.
+    dac_bits, adc_bits:
+        Data-converter resolutions; ``None`` disables quantization
+        (ideal converter).
+    tile_rows:
+        Maximum rows per physical array; longer dot products are split
+        across tiles and accumulated digitally.
+    sigma_conductance:
+        Relative programming variation applied per cell.
+    stuck_rate, v_read:
+        Fraction of stuck-at-off cells; read voltage for current scaling.
+    """
+
+    g_on: float = 2.5e-4  # 1 / R_P
+    g_off: float = 1.0e-4  # 1 / R_AP
+    dac_bits: Optional[int] = 8
+    adc_bits: Optional[int] = 8
+    tile_rows: int = 64
+    sigma_conductance: float = 0.0
+    stuck_rate: float = 0.0
+    v_read: float = 0.2
+
+    @classmethod
+    def ideal(cls, **kwargs) -> "CrossbarConfig":
+        """No converter quantization, no variation (unless overridden)."""
+        kwargs.setdefault("dac_bits", None)
+        kwargs.setdefault("adc_bits", None)
+        return cls(**kwargs)
+
+    @classmethod
+    def from_mtj(cls, params: MTJParams, **kwargs) -> "CrossbarConfig":
+        """Derive conductances from an MTJ device model."""
+        return cls(g_on=1.0 / params.r_p, g_off=1.0 / params.r_ap, **kwargs)
+
+
+def _uniform_quantize(values: np.ndarray, bits: int, max_abs: float) -> np.ndarray:
+    """Symmetric mid-rise quantization to ``bits`` over ``[-max_abs, max_abs]``."""
+    if max_abs == 0.0:
+        return values
+    levels = 2 ** (bits - 1) - 1
+    scaled = np.clip(values / max_abs, -1.0, 1.0)
+    return np.round(scaled * levels) / levels * max_abs
+
+
+class CrossbarArray:
+    """One programmed crossbar holding a ``(rows, cols)`` weight matrix.
+
+    Parameters
+    ----------
+    qw:
+        Quantized weight record (codes + scale) to program; codes map to
+        differential conductance pairs.
+    config:
+        Macro parameters.
+    rng:
+        Source for programming variation / stuck cells (chip instance).
+    """
+
+    def __init__(
+        self,
+        qw: QuantizedWeight,
+        config: Optional[CrossbarConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if qw.codes.ndim != 2:
+            raise ValueError(f"crossbar expects a 2-D weight, got {qw.codes.shape}")
+        self.config = config or CrossbarConfig()
+        self.qw = qw
+        self.rows, self.cols = qw.codes.T.shape  # inputs x outputs
+        rng = rng or np.random.default_rng(0)
+        self._program(rng)
+
+    def _program(self, rng: np.random.Generator) -> None:
+        """Map codes to differential conductances, with non-idealities."""
+        cfg = self.config
+        codes = self.qw.codes.T  # (rows=in, cols=out)
+        qmax = self.qw.qmax
+        pos = np.clip(codes, 0, None) / qmax
+        neg = np.clip(-codes, 0, None) / qmax
+        g_pos = cfg.g_off + pos * (cfg.g_on - cfg.g_off)
+        g_neg = cfg.g_off + neg * (cfg.g_on - cfg.g_off)
+        if cfg.sigma_conductance > 0.0:
+            g_pos = g_pos * (1.0 + rng.normal(0.0, cfg.sigma_conductance, g_pos.shape))
+            g_neg = g_neg * (1.0 + rng.normal(0.0, cfg.sigma_conductance, g_neg.shape))
+        if cfg.stuck_rate > 0.0:
+            g_pos = np.where(
+                rng.random(g_pos.shape) < cfg.stuck_rate, cfg.g_off, g_pos
+            )
+            g_neg = np.where(
+                rng.random(g_neg.shape) < cfg.stuck_rate, cfg.g_off, g_neg
+            )
+        self.g_pos = g_pos
+        self.g_neg = g_neg
+
+    # ------------------------------------------------------------------
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Analog weighted sum for a batch of input vectors ``(n, rows)``.
+
+        Returns the digitized result in *weight units* (dequantized), i.e.
+        directly comparable to ``x @ (codes * scale).T``.
+        """
+        cfg = self.config
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        if x.shape[1] != self.rows:
+            raise ValueError(f"expected {self.rows} inputs, got {x.shape[1]}")
+        x_max = np.abs(x).max()
+        v = x
+        if cfg.dac_bits is not None:
+            v = _uniform_quantize(x, cfg.dac_bits, x_max)
+        v = v * cfg.v_read  # volts
+        delta_g = self.g_pos - self.g_neg
+        currents = np.zeros((x.shape[0], self.cols))
+        for start in range(0, self.rows, cfg.tile_rows):
+            stop = min(start + cfg.tile_rows, self.rows)
+            tile_current = v[:, start:stop] @ delta_g[start:stop]
+            if cfg.adc_bits is not None:
+                # Per-tile full-scale: worst-case single-tile current.
+                full_scale = (
+                    cfg.v_read * x_max * (cfg.g_on - cfg.g_off) * (stop - start)
+                )
+                tile_current = _uniform_quantize(
+                    tile_current, cfg.adc_bits, full_scale
+                )
+            currents += tile_current
+        # Convert current back to weight units.
+        lsb = (self.config.g_on - self.config.g_off) / self.qw.qmax
+        scale = np.asarray(self.qw.scale).reshape(-1)
+        out_scale = float(scale[0]) if scale.size == 1 else scale  # per-column
+        return currents / (cfg.v_read * lsb) * out_scale
+
+    def ideal_result(self, x: np.ndarray) -> np.ndarray:
+        """Digital reference: ``x @ (codes * scale).T``."""
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        return x @ self.qw.dequantize().T
+
+    @property
+    def n_tiles(self) -> int:
+        return (self.rows + self.config.tile_rows - 1) // self.config.tile_rows
+
+    def energy_estimate(self, x: np.ndarray) -> float:
+        """Static-power-free dynamic energy proxy: sum of |I|·V over cells."""
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64)) * self.config.v_read
+        total = np.abs(x) @ (self.g_pos + self.g_neg)
+        return float(total.sum() * self.config.v_read)

@@ -1,0 +1,155 @@
+"""STT-MRAM device models (Fig. 4 of the paper).
+
+The paper's Fig. 4 shows two device-level phenomena that motivate the
+algorithmic noise models used in the fault campaigns:
+
+* **(a) stochastic switching** — the probability that a write pulse
+  switches the magnetic tunnel junction (MTJ) depends on pulse voltage and
+  duration.  In the thermal-activation regime the mean switching time obeys
+  the Néel-Arrhenius law ``tau(V) = tau0 * exp(Delta * (1 - V / Vc0))`` and
+  the switching probability of a pulse of width ``t`` is
+  ``P_sw = 1 - exp(-t / tau(V))`` [5].
+* **(b) thermal resistance variation** — the parallel/antiparallel
+  resistances ``R_P`` / ``R_AP`` are lot-to-lot Gaussian-distributed and
+  the tunnel magnetoresistance ratio (TMR) degrades roughly linearly with
+  temperature, shrinking the read margin.  Monte Carlo sampling of these
+  distributions reproduces Fig. 4b.
+
+Parameters default to representative published STT-MRAM values (Delta ≈ 60,
+tau0 = 1 ns, TMR ≈ 100-200 %, R_P ≈ a few kΩ).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class MTJParams:
+    """Magnetic-tunnel-junction parameters.
+
+    Attributes
+    ----------
+    r_p:
+        Parallel (low) resistance at the reference temperature, ohms.
+    tmr:
+        Tunnel magnetoresistance ratio at the reference temperature
+        (``r_ap = r_p * (1 + tmr)``).
+    sigma_r:
+        Relative lot-to-lot standard deviation of both resistances.
+    delta:
+        Thermal stability factor (energy barrier over ``k_B T``).
+    tau0_ns:
+        Attempt time in nanoseconds.
+    vc0:
+        Critical switching voltage (V).
+    temp_ref:
+        Reference temperature (K).
+    tmr_temp_slope:
+        Fractional TMR loss per kelvin above ``temp_ref``.
+    rp_temp_slope:
+        Fractional R_P drift per kelvin above ``temp_ref``.
+    """
+
+    r_p: float = 4000.0
+    tmr: float = 1.5
+    sigma_r: float = 0.05
+    delta: float = 60.0
+    tau0_ns: float = 1.0
+    vc0: float = 0.45
+    temp_ref: float = 300.0
+    tmr_temp_slope: float = 0.002
+    rp_temp_slope: float = 0.0004
+
+    @property
+    def r_ap(self) -> float:
+        return self.r_p * (1.0 + self.tmr)
+
+
+def switching_probability(
+    voltage: np.ndarray | float,
+    pulse_ns: np.ndarray | float,
+    params: Optional[MTJParams] = None,
+) -> np.ndarray:
+    """P(switch) for a write pulse — the Fig. 4a family of curves.
+
+    Thermal-activation model: below the critical voltage the mean switching
+    time grows exponentially; the pulse switches with probability
+    ``1 - exp(-t / tau(V))``.  Voltages at or above ``vc0`` switch in the
+    precessional regime, modelled as ``tau -> tau0``.
+    """
+    p = params or MTJParams()
+    voltage = np.asarray(voltage, dtype=np.float64)
+    pulse_ns = np.asarray(pulse_ns, dtype=np.float64)
+    exponent = p.delta * (1.0 - voltage / p.vc0)
+    exponent = np.clip(exponent, 0.0, 700.0)  # overflow guard
+    tau = p.tau0_ns * np.exp(exponent)
+    return 1.0 - np.exp(-pulse_ns / tau)
+
+
+def switching_curve(
+    voltages: Sequence[float],
+    pulse_grid_ns: np.ndarray,
+    params: Optional[MTJParams] = None,
+) -> dict[float, np.ndarray]:
+    """Switching probability vs pulse width for several voltages (Fig 4a)."""
+    return {
+        float(v): switching_probability(v, pulse_grid_ns, params) for v in voltages
+    }
+
+
+def tmr_at_temperature(temperature: float, params: Optional[MTJParams] = None) -> float:
+    """TMR ratio at ``temperature`` (linear degradation model)."""
+    p = params or MTJParams()
+    scale = max(0.0, 1.0 - p.tmr_temp_slope * (temperature - p.temp_ref))
+    return p.tmr * scale
+
+
+def sample_resistances(
+    temperature: float,
+    n_devices: int,
+    rng: np.random.Generator,
+    params: Optional[MTJParams] = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Monte Carlo R_P / R_AP samples at ``temperature`` (Fig. 4b).
+
+    Returns ``(r_p_samples, r_ap_samples)`` in ohms.
+    """
+    p = params or MTJParams()
+    r_p_mean = p.r_p * (1.0 + p.rp_temp_slope * (temperature - p.temp_ref))
+    tmr = tmr_at_temperature(temperature, p)
+    r_ap_mean = r_p_mean * (1.0 + tmr)
+    r_p = rng.normal(r_p_mean, p.sigma_r * r_p_mean, n_devices)
+    r_ap = rng.normal(r_ap_mean, p.sigma_r * r_ap_mean, n_devices)
+    return r_p, r_ap
+
+
+def read_margin(temperature: float, params: Optional[MTJParams] = None) -> float:
+    """Separation of the two states in sigmas (distinguishability)."""
+    p = params or MTJParams()
+    rng = np.random.default_rng(0)
+    r_p, r_ap = sample_resistances(temperature, 20000, rng, p)
+    return float((r_ap.mean() - r_p.mean()) / np.sqrt(r_p.var() + r_ap.var()))
+
+
+def bit_error_rate(
+    temperature: float,
+    params: Optional[MTJParams] = None,
+    n_devices: int = 20000,
+    seed: int = 0,
+) -> float:
+    """Probability that a midpoint-threshold read misclassifies the state.
+
+    Grounds the bit-flip fault model of :mod:`repro.faults` in the device
+    physics: as temperature compresses the resistance distributions, the
+    overlap — and hence the read bit-error rate — grows.
+    """
+    p = params or MTJParams()
+    rng = np.random.default_rng(seed)
+    r_p, r_ap = sample_resistances(temperature, n_devices, rng, p)
+    threshold = 0.5 * (r_p.mean() + r_ap.mean())
+    errors = (r_p > threshold).sum() + (r_ap <= threshold).sum()
+    return float(errors / (2 * n_devices))

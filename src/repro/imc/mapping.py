@@ -1,0 +1,73 @@
+"""Deploy quantized layers onto simulated crossbars (inference only)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn.module import Module
+from ..quant.functional import fake_quantize_weight, binarize_weight
+from ..quant.layers import QuantLinear
+from ..tensor import Tensor
+from .crossbar import CrossbarArray, CrossbarConfig
+
+
+class CrossbarLinear(Module):
+    """Inference-time replacement of a :class:`QuantLinear` by a crossbar.
+
+    Programs the layer's quantized weights into a simulated
+    :class:`CrossbarArray` once at construction (one chip instance) and
+    routes forward passes through the analog datapath.  Gradients do not
+    flow (deployment model).
+    """
+
+    def __init__(
+        self,
+        layer: QuantLinear,
+        config: Optional[CrossbarConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        self.in_features = layer.in_features
+        self.out_features = layer.out_features
+        if layer.weight_bits == 1:
+            _, qw = binarize_weight(layer.weight)
+            qw.scale = np.asarray(qw.scale).reshape(-1)
+        else:
+            _, qw = fake_quantize_weight(layer.weight, layer.weight_bits)
+        self.array = CrossbarArray(qw, config=config, rng=rng)
+        self._bias = None if layer.bias is None else layer.bias.data.copy()
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.array.matvec(x.data)
+        if self._bias is not None:
+            out = out + self._bias
+        return Tensor(out)
+
+    def extra_repr(self) -> str:
+        return (
+            f"in_features={self.in_features}, out_features={self.out_features}, "
+            f"tiles={self.array.n_tiles}"
+        )
+
+
+def deploy_linear_layers(
+    model: Module,
+    config: Optional[CrossbarConfig] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> int:
+    """Swap every ``QuantLinear`` submodule for a :class:`CrossbarLinear`.
+
+    Returns the number of layers deployed.  Mutates ``model`` in place —
+    intended for inference-only deployment studies (see
+    ``examples/imc_deployment.py``).
+    """
+    rng = rng or np.random.default_rng(0)
+    count = 0
+    for module in model.modules():
+        for name, child in list(module._modules.items()):
+            if isinstance(child, QuantLinear):
+                module._modules[name] = CrossbarLinear(child, config=config, rng=rng)
+                count += 1
+    return count

@@ -1,0 +1,35 @@
+"""The paper's four evaluated topologies and the method configurations.
+
+Each model factory takes a :class:`~repro.models.methods.MethodConfig`
+selecting between the conventional NN, the SpinDrop baselines, and the
+proposed inverted normalization — identical backbones otherwise.
+"""
+
+from .lstm import LSTMForecaster
+from .m5 import M5
+from .methods import (
+    METHOD_NAMES,
+    MethodConfig,
+    all_methods,
+    conventional,
+    proposed,
+    spatial_spindrop,
+    spindrop,
+)
+from .resnet import BasicBlock, ResNet18
+from .unet import UNet
+
+__all__ = [
+    "MethodConfig",
+    "METHOD_NAMES",
+    "conventional",
+    "spindrop",
+    "spatial_spindrop",
+    "proposed",
+    "all_methods",
+    "ResNet18",
+    "BasicBlock",
+    "M5",
+    "LSTMForecaster",
+    "UNet",
+]

@@ -1,0 +1,95 @@
+"""Neural-network layers built on the :mod:`repro.tensor` autograd engine.
+
+Provides the module system (:class:`Module`, :class:`Parameter`,
+:class:`Sequential`), linear / convolutional / recurrent layers, pooling,
+activations, the conventional normalization family the paper's inverted
+normalization replaces, and the dropout variants used by the baselines.
+"""
+
+from . import init
+from .activations import (
+    HardTanh,
+    LeakyReLU,
+    LogSoftmax,
+    ReLU,
+    Sigmoid,
+    Softmax,
+    Tanh,
+)
+from .conv import Conv1d, Conv2d, ConvTranspose2d
+from .dropout import (
+    DropConnect,
+    resample_masks,
+    set_mask_scope,
+    Dropout,
+    GaussianDropout,
+    SpatialDropout1d,
+    SpatialDropout2d,
+    StochasticModule,
+)
+from .linear import Linear
+from .module import Identity, Lambda, Module, ModuleList, Parameter, Sequential
+from .normalization import (
+    BatchNorm1d,
+    BatchNorm2d,
+    GroupNorm,
+    InstanceNorm2d,
+    LayerNorm,
+    normalize,
+)
+from .pooling import (
+    AvgPool1d,
+    AvgPool2d,
+    Flatten,
+    GlobalAvgPool1d,
+    GlobalAvgPool2d,
+    MaxPool1d,
+    MaxPool2d,
+    UpsampleNearest2d,
+)
+from .rnn import LSTM, LSTMCell
+
+__all__ = [
+    "init",
+    "Module",
+    "Parameter",
+    "Sequential",
+    "ModuleList",
+    "Identity",
+    "Lambda",
+    "Linear",
+    "Conv1d",
+    "Conv2d",
+    "ConvTranspose2d",
+    "LSTM",
+    "LSTMCell",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "Sigmoid",
+    "HardTanh",
+    "Softmax",
+    "LogSoftmax",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "LayerNorm",
+    "InstanceNorm2d",
+    "GroupNorm",
+    "normalize",
+    "Dropout",
+    "SpatialDropout1d",
+    "SpatialDropout2d",
+    "GaussianDropout",
+    "DropConnect",
+    "StochasticModule",
+    "resample_masks",
+    "set_mask_scope",
+    "MaxPool1d",
+    "MaxPool2d",
+    "AvgPool1d",
+    "AvgPool2d",
+    "GlobalAvgPool1d",
+    "GlobalAvgPool2d",
+    "UpsampleNearest2d",
+    "Flatten",
+]

@@ -1,0 +1,71 @@
+"""Activation-function layer modules."""
+
+from __future__ import annotations
+
+from ..tensor import Tensor, ops
+from .module import Module
+
+
+class ReLU(Module):
+    """Rectified linear unit: ``max(x, 0)``."""
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.relu(x)
+
+
+class LeakyReLU(Module):
+    """Leaky ReLU: ``x`` if positive, else ``negative_slope * x``."""
+    def __init__(self, negative_slope: float = 0.01):
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.leaky_relu(x, self.negative_slope)
+
+    def extra_repr(self) -> str:
+        return f"negative_slope={self.negative_slope}"
+
+
+class Tanh(Module):
+    """Hyperbolic-tangent activation."""
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.tanh(x)
+
+
+class Sigmoid(Module):
+    """Logistic activation (numerically stable)."""
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.sigmoid(x)
+
+
+class HardTanh(Module):
+    """Clamp to ``[min_val, max_val]`` with pass-through gradient."""
+    def __init__(self, min_val: float = -1.0, max_val: float = 1.0):
+        super().__init__()
+        self.min_val = min_val
+        self.max_val = max_val
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.hardtanh(x, self.min_val, self.max_val)
+
+    def extra_repr(self) -> str:
+        return f"min_val={self.min_val}, max_val={self.max_val}"
+
+
+class Softmax(Module):
+    """Softmax over ``axis`` (stable, max-shifted)."""
+    def __init__(self, axis: int = -1):
+        super().__init__()
+        self.axis = axis
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.softmax(x, axis=self.axis)
+
+
+class LogSoftmax(Module):
+    """Log-softmax over ``axis`` (stable, max-shifted)."""
+    def __init__(self, axis: int = -1):
+        super().__init__()
+        self.axis = axis
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.log_softmax(x, axis=self.axis)

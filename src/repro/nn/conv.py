@@ -1,0 +1,118 @@
+"""Convolutional layer modules wrapping the tensor-level kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor
+from ..tensor import conv as F
+from . import init
+from .module import Module, Parameter
+
+
+class Conv2d(Module):
+    """2-D convolution over NCHW tensors.
+
+    Weight layout ``(out_channels, in_channels, kh, kw)``; He-initialized.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int | tuple,
+        stride: int | tuple = 1,
+        padding: int | tuple = 0,
+        bias: bool = True,
+    ):
+        super().__init__()
+        kh, kw = F._pair(kernel_size)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = (kh, kw)
+        self.stride = stride
+        self.padding = padding
+        self.weight = Parameter(np.empty((out_channels, in_channels, kh, kw)))
+        init.kaiming_normal_(self.weight)
+        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(
+            x, self.weight, self.bias, stride=self.stride, padding=self.padding
+        )
+
+    def extra_repr(self) -> str:
+        return (
+            f"{self.in_channels}, {self.out_channels}, "
+            f"kernel_size={self.kernel_size}, stride={self.stride}, "
+            f"padding={self.padding}, bias={self.bias is not None}"
+        )
+
+
+class Conv1d(Module):
+    """1-D convolution over NCL tensors (audio / sequence front-ends)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+    ):
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = int(kernel_size)
+        self.stride = stride
+        self.padding = padding
+        self.weight = Parameter(np.empty((out_channels, in_channels, kernel_size)))
+        init.kaiming_normal_(self.weight)
+        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv1d(
+            x, self.weight, self.bias, stride=self.stride, padding=self.padding
+        )
+
+    def extra_repr(self) -> str:
+        return (
+            f"{self.in_channels}, {self.out_channels}, "
+            f"kernel_size={self.kernel_size}, stride={self.stride}, "
+            f"padding={self.padding}"
+        )
+
+
+class ConvTranspose2d(Module):
+    """2-D transposed convolution (up-sampling path of U-Net).
+
+    Weight layout ``(in_channels, out_channels, kh, kw)``.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int | tuple,
+        stride: int | tuple = 1,
+        bias: bool = True,
+    ):
+        super().__init__()
+        kh, kw = F._pair(kernel_size)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = (kh, kw)
+        self.stride = stride
+        self.weight = Parameter(np.empty((in_channels, out_channels, kh, kw)))
+        init.kaiming_normal_(self.weight)
+        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv_transpose2d(x, self.weight, self.bias, stride=self.stride)
+
+    def extra_repr(self) -> str:
+        return (
+            f"{self.in_channels}, {self.out_channels}, "
+            f"kernel_size={self.kernel_size}, stride={self.stride}"
+        )

@@ -1,0 +1,80 @@
+"""Parameter initialization schemes (Kaiming / Xavier families).
+
+All initializers mutate the parameter's array in place and draw from the
+library-wide seeded generator, so model construction is reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..tensor import Tensor
+from ..tensor.random import get_rng
+
+
+def _fan_in_out(shape) -> tuple[int, int]:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        fan_out, fan_in = shape
+        return fan_in, fan_out
+    # conv weights: (out, in, *kernel)
+    receptive = int(np.prod(shape[2:]))
+    return shape[1] * receptive, shape[0] * receptive
+
+
+def kaiming_normal_(param: Tensor, gain: float = math.sqrt(2.0)) -> Tensor:
+    """He initialization, normal variant (for ReLU networks)."""
+    fan_in, _ = _fan_in_out(param.shape)
+    std = gain / math.sqrt(fan_in)
+    param.data[...] = get_rng().normal(0.0, std, size=param.shape)
+    return param
+
+
+def kaiming_uniform_(param: Tensor, gain: float = math.sqrt(2.0)) -> Tensor:
+    """He initialization, uniform variant."""
+    fan_in, _ = _fan_in_out(param.shape)
+    bound = gain * math.sqrt(3.0 / fan_in)
+    param.data[...] = get_rng().uniform(-bound, bound, size=param.shape)
+    return param
+
+
+def xavier_normal_(param: Tensor, gain: float = 1.0) -> Tensor:
+    """Glorot initialization, normal variant (for tanh/sigmoid networks)."""
+    fan_in, fan_out = _fan_in_out(param.shape)
+    std = gain * math.sqrt(2.0 / (fan_in + fan_out))
+    param.data[...] = get_rng().normal(0.0, std, size=param.shape)
+    return param
+
+
+def xavier_uniform_(param: Tensor, gain: float = 1.0) -> Tensor:
+    """Glorot initialization, uniform variant."""
+    fan_in, fan_out = _fan_in_out(param.shape)
+    bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
+    param.data[...] = get_rng().uniform(-bound, bound, size=param.shape)
+    return param
+
+
+def normal_(param: Tensor, mean: float = 0.0, std: float = 1.0) -> Tensor:
+    param.data[...] = get_rng().normal(mean, std, size=param.shape)
+    return param
+
+
+def uniform_(param: Tensor, low: float = 0.0, high: float = 1.0) -> Tensor:
+    param.data[...] = get_rng().uniform(low, high, size=param.shape)
+    return param
+
+
+def constant_(param: Tensor, value: float) -> Tensor:
+    param.data[...] = value
+    return param
+
+
+def zeros_(param: Tensor) -> Tensor:
+    return constant_(param, 0.0)
+
+
+def ones_(param: Tensor) -> Tensor:
+    return constant_(param, 1.0)

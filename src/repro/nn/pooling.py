@@ -1,0 +1,102 @@
+"""Pooling and resampling layer modules."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..tensor import Tensor
+from ..tensor import conv as F
+from .module import Module
+
+
+class MaxPool2d(Module):
+    """Max pooling over NCHW tensors (no padding)."""
+    def __init__(self, kernel_size: int | tuple, stride: Optional[int] = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool2d(x, self.kernel_size, self.stride)
+
+    def extra_repr(self) -> str:
+        return f"kernel_size={self.kernel_size}, stride={self.stride}"
+
+
+class AvgPool2d(Module):
+    """Average pooling over NCHW tensors (no padding)."""
+    def __init__(self, kernel_size: int | tuple, stride: Optional[int] = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.avg_pool2d(x, self.kernel_size, self.stride)
+
+    def extra_repr(self) -> str:
+        return f"kernel_size={self.kernel_size}, stride={self.stride}"
+
+
+class MaxPool1d(Module):
+    """Max pooling over NCL tensors."""
+    def __init__(self, kernel_size: int, stride: Optional[int] = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool1d(x, self.kernel_size, self.stride)
+
+    def extra_repr(self) -> str:
+        return f"kernel_size={self.kernel_size}, stride={self.stride}"
+
+
+class AvgPool1d(Module):
+    """Average pooling over NCL tensors."""
+    def __init__(self, kernel_size: int, stride: Optional[int] = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.avg_pool1d(x, self.kernel_size, self.stride)
+
+    def extra_repr(self) -> str:
+        return f"kernel_size={self.kernel_size}, stride={self.stride}"
+
+
+class GlobalAvgPool2d(Module):
+    """Average over the spatial dimensions → ``(n, c)``."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.mean(axis=(2, 3))
+
+
+class GlobalAvgPool1d(Module):
+    """Average over the length dimension → ``(n, c)``."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.mean(axis=2)
+
+
+class UpsampleNearest2d(Module):
+    """Nearest-neighbour spatial up-sampling by an integer factor."""
+    def __init__(self, scale: int = 2):
+        super().__init__()
+        self.scale = scale
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.upsample_nearest2d(x, self.scale)
+
+    def extra_repr(self) -> str:
+        return f"scale={self.scale}"
+
+
+class Flatten(Module):
+    """Flatten all dimensions from ``start_dim`` onward."""
+    def __init__(self, start_dim: int = 1):
+        super().__init__()
+        self.start_dim = start_dim
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.flatten(start_dim=self.start_dim)

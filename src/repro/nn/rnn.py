@@ -1,0 +1,107 @@
+"""Recurrent layers: LSTM cell and multi-layer LSTM.
+
+Built for the paper's autoregressive CO2 forecasting task (two LSTM layers
+followed by a classifier/regressor layer).  Gate weights use the standard
+fused layout: ``weight_ih`` has shape ``(4 * hidden, input)`` with gate order
+``[input, forget, cell, output]``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..tensor import Tensor, ops, stack_tensors
+from ..tensor.random import get_rng
+from .module import Module, ModuleList, Parameter
+
+
+class LSTMCell(Module):
+    """Single LSTM step: ``(x_t, (h, c)) -> (h', c')``."""
+
+    def __init__(self, input_size: int, hidden_size: int):
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        bound = 1.0 / math.sqrt(hidden_size)
+        rng = get_rng()
+        self.weight_ih = Parameter(
+            rng.uniform(-bound, bound, size=(4 * hidden_size, input_size))
+        )
+        self.weight_hh = Parameter(
+            rng.uniform(-bound, bound, size=(4 * hidden_size, hidden_size))
+        )
+        self.bias_ih = Parameter(np.zeros(4 * hidden_size))
+        self.bias_hh = Parameter(np.zeros(4 * hidden_size))
+        # Initialize forget-gate bias to 1 (standard trick for gradient flow).
+        self.bias_ih.data[hidden_size : 2 * hidden_size] = 1.0
+
+    def forward(
+        self, x: Tensor, state: Tuple[Tensor, Tensor]
+    ) -> Tuple[Tensor, Tensor]:
+        h, c = state
+        gates = x @ self.weight_ih.T + self.bias_ih + h @ self.weight_hh.T + self.bias_hh
+        hs = self.hidden_size
+        i = ops.sigmoid(gates[:, 0 * hs : 1 * hs])
+        f = ops.sigmoid(gates[:, 1 * hs : 2 * hs])
+        g = ops.tanh(gates[:, 2 * hs : 3 * hs])
+        o = ops.sigmoid(gates[:, 3 * hs : 4 * hs])
+        c_new = f * c + i * g
+        h_new = o * ops.tanh(c_new)
+        return h_new, c_new
+
+    def extra_repr(self) -> str:
+        return f"input_size={self.input_size}, hidden_size={self.hidden_size}"
+
+
+class LSTM(Module):
+    """Multi-layer LSTM over batch-first sequences ``(n, t, features)``.
+
+    Returns the full output sequence of the last layer plus the final
+    ``(h, c)`` of every layer.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, num_layers: int = 1):
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.num_layers = num_layers
+        cells: List[LSTMCell] = []
+        for layer in range(num_layers):
+            in_size = input_size if layer == 0 else hidden_size
+            cells.append(LSTMCell(in_size, hidden_size))
+        self.cells = ModuleList(cells)
+
+    def forward(
+        self,
+        x: Tensor,
+        state: Optional[List[Tuple[Tensor, Tensor]]] = None,
+    ) -> Tuple[Tensor, List[Tuple[Tensor, Tensor]]]:
+        n, t = x.shape[0], x.shape[1]
+        if state is None:
+            state = [
+                (
+                    Tensor(np.zeros((n, self.hidden_size))),
+                    Tensor(np.zeros((n, self.hidden_size))),
+                )
+                for _ in range(self.num_layers)
+            ]
+        outputs: List[Tensor] = []
+        for step in range(t):
+            inp = x[:, step, :]
+            new_state: List[Tuple[Tensor, Tensor]] = []
+            for layer, cell in enumerate(self.cells):
+                h, c = cell(inp, state[layer])
+                new_state.append((h, c))
+                inp = h
+            state = new_state
+            outputs.append(inp)
+        return stack_tensors(outputs, axis=1), state
+
+    def extra_repr(self) -> str:
+        return (
+            f"input_size={self.input_size}, hidden_size={self.hidden_size}, "
+            f"num_layers={self.num_layers}"
+        )

@@ -1,0 +1,48 @@
+"""Quantization: binarization (IR-Net style), k-bit fake-quant, PACT.
+
+Models deploy at the paper's Table-I precisions — 1/1 (ResNet-18), 8/8 (M5,
+LSTM) and 1/4 (U-Net) — through the layer wrappers here, which also expose
+the NVM fault-injection hooks consumed by :mod:`repro.faults`.
+"""
+
+from .functional import (
+    ActivationFault,
+    QuantizedWeight,
+    WeightFault,
+    binarize_activation,
+    binarize_weight,
+    fake_quantize_activation,
+    fake_quantize_weight,
+    pact_quantize,
+    sign_with_zero_to_one,
+)
+from .layers import (
+    PACT,
+    QuantReLU,
+    QuantConv1d,
+    QuantConv2d,
+    QuantLinear,
+    QuantLSTMCell,
+    QuantizedComputeLayer,
+    SignActivation,
+)
+
+__all__ = [
+    "QuantizedWeight",
+    "WeightFault",
+    "ActivationFault",
+    "binarize_weight",
+    "binarize_activation",
+    "fake_quantize_weight",
+    "fake_quantize_activation",
+    "pact_quantize",
+    "sign_with_zero_to_one",
+    "QuantizedComputeLayer",
+    "QuantConv2d",
+    "QuantConv1d",
+    "QuantLinear",
+    "QuantLSTMCell",
+    "SignActivation",
+    "PACT",
+    "QuantReLU",
+]

@@ -1,0 +1,175 @@
+"""Quantization primitives with straight-through-estimator gradients.
+
+The paper deploys networks at three precisions (Table I): binarized weights
+and activations for ResNet-18 (IR-Net-style [18]), 8-bit weights/activations
+for M5 and the LSTM, and binary weights with PACT-quantized [19] 4-bit
+activations for U-Net.  This module provides the functional building blocks;
+the layer wrappers live in :mod:`repro.quant.layers`.
+
+Every function exposes the integer *codes* actually stored in NVM cells via
+the :class:`QuantizedWeight` record so fault models
+(:mod:`repro.faults`) can flip the very bits a crossbar would hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from ..tensor import Tensor
+
+#: Transform applied to quantized weight codes at forward time.  Receives a
+#: :class:`QuantizedWeight` and returns the perturbed integer codes.
+WeightFault = Callable[["QuantizedWeight"], np.ndarray]
+
+#: Transform applied to a float activation array at forward time (additive /
+#: multiplicative conductance-variation injection site for binary nets).
+ActivationFault = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass
+class QuantizedWeight:
+    """Snapshot of a layer's weight as stored in NVM cells.
+
+    Attributes
+    ----------
+    codes:
+        Integer codes; for ``bits == 1`` the codes are in ``{-1, +1}``, for
+        ``bits >= 2`` they are signed integers in
+        ``[-(2**(bits-1) - 1), 2**(bits-1) - 1]``.
+    scale:
+        Dequantization scale (broadcastable to ``codes``); the effective
+        weight is ``codes * scale``.
+    bits:
+        Bit width per weight.
+    """
+
+    codes: np.ndarray
+    scale: np.ndarray
+    bits: int
+
+    @property
+    def qmax(self) -> int:
+        return 1 if self.bits == 1 else 2 ** (self.bits - 1) - 1
+
+    def dequantize(self) -> np.ndarray:
+        return self.codes * self.scale
+
+
+def sign_with_zero_to_one(x: np.ndarray) -> np.ndarray:
+    """``sign`` mapping 0 to +1, as binarized hardware does."""
+    s = np.sign(x)
+    s[s == 0] = 1.0
+    return s
+
+
+def binarize_weight(
+    weight: Tensor, fault: Optional[WeightFault] = None
+) -> Tuple[Tensor, QuantizedWeight]:
+    """IR-Net-style weight binarization with per-output-channel scaling.
+
+    ``w_b = sign(w) * alpha`` with ``alpha = mean(|w|)`` over each output
+    filter.  The backward pass is a clipped straight-through estimator:
+    gradients pass (scaled by ``alpha``) where ``|w| <= 1``.
+    """
+    axes = tuple(range(1, weight.ndim))
+    alpha = np.abs(weight.data).mean(axis=axes, keepdims=True) if axes else np.abs(
+        weight.data
+    ).mean(keepdims=True)
+    codes = sign_with_zero_to_one(weight.data)
+    record = QuantizedWeight(codes=codes, scale=alpha, bits=1)
+    if fault is not None:
+        codes = fault(record)
+    data = codes * alpha
+    mask = np.abs(weight.data) <= 1.0
+
+    def backward(grad: np.ndarray) -> None:
+        weight._accumulate(grad * mask * alpha)
+
+    return Tensor._make(data, [weight], backward, "binarize_w"), record
+
+
+def binarize_activation(
+    x: Tensor, pre_fault: Optional[ActivationFault] = None
+) -> Tensor:
+    """Sign activation with hard-tanh straight-through gradient.
+
+    ``pre_fault`` is the conductance-variation injection site the paper uses
+    for binary NNs: noise is added to the *normalized activations before the
+    Sign(.)* (Section IV-A-2).  The fault perturbs the forward decision but
+    the gradient estimator still uses the clean input's clip mask.
+    """
+    values = x.data
+    if pre_fault is not None:
+        values = pre_fault(values)
+    data = sign_with_zero_to_one(values)
+    mask = np.abs(x.data) <= 1.0
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * mask)
+
+    return Tensor._make(data, [x], backward, "binarize_a")
+
+
+def fake_quantize_weight(
+    weight: Tensor, bits: int, fault: Optional[WeightFault] = None
+) -> Tuple[Tensor, QuantizedWeight]:
+    """Symmetric per-tensor k-bit fake quantization with STE gradient.
+
+    The scale maps ``max(|w|)`` to the largest code, matching how weights
+    are programmed into multi-level NVM cells before deployment.
+    """
+    if bits < 2:
+        raise ValueError("use binarize_weight for 1-bit weights")
+    qmax = 2 ** (bits - 1) - 1
+    max_abs = np.abs(weight.data).max()
+    scale = np.asarray(max_abs / qmax if max_abs > 0 else 1.0)
+    codes = np.clip(np.round(weight.data / scale), -qmax, qmax)
+    record = QuantizedWeight(codes=codes, scale=scale, bits=bits)
+    if fault is not None:
+        codes = fault(record)
+    data = codes * scale
+
+    def backward(grad: np.ndarray) -> None:
+        weight._accumulate(grad)  # STE: identity inside the clip range
+
+    return Tensor._make(data, [weight], backward, "fake_quant_w"), record
+
+
+def fake_quantize_activation(x: Tensor, bits: int, max_val: float = 1.0) -> Tensor:
+    """Unsigned k-bit activation quantization on ``[0, max_val]`` (STE)."""
+    levels = 2**bits - 1
+    clipped = np.clip(x.data, 0.0, max_val)
+    data = np.round(clipped / max_val * levels) / levels * max_val
+    mask = (x.data >= 0.0) & (x.data <= max_val)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * mask)
+
+    return Tensor._make(data, [x], backward, "fake_quant_a")
+
+
+def pact_quantize(x: Tensor, alpha: Tensor, bits: int) -> Tensor:
+    """PACT activation quantization [19] with a learnable clipping level.
+
+    ``y = round(clip(x, 0, alpha) / alpha * L) / L * alpha`` with
+    ``L = 2**bits - 1``.  Gradient w.r.t. ``x`` is the STE pass-through
+    inside ``[0, alpha]``; gradient w.r.t. ``alpha`` is 1 where ``x`` is
+    clipped high (the PACT paper's estimator).
+    """
+    levels = 2**bits - 1
+    a = float(alpha.data.item())
+    if a <= 0:
+        raise ValueError(f"PACT alpha must be positive, got {a}")
+    clipped = np.clip(x.data, 0.0, a)
+    data = np.round(clipped / a * levels) / levels * a
+    inside = (x.data >= 0.0) & (x.data < a)
+    above = x.data >= a
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * inside)
+        alpha._accumulate(np.asarray((grad * above).sum()).reshape(alpha.shape))
+
+    return Tensor._make(data, [x, alpha], backward, "pact")

@@ -1,0 +1,275 @@
+"""Quantized layer wrappers: the IMC-mapped compute layers.
+
+These layers model the part of the network whose weights physically live in
+NVM crossbar cells.  Each exposes two fault-injection hooks used by
+:mod:`repro.faults`:
+
+* ``weight_fault`` — applied to the quantized integer weight codes on every
+  forward pass (bit flips, stuck-at faults, conductance variation on
+  multi-bit weights);
+* ``last_quantized`` — the most recent :class:`~repro.quant.functional.QuantizedWeight`
+  record, letting campaigns and the IMC simulator inspect what would be
+  programmed into the array.
+
+Binary activation faults are injected through
+:class:`SignActivation.pre_fault` (noise on normalized activations before
+the sign, per Section IV-A-2 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..tensor import Tensor
+from ..tensor import conv as F
+from ..nn import init
+from ..nn.module import Module, Parameter
+from .functional import (
+    ActivationFault,
+    QuantizedWeight,
+    WeightFault,
+    binarize_activation,
+    binarize_weight,
+    fake_quantize_weight,
+)
+
+
+class QuantizedComputeLayer(Module):
+    """Base class for layers whose weights are programmed into NVM cells."""
+
+    def __init__(self, weight_bits: int):
+        super().__init__()
+        self.weight_bits = int(weight_bits)
+        self.weight_fault: Optional[WeightFault] = None
+        self.last_quantized: Optional[QuantizedWeight] = None
+
+    def _quantize(self, weight: Tensor) -> Tensor:
+        if self.weight_bits == 1:
+            q, record = binarize_weight(weight, fault=self.weight_fault)
+        else:
+            q, record = fake_quantize_weight(
+                weight, self.weight_bits, fault=self.weight_fault
+            )
+        self.last_quantized = record
+        return q
+
+
+class QuantConv2d(QuantizedComputeLayer):
+    """Conv2d whose weights are quantized (or binarized) every forward."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int | tuple,
+        stride: int | tuple = 1,
+        padding: int | tuple = 0,
+        bias: bool = False,
+        weight_bits: int = 1,
+    ):
+        super().__init__(weight_bits)
+        kh, kw = F._pair(kernel_size)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = (kh, kw)
+        self.stride = stride
+        self.padding = padding
+        self.weight = Parameter(np.empty((out_channels, in_channels, kh, kw)))
+        init.kaiming_normal_(self.weight)
+        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        wq = self._quantize(self.weight)
+        return F.conv2d(x, wq, self.bias, stride=self.stride, padding=self.padding)
+
+    def extra_repr(self) -> str:
+        return (
+            f"{self.in_channels}, {self.out_channels}, "
+            f"kernel_size={self.kernel_size}, stride={self.stride}, "
+            f"padding={self.padding}, weight_bits={self.weight_bits}"
+        )
+
+
+class QuantConv1d(QuantizedComputeLayer):
+    """Conv1d with quantized weights (M5 audio model, 8-bit)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = False,
+        weight_bits: int = 8,
+    ):
+        super().__init__(weight_bits)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = int(kernel_size)
+        self.stride = stride
+        self.padding = padding
+        self.weight = Parameter(np.empty((out_channels, in_channels, kernel_size)))
+        init.kaiming_normal_(self.weight)
+        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        wq = self._quantize(self.weight)
+        return F.conv1d(x, wq, self.bias, stride=self.stride, padding=self.padding)
+
+    def extra_repr(self) -> str:
+        return (
+            f"{self.in_channels}, {self.out_channels}, "
+            f"kernel_size={self.kernel_size}, stride={self.stride}, "
+            f"weight_bits={self.weight_bits}"
+        )
+
+
+class QuantLinear(QuantizedComputeLayer):
+    """Linear layer with quantized weights."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        weight_bits: int = 8,
+    ):
+        super().__init__(weight_bits)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(np.empty((out_features, in_features)))
+        init.kaiming_uniform_(self.weight, gain=1.0)
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        wq = self._quantize(self.weight)
+        out = x @ wq.T
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def extra_repr(self) -> str:
+        return (
+            f"in_features={self.in_features}, out_features={self.out_features}, "
+            f"weight_bits={self.weight_bits}"
+        )
+
+
+class QuantLSTMCell(QuantizedComputeLayer):
+    """LSTM cell whose input/hidden weight matrices are quantized.
+
+    Used by the 8-bit LSTM forecaster; the two gate matrices are quantized
+    independently (they occupy separate crossbar tiles).
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, weight_bits: int = 8):
+        super().__init__(weight_bits)
+        import math
+
+        from ..tensor.random import get_rng
+        from ..tensor import ops
+
+        self._ops = ops
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        bound = 1.0 / math.sqrt(hidden_size)
+        rng = get_rng()
+        self.weight_ih = Parameter(
+            rng.uniform(-bound, bound, size=(4 * hidden_size, input_size))
+        )
+        self.weight_hh = Parameter(
+            rng.uniform(-bound, bound, size=(4 * hidden_size, hidden_size))
+        )
+        self.bias_ih = Parameter(np.zeros(4 * hidden_size))
+        self.bias_hh = Parameter(np.zeros(4 * hidden_size))
+        self.bias_ih.data[hidden_size : 2 * hidden_size] = 1.0
+        # Independent fault hook for the recurrent matrix: the two gate
+        # matrices occupy separate crossbar tiles, so fault campaigns attach
+        # a dedicated (independently frozen) fault model to each.
+        self.weight_fault_hh: Optional[WeightFault] = None
+        self.last_quantized_hh: Optional[QuantizedWeight] = None
+
+    def forward(self, x: Tensor, state):
+        h, c = state
+        ops = self._ops
+        w_ih, rec_ih = fake_quantize_weight(
+            self.weight_ih, self.weight_bits, fault=self.weight_fault
+        )
+        w_hh, rec_hh = fake_quantize_weight(
+            self.weight_hh, self.weight_bits, fault=self.weight_fault_hh
+        )
+        self.last_quantized = rec_ih
+        self.last_quantized_hh = rec_hh
+        gates = x @ w_ih.T + self.bias_ih + h @ w_hh.T + self.bias_hh
+        hs = self.hidden_size
+        i = ops.sigmoid(gates[:, 0 * hs : 1 * hs])
+        f = ops.sigmoid(gates[:, 1 * hs : 2 * hs])
+        g = ops.tanh(gates[:, 2 * hs : 3 * hs])
+        o = ops.sigmoid(gates[:, 3 * hs : 4 * hs])
+        c_new = f * c + i * g
+        h_new = o * ops.tanh(c_new)
+        return h_new, c_new
+
+    def extra_repr(self) -> str:
+        return (
+            f"input_size={self.input_size}, hidden_size={self.hidden_size}, "
+            f"weight_bits={self.weight_bits}"
+        )
+
+
+class SignActivation(Module):
+    """Binary (sign) activation with straight-through gradient.
+
+    ``pre_fault`` injects additive/multiplicative conductance variation on
+    the normalized pre-activation — the paper's injection site for binary
+    networks.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.pre_fault: Optional[ActivationFault] = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return binarize_activation(x, pre_fault=self.pre_fault)
+
+
+class PACT(Module):
+    """PACT [19] activation: learnable clip + k-bit quantization."""
+
+    def __init__(self, bits: int = 4, alpha_init: float = 6.0):
+        super().__init__()
+        self.bits = int(bits)
+        self.alpha = Parameter(np.array([alpha_init]))
+
+    def forward(self, x: Tensor) -> Tensor:
+        from .functional import pact_quantize
+
+        return pact_quantize(x, self.alpha, self.bits)
+
+    def extra_repr(self) -> str:
+        return f"bits={self.bits}"
+
+
+class QuantReLU(Module):
+    """ReLU followed by unsigned k-bit activation quantization.
+
+    The activation path of the 8/8-bit models (M5, LSTM head): ReLU output
+    is uniformly quantized on ``[0, max_val]`` with a straight-through
+    gradient, modelling the ADC/requantization step after the crossbar.
+    """
+
+    def __init__(self, bits: int = 8, max_val: float = 4.0):
+        super().__init__()
+        self.bits = int(bits)
+        self.max_val = float(max_val)
+
+    def forward(self, x: Tensor) -> Tensor:
+        from .functional import fake_quantize_activation
+
+        return fake_quantize_activation(x, self.bits, max_val=self.max_val)
+
+    def extra_repr(self) -> str:
+        return f"bits={self.bits}, max_val={self.max_val}"

@@ -1,0 +1,284 @@
+"""Differentiable convolution, pooling and up-sampling primitives.
+
+Convolutions use the im2col / GEMM formulation: the padded input is viewed
+through :func:`numpy.lib.stride_tricks.as_strided` as sliding windows, the
+windows are flattened into a matrix, and one large matmul computes all output
+positions.  The backward pass reuses the saved column matrix for the weight
+gradient and scatters the column gradient back into the input with a small
+loop over kernel positions (no ``np.add.at`` on fancy indices, which would be
+orders of magnitude slower).
+
+These functions are the computational kernels behind
+:class:`repro.nn.conv.Conv2d` and friends.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import as_strided
+
+from .tensor import Tensor, as_tensor
+
+
+def _pair(value) -> Tuple[int, int]:
+    if isinstance(value, (tuple, list)):
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+def _im2col2d(
+    xp: np.ndarray, kh: int, kw: int, stride_h: int, stride_w: int
+) -> Tuple[np.ndarray, int, int]:
+    """Flatten sliding windows of a padded NCHW array into a matrix.
+
+    Returns ``(cols, oh, ow)`` where ``cols`` has shape
+    ``(n * oh * ow, c * kh * kw)``.
+    """
+    n, c, hp, wp = xp.shape
+    oh = (hp - kh) // stride_h + 1
+    ow = (wp - kw) // stride_w + 1
+    s0, s1, s2, s3 = xp.strides
+    windows = as_strided(
+        xp,
+        shape=(n, c, kh, kw, oh, ow),
+        strides=(s0, s1, s2, s3, s2 * stride_h, s3 * stride_w),
+    )
+    cols = np.ascontiguousarray(windows.transpose(0, 4, 5, 1, 2, 3))
+    return cols.reshape(n * oh * ow, c * kh * kw), oh, ow
+
+
+def _col2im2d(
+    dcols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride_h: int,
+    stride_w: int,
+    pad_h: int,
+    pad_w: int,
+    oh: int,
+    ow: int,
+) -> np.ndarray:
+    """Scatter column gradients back to the (unpadded) input gradient."""
+    n, c, h, w = x_shape
+    hp, wp = h + 2 * pad_h, w + 2 * pad_w
+    dxp = np.zeros((n, c, hp, wp), dtype=dcols.dtype)
+    dcols = dcols.reshape(n, oh, ow, c, kh, kw)
+    for ki in range(kh):
+        for kj in range(kw):
+            dxp[
+                :,
+                :,
+                ki : ki + stride_h * oh : stride_h,
+                kj : kj + stride_w * ow : stride_w,
+            ] += dcols[:, :, :, :, ki, kj].transpose(0, 3, 1, 2)
+    if pad_h or pad_w:
+        return dxp[:, :, pad_h : hp - pad_h, pad_w : wp - pad_w]
+    return dxp
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: int | Tuple[int, int] = 1,
+    padding: int | Tuple[int, int] = 0,
+) -> Tensor:
+    """2-D cross-correlation over an NCHW tensor.
+
+    Parameters
+    ----------
+    x: ``(n, c_in, h, w)``
+    weight: ``(c_out, c_in, kh, kw)``
+    bias: ``(c_out,)`` or None
+    """
+    x, weight = as_tensor(x), as_tensor(weight)
+    sh, sw = _pair(stride)
+    ph, pw = _pair(padding)
+    n, c, h, w = x.shape
+    c_out, c_in, kh, kw = weight.shape
+    if c_in != c:
+        raise ValueError(f"conv2d channel mismatch: input {c} vs weight {c_in}")
+
+    xp = np.pad(x.data, ((0, 0), (0, 0), (ph, ph), (pw, pw))) if (ph or pw) else x.data
+    cols, oh, ow = _im2col2d(xp, kh, kw, sh, sw)
+    w_mat = weight.data.reshape(c_out, -1)
+    out_mat = cols @ w_mat.T
+    if bias is not None:
+        out_mat = out_mat + bias.data
+    out = out_mat.reshape(n, oh, ow, c_out).transpose(0, 3, 1, 2)
+    parents = [x, weight] + ([bias] if bias is not None else [])
+
+    def backward(grad: np.ndarray) -> None:
+        gmat = np.ascontiguousarray(grad.transpose(0, 2, 3, 1)).reshape(-1, c_out)
+        if weight.requires_grad:
+            weight._accumulate((gmat.T @ cols).reshape(weight.shape))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(gmat.sum(axis=0))
+        if x.requires_grad:
+            dcols = gmat @ w_mat
+            x._accumulate(
+                _col2im2d(dcols, x.shape, kh, kw, sh, sw, ph, pw, oh, ow)
+            )
+
+    return Tensor._make(out, parents, backward, "conv2d")
+
+
+def conv1d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """1-D cross-correlation over an NCL tensor.
+
+    Implemented by viewing the signal as an NC1L image and reusing
+    :func:`conv2d`.
+    """
+    x, weight = as_tensor(x), as_tensor(weight)
+    x4 = x.reshape(x.shape[0], x.shape[1], 1, x.shape[2])
+    w4 = weight.reshape(weight.shape[0], weight.shape[1], 1, weight.shape[2])
+    out = conv2d(x4, w4, bias=bias, stride=(1, stride), padding=(0, padding))
+    return out.reshape(out.shape[0], out.shape[1], out.shape[3])
+
+
+def conv_transpose2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: int | Tuple[int, int] = 1,
+) -> Tensor:
+    """2-D transposed convolution (fractionally-strided convolution).
+
+    Parameters
+    ----------
+    x: ``(n, c_in, h, w)``
+    weight: ``(c_in, c_out, kh, kw)`` (PyTorch layout)
+
+    Output spatial size is ``(h - 1) * stride + k``.
+    """
+    x, weight = as_tensor(x), as_tensor(weight)
+    sh, sw = _pair(stride)
+    n, c_in, h, w = x.shape
+    wc_in, c_out, kh, kw = weight.shape
+    if wc_in != c_in:
+        raise ValueError(f"conv_transpose2d channel mismatch: {c_in} vs {wc_in}")
+    ho = (h - 1) * sh + kh
+    wo = (w - 1) * sw + kw
+
+    # Forward is the col2im scatter of (x projected through the weights).
+    x_mat = np.ascontiguousarray(x.data.transpose(0, 2, 3, 1)).reshape(-1, c_in)
+    w_mat = weight.data.reshape(c_in, c_out * kh * kw)
+    dcols = x_mat @ w_mat  # (n*h*w, c_out*kh*kw)
+    out = _col2im2d(dcols, (n, c_out, ho, wo), kh, kw, sh, sw, 0, 0, h, w)
+    if bias is not None:
+        out = out + bias.data.reshape(1, -1, 1, 1)
+    parents = [x, weight] + ([bias] if bias is not None else [])
+
+    def backward(grad: np.ndarray) -> None:
+        # Backward is the im2col gather (ordinary convolution structure).
+        gcols, goh, gow = _im2col2d(grad, kh, kw, sh, sw)
+        assert (goh, gow) == (h, w)
+        if x.requires_grad:
+            gx_mat = gcols @ w_mat.T  # (n*h*w, c_in)
+            x._accumulate(gx_mat.reshape(n, h, w, c_in).transpose(0, 3, 1, 2))
+        if weight.requires_grad:
+            gw = x_mat.T @ gcols  # (c_in, c_out*kh*kw)
+            weight._accumulate(gw.reshape(weight.shape))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(0, 2, 3)))
+
+    return Tensor._make(out, parents, backward, "conv_transpose2d")
+
+
+def max_pool2d(
+    x: Tensor, kernel_size: int | Tuple[int, int], stride: Optional[int] = None
+) -> Tensor:
+    """Max pooling over an NCHW tensor (no padding)."""
+    x = as_tensor(x)
+    kh, kw = _pair(kernel_size)
+    sh, sw = _pair(stride if stride is not None else kernel_size)
+    n, c, h, w = x.shape
+    oh = (h - kh) // sh + 1
+    ow = (w - kw) // sw + 1
+    s0, s1, s2, s3 = x.data.strides
+    windows = as_strided(
+        x.data,
+        shape=(n, c, oh, ow, kh, kw),
+        strides=(s0, s1, s2 * sh, s3 * sw, s2, s3),
+    )
+    flat = windows.reshape(n, c, oh, ow, kh * kw)
+    argmax = flat.argmax(axis=-1)
+    out = np.take_along_axis(flat, argmax[..., None], axis=-1)[..., 0]
+
+    def backward(grad: np.ndarray) -> None:
+        dx = np.zeros_like(x.data)
+        for idx in range(kh * kw):
+            ki, kj = divmod(idx, kw)
+            mask = argmax == idx
+            dx[:, :, ki : ki + sh * oh : sh, kj : kj + sw * ow : sw] += grad * mask
+        x._accumulate(dx)
+
+    return Tensor._make(out.copy(), [x], backward, "max_pool2d")
+
+
+def avg_pool2d(
+    x: Tensor, kernel_size: int | Tuple[int, int], stride: Optional[int] = None
+) -> Tensor:
+    """Average pooling over an NCHW tensor (no padding)."""
+    x = as_tensor(x)
+    kh, kw = _pair(kernel_size)
+    sh, sw = _pair(stride if stride is not None else kernel_size)
+    n, c, h, w = x.shape
+    oh = (h - kh) // sh + 1
+    ow = (w - kw) // sw + 1
+    s0, s1, s2, s3 = x.data.strides
+    windows = as_strided(
+        x.data,
+        shape=(n, c, oh, ow, kh, kw),
+        strides=(s0, s1, s2 * sh, s3 * sw, s2, s3),
+    )
+    out = windows.mean(axis=(-1, -2))
+    scale = 1.0 / (kh * kw)
+
+    def backward(grad: np.ndarray) -> None:
+        dx = np.zeros_like(x.data)
+        g = grad * scale
+        for ki in range(kh):
+            for kj in range(kw):
+                dx[:, :, ki : ki + sh * oh : sh, kj : kj + sw * ow : sw] += g
+        x._accumulate(dx)
+
+    return Tensor._make(out, [x], backward, "avg_pool2d")
+
+
+def max_pool1d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Tensor:
+    """Max pooling over an NCL tensor."""
+    x = as_tensor(x)
+    x4 = x.reshape(x.shape[0], x.shape[1], 1, x.shape[2])
+    out = max_pool2d(x4, (1, kernel_size), (1, stride if stride else kernel_size))
+    return out.reshape(out.shape[0], out.shape[1], out.shape[3])
+
+
+def avg_pool1d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Tensor:
+    """Average pooling over an NCL tensor."""
+    x = as_tensor(x)
+    x4 = x.reshape(x.shape[0], x.shape[1], 1, x.shape[2])
+    out = avg_pool2d(x4, (1, kernel_size), (1, stride if stride else kernel_size))
+    return out.reshape(out.shape[0], out.shape[1], out.shape[3])
+
+
+def upsample_nearest2d(x: Tensor, scale: int = 2) -> Tensor:
+    """Nearest-neighbour up-sampling of an NCHW tensor by an integer factor."""
+    x = as_tensor(x)
+    data = x.data.repeat(scale, axis=2).repeat(scale, axis=3)
+    n, c, h, w = x.shape
+
+    def backward(grad: np.ndarray) -> None:
+        g = grad.reshape(n, c, h, scale, w, scale).sum(axis=(3, 5))
+        x._accumulate(g)
+
+    return Tensor._make(data, [x], backward, "upsample_nearest2d")

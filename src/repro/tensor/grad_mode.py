@@ -1,0 +1,59 @@
+"""Global gradient-recording mode.
+
+The autograd engine records an operation graph only while gradient mode is
+enabled.  Inference-heavy code (Monte Carlo fault campaigns, Bayesian
+sampling) runs inside :func:`no_grad` to avoid building graphs it will never
+backpropagate through.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator
+
+_GRAD_ENABLED = True
+
+
+def is_grad_enabled() -> bool:
+    """Return True when operations should record autograd history."""
+    return _GRAD_ENABLED
+
+
+def set_grad_enabled(enabled: bool) -> None:
+    """Globally enable or disable autograd recording."""
+    global _GRAD_ENABLED
+    _GRAD_ENABLED = bool(enabled)
+
+
+@contextlib.contextmanager
+def no_grad() -> Iterator[None]:
+    """Context manager that disables autograd recording.
+
+    Example
+    -------
+    >>> from repro.tensor import Tensor, no_grad
+    >>> x = Tensor([1.0], requires_grad=True)
+    >>> with no_grad():
+    ...     y = x * 2.0
+    >>> y.requires_grad
+    False
+    """
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+@contextlib.contextmanager
+def enable_grad() -> Iterator[None]:
+    """Context manager that re-enables autograd inside a ``no_grad`` block."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = True
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous

@@ -1,0 +1,37 @@
+"""Seedable random-number management for the whole library.
+
+Every stochastic component (parameter initialization, dropout masks, fault
+injection, dataset synthesis, device models) draws from generators created
+here, so experiments are reproducible end to end from a single seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_GLOBAL_SEED = 0
+_GENERATOR = np.random.default_rng(_GLOBAL_SEED)
+
+
+def manual_seed(seed: int) -> None:
+    """Reset the library-wide generator to a deterministic state."""
+    global _GLOBAL_SEED, _GENERATOR
+    _GLOBAL_SEED = int(seed)
+    _GENERATOR = np.random.default_rng(_GLOBAL_SEED)
+
+
+def get_rng() -> np.random.Generator:
+    """Return the library-wide generator (advanced by every draw)."""
+    return _GENERATOR
+
+
+def spawn_rng(tag: int | str = 0) -> np.random.Generator:
+    """Return an independent generator derived from the global seed.
+
+    Useful when a component (e.g. one Monte Carlo chip instance) needs its
+    own stream that does not perturb the global sequence.
+    """
+    if isinstance(tag, str):
+        tag = abs(hash(tag)) % (2**32)
+    seq = np.random.SeedSequence(entropy=_GLOBAL_SEED, spawn_key=(int(tag),))
+    return np.random.default_rng(seq)

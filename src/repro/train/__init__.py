@@ -1,0 +1,47 @@
+"""Training substrate: losses, optimizers, schedules, metrics, trainer."""
+
+from .losses import (
+    bce_with_logits,
+    cross_entropy,
+    dice_loss,
+    l1_loss,
+    l2_regularization,
+    mse_loss,
+    nll_loss,
+    segmentation_loss,
+)
+from .metrics import (
+    accuracy,
+    binary_miou,
+    expected_calibration_error,
+    improvement_percent,
+    nll_from_probs,
+    rmse,
+)
+from .optim import SGD, Adam, CosineSchedule, Optimizer, StepSchedule
+from .trainer import History, Trainer, evaluate_batched
+
+__all__ = [
+    "cross_entropy",
+    "nll_loss",
+    "mse_loss",
+    "l1_loss",
+    "bce_with_logits",
+    "dice_loss",
+    "segmentation_loss",
+    "l2_regularization",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "CosineSchedule",
+    "StepSchedule",
+    "accuracy",
+    "rmse",
+    "binary_miou",
+    "nll_from_probs",
+    "expected_calibration_error",
+    "improvement_percent",
+    "Trainer",
+    "History",
+    "evaluate_batched",
+]

@@ -1,0 +1,79 @@
+"""Loss functions (all return scalar Tensors, differentiable)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor, ops
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean cross-entropy from raw logits and integer labels."""
+    labels = np.asarray(labels, dtype=np.int64)
+    log_probs = ops.log_softmax(logits, axis=-1)
+    n = logits.shape[0]
+    picked = log_probs[np.arange(n), labels]
+    return -picked.mean()
+
+
+def nll_loss(log_probs: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean negative log-likelihood from log-probabilities."""
+    labels = np.asarray(labels, dtype=np.int64)
+    n = log_probs.shape[0]
+    return -log_probs[np.arange(n), labels].mean()
+
+
+def mse_loss(pred: Tensor, target: np.ndarray | Tensor) -> Tensor:
+    """Mean squared error."""
+    target_t = target if isinstance(target, Tensor) else Tensor(target)
+    diff = pred - target_t
+    return (diff * diff).mean()
+
+
+def l1_loss(pred: Tensor, target: np.ndarray | Tensor) -> Tensor:
+    """Mean absolute error."""
+    target_t = target if isinstance(target, Tensor) else Tensor(target)
+    return ops.abs_(pred - target_t).mean()
+
+
+def bce_with_logits(logits: Tensor, target: np.ndarray | Tensor) -> Tensor:
+    """Binary cross-entropy on logits, numerically stable.
+
+    Uses ``max(x, 0) - x*t + log(1 + exp(-|x|))``.
+    """
+    target_t = target if isinstance(target, Tensor) else Tensor(target)
+    relu_x = ops.relu(logits)
+    softplus = ops.log(1.0 + ops.exp(-ops.abs_(logits)))
+    return (relu_x - logits * target_t + softplus).mean()
+
+
+def dice_loss(logits: Tensor, target: np.ndarray | Tensor, eps: float = 1.0) -> Tensor:
+    """Soft Dice loss on sigmoid probabilities (binary segmentation)."""
+    target_t = target if isinstance(target, Tensor) else Tensor(target)
+    probs = ops.sigmoid(logits)
+    axes = tuple(range(1, logits.ndim))
+    intersection = (probs * target_t).sum(axis=axes)
+    denom = probs.sum(axis=axes) + target_t.sum(axis=axes)
+    dice = (2.0 * intersection + eps) / (denom + eps)
+    return 1.0 - dice.mean()
+
+
+def segmentation_loss(
+    logits: Tensor, target: np.ndarray | Tensor, dice_weight: float = 0.5
+) -> Tensor:
+    """BCE + Dice combination used for the vessel-segmentation task."""
+    return (1.0 - dice_weight) * bce_with_logits(logits, target) + dice_weight * dice_loss(
+        logits, target
+    )
+
+
+def l2_regularization(parameters, weight_decay: float) -> Tensor:
+    """Explicit L2 penalty (the Bayesian interpretation of [17] pairs
+    dropout with weight decay)."""
+    total = None
+    for p in parameters:
+        term = (p * p).sum()
+        total = term if total is None else total + term
+    if total is None:
+        return Tensor(0.0)
+    return weight_decay * total

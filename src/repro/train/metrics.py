@@ -1,0 +1,79 @@
+"""Task metrics: accuracy, mIoU, RMSE, NLL, calibration error."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of correct hard predictions."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.ndim > labels.ndim:
+        predictions = predictions.argmax(axis=-1)
+    return float((predictions == labels).mean())
+
+
+def rmse(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Root mean squared error."""
+    predictions = np.asarray(predictions).reshape(-1)
+    targets = np.asarray(targets).reshape(-1)
+    return float(np.sqrt(((predictions - targets) ** 2).mean()))
+
+
+def binary_miou(pred_mask: np.ndarray, true_mask: np.ndarray) -> float:
+    """Mean IoU over the two classes of a binary segmentation.
+
+    ``mIoU = (IoU_foreground + IoU_background) / 2`` — the metric reported
+    for DRIVE in Table I.
+    """
+    pred = np.asarray(pred_mask).astype(bool)
+    true = np.asarray(true_mask).astype(bool)
+    ious = []
+    for cls_pred, cls_true in ((pred, true), (~pred, ~true)):
+        union = (cls_pred | cls_true).sum()
+        if union == 0:
+            ious.append(1.0)
+        else:
+            ious.append((cls_pred & cls_true).sum() / union)
+    return float(np.mean(ious))
+
+
+def nll_from_probs(probs: np.ndarray, labels: np.ndarray, eps: float = 1e-12) -> float:
+    """Mean negative log-likelihood of integer labels under ``probs``."""
+    probs = np.asarray(probs)
+    labels = np.asarray(labels, dtype=np.int64)
+    picked = probs[np.arange(len(labels)), labels]
+    return float(-np.log(picked + eps).mean())
+
+
+def expected_calibration_error(
+    probs: np.ndarray, labels: np.ndarray, n_bins: int = 10
+) -> float:
+    """ECE over equal-width confidence bins."""
+    probs = np.asarray(probs)
+    labels = np.asarray(labels, dtype=np.int64)
+    confidences = probs.max(axis=-1)
+    predictions = probs.argmax(axis=-1)
+    correct = predictions == labels
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    ece = 0.0
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        mask = (confidences > lo) & (confidences <= hi)
+        if not mask.any():
+            continue
+        gap = abs(correct[mask].mean() - confidences[mask].mean())
+        ece += mask.mean() * gap
+    return float(ece)
+
+
+def improvement_percent(baseline: float, improved: float, higher_is_better: bool = True) -> float:
+    """Relative improvement in percent, as reported in the paper's claims.
+
+    For higher-is-better metrics: ``(improved - baseline) / baseline``.
+    For lower-is-better metrics (RMSE): ``(baseline - improved) / baseline``.
+    """
+    if baseline == 0:
+        return 0.0
+    delta = improved - baseline if higher_is_better else baseline - improved
+    return float(100.0 * delta / abs(baseline))

@@ -1,0 +1,15 @@
+"""Uncertainty estimation and OOD detection (Fig. 7 protocol)."""
+
+from .ood import (
+    OODEvaluation,
+    ShiftStageResult,
+    evaluate_shift_sweep,
+    nll_threshold,
+)
+
+__all__ = [
+    "OODEvaluation",
+    "ShiftStageResult",
+    "evaluate_shift_sweep",
+    "nll_threshold",
+]

@@ -1,0 +1,17 @@
+"""Shared fixtures: deterministic seeding for every test."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import manual_seed
+
+
+@pytest.fixture(autouse=True)
+def _seed_everything():
+    manual_seed(1234)
+    yield
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(99)

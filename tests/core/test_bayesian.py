@@ -1,0 +1,173 @@
+"""Tests for Monte Carlo Bayesian inference wrappers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import (
+    BayesianClassifier,
+    BayesianRegressor,
+    InvertedNorm,
+    enable_stochastic_inference,
+    mc_forward,
+    stochastic_inference,
+)
+from repro.tensor import Tensor, manual_seed
+
+
+def make_stochastic_classifier(in_dim=6, classes=4):
+    return nn.Sequential(
+        nn.Linear(in_dim, 32),
+        InvertedNorm(32, p=0.4, granularity="element"),
+        nn.ReLU(),
+        nn.Dropout(0.3),
+        nn.Linear(32, classes),
+    )
+
+
+class TestStochasticInferenceSwitch:
+    def test_enable_sets_all_stochastic_modules(self):
+        model = make_stochastic_classifier()
+        enable_stochastic_inference(model, True)
+        flags = [
+            m.stochastic_inference
+            for m in model.modules()
+            if isinstance(m, nn.StochasticModule)
+        ]
+        assert flags and all(flags)
+
+    def test_context_manager_restores(self):
+        model = make_stochastic_classifier()
+        with stochastic_inference(model):
+            inner_flags = [
+                m.stochastic_inference
+                for m in model.modules()
+                if isinstance(m, nn.StochasticModule)
+            ]
+        outer_flags = [
+            m.stochastic_inference
+            for m in model.modules()
+            if isinstance(m, nn.StochasticModule)
+        ]
+        assert all(inner_flags) and not any(outer_flags)
+
+
+class TestMCForward:
+    def test_shape(self, rng):
+        model = make_stochastic_classifier()
+        out = mc_forward(model, Tensor(rng.normal(size=(5, 6))), 7)
+        assert out.shape == (7, 5, 4)
+
+    def test_samples_differ(self, rng):
+        model = make_stochastic_classifier()
+        out = mc_forward(model, Tensor(rng.normal(size=(5, 6))), 4)
+        assert not np.allclose(out[0], out[1])
+
+    def test_no_graph_is_built(self, rng):
+        model = make_stochastic_classifier()
+        mc_forward(model, Tensor(rng.normal(size=(3, 6))), 2)
+        assert all(p.grad is None for p in model.parameters())
+
+    def test_custom_forward(self, rng):
+        model = make_stochastic_classifier()
+        out = mc_forward(
+            model, Tensor(rng.normal(size=(3, 6))), 2, forward=lambda x: model(x) * 2.0
+        )
+        assert out.shape == (2, 3, 4)
+
+
+class TestBayesianClassifier:
+    def test_probabilities_valid(self, rng):
+        clf = BayesianClassifier(make_stochastic_classifier(), num_samples=5)
+        proba = clf.predict_proba(Tensor(rng.normal(size=(8, 6))))
+        assert proba.shape == (8, 4)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+        assert (proba >= 0).all()
+
+    def test_predict_labels_in_range(self, rng):
+        clf = BayesianClassifier(make_stochastic_classifier(), num_samples=3)
+        labels = clf.predict(Tensor(rng.normal(size=(8, 6))))
+        assert set(labels) <= set(range(4))
+
+    def test_nll_nonnegative(self, rng):
+        clf = BayesianClassifier(make_stochastic_classifier(), num_samples=3)
+        x = Tensor(rng.normal(size=(8, 6)))
+        assert clf.nll(x, np.zeros(8, dtype=int)) >= 0.0
+
+    def test_per_input_nll_is_neg_log_confidence(self, rng):
+        clf = BayesianClassifier(make_stochastic_classifier(), num_samples=5)
+        x = Tensor(rng.normal(size=(8, 6)))
+        manual_seed(42)
+        nll = clf.per_input_nll(x)
+        manual_seed(42)
+        conf = clf.predict_proba(x).max(axis=-1)
+        np.testing.assert_allclose(nll, -np.log(conf + 1e-12))
+        assert nll.shape == (8,) and (nll >= 0).all()
+
+    def test_entropy_and_mutual_information(self, rng):
+        clf = BayesianClassifier(make_stochastic_classifier(), num_samples=6)
+        x = Tensor(rng.normal(size=(5, 6)))
+        entropy = clf.predictive_entropy(x)
+        mi = clf.mutual_information(x)
+        assert entropy.shape == (5,) and mi.shape == (5,)
+        assert (entropy >= -1e-9).all()
+        assert (mi >= -1e-6).all()  # MI is nonnegative up to MC noise
+        assert (mi <= entropy + 1e-6).all()
+
+    def test_accuracy_bounds(self, rng):
+        clf = BayesianClassifier(make_stochastic_classifier(), num_samples=3)
+        acc = clf.accuracy(Tensor(rng.normal(size=(10, 6))), np.zeros(10, dtype=int))
+        assert 0.0 <= acc <= 1.0
+
+    def test_invalid_num_samples(self):
+        with pytest.raises(ValueError):
+            BayesianClassifier(make_stochastic_classifier(), num_samples=0)
+
+    def test_more_samples_reduce_prediction_variance(self, rng):
+        manual_seed(0)
+        model = make_stochastic_classifier()
+        x = Tensor(rng.normal(size=(16, 6)))
+
+        def spread(num_samples):
+            probs = [
+                BayesianClassifier(model, num_samples).predict_proba(x)
+                for _ in range(6)
+            ]
+            return np.std(np.stack(probs), axis=0).mean()
+
+        assert spread(20) < spread(1)
+
+
+class TestBayesianRegressor:
+    def _model(self):
+        return nn.Sequential(
+            nn.Linear(3, 16),
+            InvertedNorm(16, p=0.4, granularity="element"),
+            nn.Tanh(),
+            nn.Linear(16, 1),
+        )
+
+    def test_predict_shape(self, rng):
+        reg = BayesianRegressor(self._model(), num_samples=4)
+        out = reg.predict(Tensor(rng.normal(size=(6, 3))))
+        assert out.shape == (6, 1)
+
+    def test_predict_with_std(self, rng):
+        reg = BayesianRegressor(self._model(), num_samples=8)
+        mean, std = reg.predict_with_std(Tensor(rng.normal(size=(6, 3))))
+        assert mean.shape == std.shape == (6, 1)
+        assert (std >= 0).all()
+        assert std.max() > 0  # stochastic layers produce spread
+
+    def test_rmse(self, rng):
+        reg = BayesianRegressor(self._model(), num_samples=4)
+        x = Tensor(rng.normal(size=(6, 3)))
+        value = reg.rmse(x, np.zeros((6, 1)))
+        assert value >= 0.0
+
+    def test_custom_forward(self, rng):
+        model = self._model()
+        reg = BayesianRegressor(
+            model, num_samples=3, forward=lambda x: model(x).reshape(-1)
+        )
+        assert reg.predict(Tensor(rng.normal(size=(6, 3)))).shape == (6,)

@@ -1,0 +1,240 @@
+"""Tests for the paper's contribution: InvertedNorm + affine dropout."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AffineDropoutSampler, ConventionalNormAdapter, InvertedNorm
+from repro.nn.normalization import LayerNorm
+from repro.tensor import Tensor, check_gradients, manual_seed
+
+
+def t(rng, *shape, grad=False):
+    return Tensor(rng.normal(size=shape), requires_grad=grad)
+
+
+class TestConstruction:
+    def test_normal_initialization_statistics(self):
+        manual_seed(0)
+        layer = InvertedNorm(5000, p=0.3, sigma_gamma=0.3, sigma_beta=0.2)
+        assert abs(layer.weight.data.mean() - 1.0) < 0.02
+        assert abs(layer.weight.data.std() - 0.3) < 0.02
+        assert abs(layer.bias.data.mean()) < 0.02
+        assert abs(layer.bias.data.std() - 0.2) < 0.02
+
+    def test_uniform_initialization_ranges(self):
+        manual_seed(0)
+        layer = InvertedNorm(5000, init="uniform", k_gamma=1.0, k_beta=0.5)
+        assert layer.weight.data.min() >= 0.0 and layer.weight.data.max() <= 1.0
+        assert layer.bias.data.min() >= -0.5 and layer.bias.data.max() <= 0.5
+
+    def test_initializations_differ_per_channel(self):
+        # Section III-C: identical init would make all channels update
+        # identically — random init must break the symmetry.
+        layer = InvertedNorm(64)
+        assert len(np.unique(layer.weight.data)) == 64
+
+    def test_invalid_mode_raises(self):
+        with pytest.raises(ValueError):
+            InvertedNorm(4, mode="batch")
+
+    def test_invalid_init_raises(self):
+        with pytest.raises(ValueError):
+            InvertedNorm(4, init="constant")
+
+    def test_group_divisibility_checked(self):
+        with pytest.raises(ValueError):
+            InvertedNorm(6, mode="group", num_groups=4)
+
+    def test_channel_mismatch_raises(self, rng):
+        layer = InvertedNorm(4)
+        with pytest.raises(ValueError):
+            layer(t(rng, 2, 5, 3, 3))
+
+
+class TestInvertedOrder:
+    def test_output_is_normalized_regardless_of_affine(self, rng):
+        """The defining property: affine runs FIRST, so the output is
+        always zero-mean unit-variance per instance — unlike conventional
+        norm where the affine transformation de-standardizes the output."""
+        layer = InvertedNorm(6, p=0.3)
+        out = layer(t(rng, 4, 6, 5, 5)).data
+        flat = out.reshape(4, -1)
+        np.testing.assert_allclose(flat.mean(axis=1), 0.0, atol=1e-9)
+        np.testing.assert_allclose(flat.var(axis=1), 1.0, atol=1e-3)
+
+    def test_conventional_output_not_standardized(self, rng):
+        conventional = LayerNorm(6)
+        conventional.weight.data[:] = np.linspace(0.5, 3.0, 6)
+        conventional.bias.data[:] = 1.0
+        out = conventional(t(rng, 4, 6, 5, 5)).data
+        assert abs(out.reshape(4, -1).mean(axis=1)).max() > 0.1
+
+    def test_affine_before_norm_changes_result(self, rng):
+        """Affine-then-normalize differs from normalize-then-affine."""
+        manual_seed(3)
+        inverted = InvertedNorm(6, p=0.0, sigma_gamma=0.5, sigma_beta=0.5)
+        inverted.eval()
+        adapter = ConventionalNormAdapter(6, p=0.0, sigma_gamma=0.5, sigma_beta=0.5)
+        adapter._inner.weight.data[:] = inverted.weight.data
+        adapter._inner.bias.data[:] = inverted.bias.data
+        adapter.eval()
+        x = t(rng, 2, 6, 4, 4)
+        assert not np.allclose(inverted(x).data, adapter(x).data)
+
+    def test_group_mode_statistics(self, rng):
+        layer = InvertedNorm(8, mode="group", num_groups=4)
+        out = layer(t(rng, 3, 8, 4, 4)).data
+        grouped = out.reshape(3, 4, 2, 4, 4)
+        np.testing.assert_allclose(grouped.mean(axis=(2, 3, 4)), 0.0, atol=1e-9)
+
+    def test_works_on_2d_and_3d_inputs(self, rng):
+        layer = InvertedNorm(6)
+        assert layer(t(rng, 4, 6)).shape == (4, 6)
+        assert layer(t(rng, 4, 6, 9)).shape == (4, 6, 9)
+
+
+class TestAffineDropout:
+    def test_vector_granularity_all_or_nothing(self):
+        sampler = AffineDropoutSampler(p=0.5, granularity="vector")
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            m_g, m_b = sampler.sample(16, rng)
+            assert len(np.unique(m_g)) == 1
+            assert len(np.unique(m_b)) == 1
+
+    def test_element_granularity_mixes(self):
+        sampler = AffineDropoutSampler(p=0.5, granularity="element")
+        rng = np.random.default_rng(0)
+        m_g, _ = sampler.sample(1000, rng)
+        assert 0 < m_g.sum() < 1000
+
+    def test_keep_probability(self):
+        sampler = AffineDropoutSampler(p=0.3, granularity="element")
+        rng = np.random.default_rng(0)
+        keeps = [sampler.sample(1000, rng)[0].mean() for _ in range(20)]
+        assert abs(np.mean(keeps) - 0.7) < 0.02
+
+    def test_weight_and_bias_masks_independent(self):
+        sampler = AffineDropoutSampler(p=0.5, granularity="vector")
+        rng = np.random.default_rng(1)
+        draws = [sampler.sample(4, rng) for _ in range(200)]
+        g = np.array([d[0][0] for d in draws])
+        b = np.array([d[1][0] for d in draws])
+        # Not perfectly correlated (independent draws).
+        assert 0.3 < (g == b).mean() < 0.7
+
+    def test_invalid_p_raises(self):
+        with pytest.raises(ValueError):
+            AffineDropoutSampler(p=1.0)
+
+    def test_invalid_granularity_raises(self):
+        with pytest.raises(ValueError):
+            AffineDropoutSampler(p=0.3, granularity="channel")
+
+    def test_dropped_weight_becomes_one_dropped_bias_zero(self, rng):
+        """Fig. 3: weights drop to ONE (identity scaling), biases to ZERO."""
+        manual_seed(0)
+        layer = InvertedNorm(4, p=0.99, sigma_gamma=0.5, sigma_beta=0.5)
+        x = t(rng, 2, 4, 3, 3)
+        ref = InvertedNorm(4, p=0.0)
+        ref.weight.data[:] = 1.0
+        ref.bias.data[:] = 0.0
+        # With p≈1 every sampled forward uses gamma=1, beta=0.
+        np.testing.assert_allclose(layer(x).data, ref(x).data, atol=1e-9)
+
+    def test_sampling_changes_output_between_passes(self, rng):
+        layer = InvertedNorm(8, p=0.5, sigma_gamma=0.5, sigma_beta=0.5,
+                             granularity="element")
+        x = t(rng, 2, 8, 3, 3)
+        outs = [layer(x).data.copy() for _ in range(8)]
+        assert any(not np.array_equal(outs[0], o) for o in outs[1:])
+
+    def test_deterministic_eval_uses_expected_affine(self, rng):
+        layer = InvertedNorm(4, p=0.3)
+        layer.eval()
+        x = t(rng, 2, 4, 3, 3)
+        np.testing.assert_array_equal(layer(x).data, layer(x).data)
+
+    def test_stochastic_inference_flag(self, rng):
+        layer = InvertedNorm(8, p=0.5, granularity="element",
+                             sigma_gamma=0.5, sigma_beta=0.5)
+        layer.eval()
+        layer.stochastic_inference = True
+        x = t(rng, 2, 8, 3, 3)
+        outs = [layer(x).data.copy() for _ in range(8)]
+        assert any(not np.array_equal(outs[0], o) for o in outs[1:])
+
+    def test_frozen_mask_scope(self, rng):
+        layer = InvertedNorm(8, p=0.5, granularity="element")
+        layer.mask_scope = "frozen"
+        x = t(rng, 2, 8, 3, 3)
+        a = layer(x).data.copy()
+        b = layer(x).data.copy()
+        np.testing.assert_array_equal(a, b)
+        layer.resample()
+        found_different = False
+        for _ in range(10):
+            layer.resample()
+            if not np.array_equal(layer(x).data, a):
+                found_different = True
+                break
+        assert found_different
+
+
+class TestGradients:
+    def test_gradcheck_eval_mode(self, rng):
+        layer = InvertedNorm(4, p=0.3)
+        layer.eval()
+        x = t(rng, 3, 4, 4, 4, grad=True)
+        check_gradients(lambda: layer(x), [x, layer.weight, layer.bias])
+
+    def test_gradcheck_group_mode(self, rng):
+        layer = InvertedNorm(8, p=0.3, mode="group", num_groups=2)
+        layer.eval()
+        x = t(rng, 2, 8, 3, 3, grad=True)
+        check_gradients(lambda: layer(x), [x, layer.weight, layer.bias])
+
+    def test_gradients_flow_through_sampled_affine(self, rng):
+        manual_seed(1)
+        layer = InvertedNorm(4, p=0.3, granularity="element")
+        layer.mask_scope = "frozen"  # deterministic for gradcheck
+        x = t(rng, 2, 4, 3, 3, grad=True)
+        check_gradients(lambda: layer(x), [x, layer.weight, layer.bias])
+
+    def test_dropped_parameters_receive_no_gradient(self, rng):
+        manual_seed(0)
+        layer = InvertedNorm(4, p=0.99)
+        x = t(rng, 2, 4, 3, 3)
+        layer(x).sum().backward()
+        # All weights dropped to 1 / biases to 0 → no gradient signal.
+        np.testing.assert_allclose(layer.weight.grad, 0.0, atol=1e-12)
+        np.testing.assert_allclose(layer.bias.grad, 0.0, atol=1e-12)
+
+
+class TestConventionalOrderAdapter:
+    def test_shares_parameters_with_inner(self):
+        adapter = ConventionalNormAdapter(4, p=0.3)
+        assert adapter.weight is adapter._inner.weight
+        assert adapter.bias is adapter._inner.bias
+
+    def test_output_not_standardized_when_affine_active(self, rng):
+        manual_seed(5)
+        adapter = ConventionalNormAdapter(6, p=0.0, sigma_gamma=0.8, sigma_beta=0.8)
+        adapter.eval()
+        out = adapter(t(rng, 4, 6, 5, 5)).data
+        assert abs(out.reshape(4, -1).mean(axis=1)).max() > 0.05
+
+
+@given(st.integers(2, 32), st.floats(0.0, 0.9))
+@settings(max_examples=25, deadline=None)
+def test_property_output_always_standardized(channels, p):
+    """Normalization-last guarantees standardized outputs for ANY p."""
+    manual_seed(7)
+    layer = InvertedNorm(channels, p=p)
+    rng = np.random.default_rng(0)
+    x = Tensor(rng.normal(size=(3, channels, 4)))
+    out = layer(x).data.reshape(3, -1)
+    np.testing.assert_allclose(out.mean(axis=1), 0.0, atol=1e-8)
+    np.testing.assert_allclose(out.var(axis=1), 1.0, atol=1e-2)

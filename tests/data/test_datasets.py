@@ -1,0 +1,198 @@
+"""Tests for dataset containers and synthetic generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ArrayDataset,
+    DataLoader,
+    co2_series,
+    generate_image,
+    generate_vessel_sample,
+    generate_waveform,
+    make_audio_task,
+    make_co2_task,
+    make_forecast_windows,
+    make_image_task,
+    make_vessel_task,
+)
+
+
+class TestArrayDataset:
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((3, 2)), np.zeros(4))
+
+    def test_indexing(self):
+        ds = ArrayDataset(np.arange(12).reshape(6, 2), np.arange(6))
+        x, y = ds[2]
+        np.testing.assert_array_equal(x, [4, 5])
+        assert y == 2
+
+    def test_subset(self):
+        ds = ArrayDataset(np.arange(12).reshape(6, 2), np.arange(6))
+        sub = ds.subset(np.array([1, 3]))
+        assert len(sub) == 2
+        np.testing.assert_array_equal(sub.targets, [1, 3])
+
+    def test_split_fractions(self):
+        ds = ArrayDataset(np.zeros((100, 1)), np.arange(100))
+        train, test = ds.split(0.8)
+        assert len(train) == 80 and len(test) == 20
+        assert set(train.targets) | set(test.targets) == set(range(100))
+        assert not set(train.targets) & set(test.targets)
+
+    def test_split_invalid_fraction(self):
+        ds = ArrayDataset(np.zeros((10, 1)), np.zeros(10))
+        with pytest.raises(ValueError):
+            ds.split(1.0)
+
+    def test_tensors(self):
+        ds = ArrayDataset(np.ones((4, 2)), np.arange(4))
+        x, y = ds.tensors()
+        assert x.shape == (4, 2)
+
+
+class TestDataLoader:
+    def test_covers_all_samples(self):
+        ds = ArrayDataset(np.arange(10).reshape(10, 1), np.arange(10))
+        loader = DataLoader(ds, batch_size=3, shuffle=False)
+        seen = np.concatenate([y for _, y in loader])
+        np.testing.assert_array_equal(np.sort(seen), np.arange(10))
+
+    def test_batch_count(self):
+        ds = ArrayDataset(np.zeros((10, 1)), np.zeros(10))
+        assert len(DataLoader(ds, batch_size=3)) == 4
+
+    def test_shuffle_changes_order(self):
+        ds = ArrayDataset(np.arange(50).reshape(50, 1), np.arange(50))
+        loader = DataLoader(ds, batch_size=50, shuffle=True)
+        first = next(iter(loader))[1]
+        assert not np.array_equal(first, np.arange(50))
+
+
+class TestImageDataset:
+    def test_image_shape_and_determinism(self):
+        rng = np.random.default_rng(0)
+        img = generate_image(3, 16, rng)
+        assert img.shape == (3, 16, 16)
+        rng2 = np.random.default_rng(0)
+        np.testing.assert_array_equal(img, generate_image(3, 16, rng2))
+
+    def test_task_is_balanced(self):
+        train, test = make_image_task(n_train_per_class=5, n_test_per_class=2, size=8)
+        assert len(train) == 50 and len(test) == 20
+        counts = np.bincount(train.targets, minlength=10)
+        np.testing.assert_array_equal(counts, 5)
+
+    def test_classes_are_distinguishable(self):
+        """Class means must differ — otherwise the task is unlearnable."""
+        train, _ = make_image_task(n_train_per_class=20, n_test_per_class=1, size=12)
+        means = np.stack(
+            [train.inputs[train.targets == c].mean(axis=0).ravel() for c in range(10)]
+        )
+        dists = np.linalg.norm(means[:, None] - means[None, :], axis=-1)
+        off_diag = dists[~np.eye(10, dtype=bool)]
+        assert off_diag.min() > 0.5
+
+    def test_intra_class_variation_exists(self):
+        rng = np.random.default_rng(0)
+        a = generate_image(0, 12, rng)
+        b = generate_image(0, 12, rng)
+        assert not np.allclose(a, b)
+
+    def test_train_test_disjoint_draws(self):
+        train, test = make_image_task(n_train_per_class=3, n_test_per_class=3, size=8)
+        assert not np.array_equal(train.inputs[:10], test.inputs[:10])
+
+
+class TestAudioDataset:
+    def test_waveform_shape(self):
+        rng = np.random.default_rng(0)
+        for label in range(10):
+            wave = generate_waveform(label, 128, rng)
+            assert wave.shape == (1, 128)
+            assert np.isfinite(wave).all()
+
+    def test_task_sizes(self):
+        train, test = make_audio_task(n_train_per_class=4, n_test_per_class=2, length=64)
+        assert len(train) == 40 and len(test) == 20
+        assert train.inputs.shape[1:] == (1, 64)
+
+    def test_classes_have_distinct_spectra(self):
+        rng = np.random.default_rng(0)
+        spectra = []
+        for label in [2, 3]:  # low tone vs high tone
+            waves = np.stack(
+                [generate_waveform(label, 256, rng, noise=0.0) for _ in range(10)]
+            )
+            spectra.append(np.abs(np.fft.rfft(waves[:, 0])).mean(axis=0))
+        low_peak = spectra[0].argmax()
+        high_peak = spectra[1].argmax()
+        assert high_peak > low_peak
+
+
+class TestCO2Dataset:
+    def test_series_has_trend(self):
+        series = co2_series(240, noise=0.0)
+        assert series[-1] > series[0] + 10
+
+    def test_series_has_annual_cycle(self):
+        series = co2_series(480, noise=0.0)
+        detrended = series - np.poly1d(np.polyfit(np.arange(480), series, 2))(
+            np.arange(480)
+        )
+        spectrum = np.abs(np.fft.rfft(detrended))
+        annual_bin = 480 // 12
+        assert spectrum[annual_bin] == spectrum[1:].max()
+
+    def test_forecast_windows_shapes(self):
+        x, y = make_forecast_windows(np.arange(30.0), 5)
+        assert x.shape == (25, 5, 1)
+        np.testing.assert_array_equal(y, np.arange(5.0, 30.0))
+
+    def test_window_too_long_raises(self):
+        with pytest.raises(ValueError):
+            make_forecast_windows(np.arange(5.0), 10)
+
+    def test_task_split_is_chronological(self):
+        task = make_co2_task(n_months=120, window=12, noise=0.0)
+        # Later test targets (trend) exceed train targets on average.
+        assert task.test.targets.mean() > task.train.targets.mean()
+
+    def test_normalization_statistics_from_train(self):
+        task = make_co2_task(n_months=240, window=12)
+        denorm = task.denormalize(task.train.targets)
+        assert 300 < denorm.mean() < 400  # ppm range
+
+    def test_targets_follow_windows(self):
+        task = make_co2_task(n_months=120, window=12)
+        np.testing.assert_allclose(
+            task.train.inputs[1, -1, 0], task.train.targets[0], atol=1e-12
+        )
+
+
+class TestVesselDataset:
+    def test_sample_shapes(self):
+        rng = np.random.default_rng(0)
+        image, mask = generate_vessel_sample(32, rng)
+        assert image.shape == (1, 32, 32)
+        assert mask.shape == (32, 32)
+        assert set(np.unique(mask)) <= {0.0, 1.0}
+
+    def test_vessels_occupy_reasonable_fraction(self):
+        rng = np.random.default_rng(0)
+        fractions = [generate_vessel_sample(32, rng)[1].mean() for _ in range(10)]
+        assert 0.01 < np.mean(fractions) < 0.5
+
+    def test_vessels_darker_than_background(self):
+        rng = np.random.default_rng(0)
+        image, mask = generate_vessel_sample(32, rng, noise=0.0)
+        vessel_mean = image[0][mask == 1].mean()
+        background_mean = image[0][mask == 0].mean()
+        assert vessel_mean < background_mean
+
+    def test_task_sizes(self):
+        train, test = make_vessel_task(n_train=4, n_test=2, size=16)
+        assert len(train) == 4 and len(test) == 2
+        assert train.targets.shape == (4, 16, 16)

@@ -1,0 +1,61 @@
+"""Tests for the OOD distribution-shift transforms."""
+
+import numpy as np
+
+from repro.data import (
+    ROTATION_STAGES,
+    ROTATION_STEP_DEGREES,
+    add_uniform_noise,
+    noise_stages,
+    rotate_images,
+    rotation_stages,
+)
+
+
+class TestRotation:
+    def test_zero_rotation_is_copy(self, rng):
+        images = rng.normal(size=(3, 2, 8, 8))
+        out = rotate_images(images, 0.0)
+        np.testing.assert_array_equal(out, images)
+        assert out is not images
+
+    def test_shape_preserved(self, rng):
+        images = rng.normal(size=(3, 2, 8, 8))
+        assert rotate_images(images, 30.0).shape == images.shape
+
+    def test_ninety_degrees_matches_rot90(self, rng):
+        images = rng.normal(size=(1, 1, 9, 9))
+        rotated = rotate_images(images, 90.0)
+        expected = np.rot90(images[0, 0], k=-1)  # scipy rotates clockwise here
+        alt = np.rot90(images[0, 0], k=1)
+        err1 = np.abs(rotated[0, 0] - expected).mean()
+        err2 = np.abs(rotated[0, 0] - alt).mean()
+        assert min(err1, err2) < 1e-8
+
+    def test_rotation_changes_content(self, rng):
+        images = rng.normal(size=(2, 1, 8, 8))
+        assert not np.allclose(rotate_images(images, 45.0), images)
+
+    def test_schedule_matches_paper(self):
+        stages = rotation_stages()
+        assert len(stages) == ROTATION_STAGES + 1
+        assert stages[0] == 0.0
+        assert stages[1] == ROTATION_STEP_DEGREES == 7.0
+        assert stages[-1] == 84.0
+
+
+class TestUniformNoise:
+    def test_zero_strength_is_copy(self, rng):
+        x = rng.normal(size=(4, 3))
+        out = add_uniform_noise(x, 0.0)
+        np.testing.assert_array_equal(out, x)
+        assert out is not x
+
+    def test_noise_bounded(self, rng):
+        x = np.zeros((100, 100))
+        out = add_uniform_noise(x, 0.3, rng=rng)
+        assert np.abs(out).max() <= 0.3
+
+    def test_schedule_starts_clean(self):
+        stages = noise_stages(max_strength=1.0, stages=10)
+        assert stages[0] == 0.0 and stages[-1] == 1.0 and len(stages) == 11

@@ -1,0 +1,48 @@
+"""Tests for the command-line experiment runner."""
+
+import pytest
+
+from repro.eval.cli import build_parser, main
+
+
+class TestParser:
+    def test_table1_parses(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.command == "table1"
+        assert args.preset == "small"
+
+    def test_campaign_levels(self):
+        args = build_parser().parse_args(
+            ["campaign", "--task", "audio", "--fault", "additive",
+             "--levels", "0", "0.1", "--runs", "3"]
+        )
+        assert args.levels == [0.0, 0.1]
+        assert args.runs == 3
+
+    def test_fig7_shift_choices(self):
+        args = build_parser().parse_args(["fig7", "--shift", "uniform"])
+        assert args.shift == "uniform"
+
+    def test_invalid_task_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig5", "--task", "protein"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestExecution:
+    def test_campaign_runs_tiny(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        from repro.eval import clear_memory_cache
+
+        clear_memory_cache()
+        main([
+            "--preset", "tiny",
+            "campaign", "--task", "audio", "--fault", "bitflip",
+            "--levels", "0", "0.2", "--runs", "2",
+        ])
+        out = capsys.readouterr().out
+        assert "audio / bitflip" in out
+        assert "Proposed" in out

@@ -1,0 +1,63 @@
+"""Tests for the retention-drift fault model (extension; Section I lists
+drift among the runtime non-idealities)."""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultSpec, RetentionDriftFault
+from repro.quant.functional import QuantizedWeight
+
+
+def qw(rng, bits=8, shape=(32, 32)):
+    qmax = 2 ** (bits - 1) - 1
+    codes = rng.integers(-qmax, qmax + 1, size=shape).astype(np.float64)
+    return QuantizedWeight(codes=codes, scale=np.asarray(0.01), bits=bits)
+
+
+class TestRetentionDrift:
+    def test_magnitudes_shrink(self, rng):
+        fault = RetentionDriftFault(np.random.default_rng(0), t_hours=100.0)
+        record = qw(rng)
+        drifted = fault(record)
+        assert (np.abs(drifted) <= np.abs(record.codes) + 1e-12).all()
+
+    def test_signs_preserved(self, rng):
+        fault = RetentionDriftFault(np.random.default_rng(0), t_hours=50.0)
+        record = qw(rng)
+        drifted = fault(record)
+        nonzero = record.codes != 0
+        assert (np.sign(drifted[nonzero]) == np.sign(record.codes[nonzero])).all()
+
+    def test_longer_time_more_decay(self, rng):
+        record = qw(rng)
+        short = RetentionDriftFault(np.random.default_rng(0), t_hours=2.0)(record)
+        long = RetentionDriftFault(np.random.default_rng(0), t_hours=1000.0)(record)
+        assert np.abs(long).mean() < np.abs(short).mean()
+
+    def test_mean_decay_matches_exponent(self, rng):
+        nu, t = 0.05, 100.0
+        fault = RetentionDriftFault(
+            np.random.default_rng(0), t_hours=t, nu=nu, sigma_nu=0.0
+        )
+        record = qw(rng)
+        drifted = fault(record)
+        expected_factor = t ** (-nu)
+        nonzero = record.codes != 0
+        ratio = (drifted[nonzero] / record.codes[nonzero]).mean()
+        np.testing.assert_allclose(ratio, expected_factor, rtol=1e-10)
+
+    def test_frozen_per_chip(self, rng):
+        fault = RetentionDriftFault(np.random.default_rng(0), t_hours=24.0)
+        record = qw(rng)
+        np.testing.assert_array_equal(fault(record), fault(record))
+
+    def test_invalid_time_raises(self):
+        with pytest.raises(ValueError):
+            RetentionDriftFault(np.random.default_rng(0), t_hours=0.5)
+
+    def test_spec_builds_drift_model(self):
+        spec = FaultSpec(kind="drift", level=24.0)
+        model = spec.build_weight_model(np.random.default_rng(0))
+        assert isinstance(model, RetentionDriftFault)
+        assert model.t_hours == 24.0
+        assert not spec.is_variation  # drift targets stored weights

@@ -1,0 +1,218 @@
+"""Tests for the NVM non-ideality models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import (
+    ActivationNoise,
+    AdditiveVariation,
+    BitFlipFault,
+    FaultSpec,
+    MultiplicativeVariation,
+    StuckAtFault,
+    UniformNoiseFault,
+)
+from repro.quant.functional import QuantizedWeight
+
+
+def binary_qw(rng, shape=(32, 32)):
+    codes = np.where(rng.random(shape) < 0.5, -1.0, 1.0)
+    return QuantizedWeight(codes=codes, scale=np.ones((shape[0], 1)), bits=1)
+
+
+def multibit_qw(rng, bits=8, shape=(32, 32)):
+    qmax = 2 ** (bits - 1) - 1
+    codes = rng.integers(-qmax, qmax + 1, size=shape).astype(np.float64)
+    return QuantizedWeight(codes=codes, scale=np.asarray(0.01), bits=bits)
+
+
+class TestBitFlipFault:
+    def test_binary_flip_rate(self, rng):
+        qw = binary_qw(rng, (100, 100))
+        fault = BitFlipFault(0.15, np.random.default_rng(0))
+        flipped = fault(qw)
+        rate = (flipped != qw.codes).mean()
+        assert abs(rate - 0.15) < 0.02
+
+    def test_binary_flip_negates(self, rng):
+        qw = binary_qw(rng)
+        fault = BitFlipFault(0.5, np.random.default_rng(0))
+        flipped = fault(qw)
+        changed = flipped != qw.codes
+        np.testing.assert_array_equal(flipped[changed], -qw.codes[changed])
+
+    def test_zero_rate_identity(self, rng):
+        qw = binary_qw(rng)
+        fault = BitFlipFault(0.0, np.random.default_rng(0))
+        np.testing.assert_array_equal(fault(qw), qw.codes)
+
+    def test_pattern_frozen_per_chip(self, rng):
+        qw = binary_qw(rng)
+        fault = BitFlipFault(0.2, np.random.default_rng(0))
+        np.testing.assert_array_equal(fault(qw), fault(qw))
+
+    def test_different_chips_different_patterns(self, rng):
+        qw = binary_qw(rng)
+        a = BitFlipFault(0.2, np.random.default_rng(0))(qw)
+        b = BitFlipFault(0.2, np.random.default_rng(1))(qw)
+        assert not np.array_equal(a, b)
+
+    def test_multibit_codes_stay_in_range(self, rng):
+        qw = multibit_qw(rng, bits=8)
+        fault = BitFlipFault(0.3, np.random.default_rng(0))
+        flipped = fault(qw)
+        assert flipped.max() <= qw.qmax and flipped.min() >= -qw.qmax
+
+    def test_multibit_flips_alter_magnitude_and_sign(self, rng):
+        qw = multibit_qw(rng, bits=8, shape=(64, 64))
+        fault = BitFlipFault(0.1, np.random.default_rng(0))
+        flipped = fault(qw)
+        assert (np.abs(flipped) != np.abs(qw.codes)).any()  # magnitude bits
+        assert (np.sign(flipped) != np.sign(qw.codes)).any()  # sign bit
+
+    def test_invalid_rate_raises(self):
+        with pytest.raises(ValueError):
+            BitFlipFault(1.5, np.random.default_rng(0))
+
+    @given(st.floats(0.01, 0.5))
+    @settings(max_examples=20, deadline=None)
+    def test_property_flip_rate_tracks_parameter(self, rate):
+        rng = np.random.default_rng(7)
+        codes = np.where(rng.random((80, 80)) < 0.5, -1.0, 1.0)
+        qw = QuantizedWeight(codes=codes, scale=np.ones(1), bits=1)
+        flipped = BitFlipFault(rate, np.random.default_rng(3))(qw)
+        observed = (flipped != codes).mean()
+        assert abs(observed - rate) < 0.05
+
+
+class TestVariations:
+    def test_additive_statistics(self, rng):
+        qw = multibit_qw(rng, shape=(100, 100))
+        fault = AdditiveVariation(0.1, np.random.default_rng(0))
+        delta = fault(qw) - qw.codes
+        assert abs(delta.std() - 0.1 * qw.qmax) / (0.1 * qw.qmax) < 0.05
+        assert abs(delta.mean()) < 0.5
+
+    def test_multiplicative_scales_with_magnitude(self, rng):
+        qw = multibit_qw(rng, shape=(100, 100))
+        fault = MultiplicativeVariation(0.1, np.random.default_rng(0))
+        delta = fault(qw) - qw.codes
+        big = np.abs(qw.codes) > 100
+        small = (np.abs(qw.codes) < 20) & (np.abs(qw.codes) > 0)
+        assert np.abs(delta[big]).mean() > np.abs(delta[small]).mean()
+
+    def test_multiplicative_zero_codes_unchanged(self, rng):
+        qw = multibit_qw(rng)
+        qw.codes[0, :] = 0.0
+        fault = MultiplicativeVariation(0.3, np.random.default_rng(0))
+        np.testing.assert_array_equal(fault(qw)[0, :], 0.0)
+
+    def test_uniform_noise_bounded(self, rng):
+        qw = multibit_qw(rng)
+        fault = UniformNoiseFault(0.2, np.random.default_rng(0))
+        delta = fault(qw) - qw.codes
+        assert np.abs(delta).max() <= 0.2 * qw.qmax + 1e-9
+
+    def test_frozen_per_chip(self, rng):
+        qw = multibit_qw(rng)
+        fault = AdditiveVariation(0.1, np.random.default_rng(0))
+        np.testing.assert_array_equal(fault(qw), fault(qw))
+
+    def test_negative_sigma_raises(self):
+        with pytest.raises(ValueError):
+            AdditiveVariation(-0.1, np.random.default_rng(0))
+
+
+class TestStuckAtFault:
+    def test_stuck_rate(self, rng):
+        qw = multibit_qw(rng, shape=(100, 100))
+        fault = StuckAtFault(0.2, np.random.default_rng(0), stuck_to="zero")
+        stuck = fault(qw)
+        frac = ((stuck == 0) & (qw.codes != 0)).mean()
+        assert frac > 0.15
+
+    def test_stuck_high_and_low(self, rng):
+        qw = multibit_qw(rng)
+        high = StuckAtFault(0.3, np.random.default_rng(0), stuck_to="high")(qw)
+        low = StuckAtFault(0.3, np.random.default_rng(0), stuck_to="low")(qw)
+        assert (high == qw.qmax).sum() > (qw.codes == qw.qmax).sum()
+        assert (low == -qw.qmax).sum() > (qw.codes == -qw.qmax).sum()
+
+    def test_binary_stuck_zero_maps_to_one(self, rng):
+        # Binary cells have no zero state; stuck-at-zero degenerates to +1.
+        qw = binary_qw(rng)
+        stuck = StuckAtFault(0.5, np.random.default_rng(0), stuck_to="zero")(qw)
+        assert set(np.unique(stuck)) <= {-1.0, 1.0}
+
+    def test_invalid_target_raises(self):
+        with pytest.raises(ValueError):
+            StuckAtFault(0.1, np.random.default_rng(0), stuck_to="sideways")
+
+
+class TestActivationNoise:
+    def test_additive(self, rng):
+        noise = ActivationNoise(np.random.default_rng(0), additive_sigma=0.2)
+        x = np.zeros((100, 100))
+        out = noise(x)
+        assert abs(out.std() - 0.2) < 0.01
+
+    def test_multiplicative(self, rng):
+        noise = ActivationNoise(np.random.default_rng(0), multiplicative_sigma=0.1)
+        x = np.full((100, 100), 3.0)
+        out = noise(x)
+        assert abs(out.std() - 0.3) < 0.02
+
+    def test_uniform(self, rng):
+        noise = ActivationNoise(np.random.default_rng(0), uniform_strength=0.5)
+        out = noise(np.zeros(10000))
+        assert np.abs(out).max() <= 0.5
+        assert out.std() > 0.2
+
+    def test_fresh_per_call(self):
+        noise = ActivationNoise(np.random.default_rng(0), additive_sigma=0.1)
+        x = np.zeros(100)
+        assert not np.array_equal(noise(x), noise(x))
+
+
+class TestFaultSpec:
+    def test_invalid_kind_raises(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="cosmic-rays", level=0.1)
+
+    @pytest.mark.parametrize(
+        "kind,cls",
+        [
+            ("bitflip", BitFlipFault),
+            ("additive", AdditiveVariation),
+            ("multiplicative", MultiplicativeVariation),
+            ("uniform", UniformNoiseFault),
+            ("stuck", StuckAtFault),
+        ],
+    )
+    def test_builds_correct_weight_model(self, kind, cls):
+        spec = FaultSpec(kind=kind, level=0.1)
+        model = spec.build_weight_model(np.random.default_rng(0))
+        assert isinstance(model, cls)
+
+    def test_none_builds_nothing(self):
+        spec = FaultSpec(kind="none", level=0.0)
+        assert spec.build_weight_model(np.random.default_rng(0)) is None
+        assert spec.build_activation_model(np.random.default_rng(0)) is None
+
+    def test_variation_kinds_have_activation_models(self):
+        for kind in ("additive", "multiplicative", "uniform"):
+            spec = FaultSpec(kind=kind, level=0.1)
+            assert spec.is_variation
+            assert spec.build_activation_model(np.random.default_rng(0)) is not None
+
+    def test_bitflip_has_no_activation_model(self):
+        spec = FaultSpec(kind="bitflip", level=0.1)
+        assert not spec.is_variation
+        assert spec.build_activation_model(np.random.default_rng(0)) is None
+
+    def test_describe(self):
+        assert FaultSpec(kind="bitflip", level=0.1).describe() == "bitflip=10%"
+        assert FaultSpec(kind="additive", level=0.2).describe() == "additive=0.2"
+        assert FaultSpec(kind="none", level=0.0).describe() == "fault-free"

@@ -1,0 +1,95 @@
+"""Tests for the STT-MRAM device models (Fig. 4 physics)."""
+
+import numpy as np
+import pytest
+
+from repro.imc import (
+    MTJParams,
+    bit_error_rate,
+    read_margin,
+    sample_resistances,
+    switching_curve,
+    switching_probability,
+    tmr_at_temperature,
+)
+
+
+class TestSwitchingProbability:
+    def test_monotone_in_voltage(self):
+        volts = np.linspace(0.1, 0.6, 30)
+        probs = switching_probability(volts, 10.0)
+        assert (np.diff(probs) >= -1e-12).all()
+
+    def test_monotone_in_pulse_width(self):
+        pulses = np.logspace(0, 3, 30)
+        probs = switching_probability(0.42, pulses)
+        assert (np.diff(probs) >= -1e-12).all()
+
+    def test_bounded_probability(self):
+        volts = np.linspace(0.0, 1.0, 50)
+        probs = switching_probability(volts, 100.0)
+        assert (probs >= 0.0).all() and (probs <= 1.0).all()
+
+    def test_critical_voltage_switches_fast(self):
+        p = MTJParams()
+        assert switching_probability(p.vc0, 5 * p.tau0_ns, p) > 0.99
+
+    def test_low_voltage_rarely_switches(self):
+        assert switching_probability(0.1, 10.0) < 1e-12
+
+    def test_no_overflow_at_zero_voltage(self):
+        prob = switching_probability(0.0, 1.0)
+        assert np.isfinite(prob) and prob >= 0.0
+
+    def test_switching_curve_family(self):
+        pulses = np.logspace(0, 2, 10)
+        curves = switching_curve([0.3, 0.4, 0.5], pulses)
+        assert set(curves) == {0.3, 0.4, 0.5}
+        # Higher voltage → uniformly higher switching probability.
+        assert (curves[0.5] >= curves[0.4]).all()
+        assert (curves[0.4] >= curves[0.3]).all()
+
+    def test_stochastic_regime_usable_as_rng(self):
+        """The SpinDrop implementations exploit the ~50% point as a RNG."""
+        pulses = np.logspace(-1, 4, 2000)
+        probs = switching_probability(0.40, pulses)
+        idx = np.argmin(np.abs(probs - 0.5))
+        assert 0.4 < probs[idx] < 0.6
+
+
+class TestThermalResistance:
+    def test_tmr_decreases_with_temperature(self):
+        assert tmr_at_temperature(400) < tmr_at_temperature(300)
+
+    def test_tmr_never_negative(self):
+        assert tmr_at_temperature(5000) == 0.0
+
+    def test_resistance_distributions_ordered(self, rng):
+        r_p, r_ap = sample_resistances(300, 5000, rng)
+        assert r_ap.mean() > r_p.mean()
+
+    def test_distribution_means_track_model(self, rng):
+        p = MTJParams()
+        r_p, r_ap = sample_resistances(300, 20000, rng, p)
+        np.testing.assert_allclose(r_p.mean(), p.r_p, rtol=0.01)
+        np.testing.assert_allclose(r_ap.mean(), p.r_ap, rtol=0.01)
+
+    def test_temperature_shrinks_separation(self, rng):
+        cold = read_margin(300)
+        hot = read_margin(450)
+        assert hot < cold
+
+    def test_bit_error_rate_grows_with_temperature(self):
+        # Use a wide sigma so the overlap is visible at moderate T.
+        params = MTJParams(sigma_r=0.25)
+        cold = bit_error_rate(300, params)
+        hot = bit_error_rate(500, params)
+        assert hot >= cold
+        assert 0.0 <= cold <= 1.0
+
+    def test_bit_error_rate_nonzero_with_heavy_variation(self):
+        params = MTJParams(sigma_r=0.5)
+        assert bit_error_rate(400, params) > 0.0
+
+    def test_deterministic_under_seed(self):
+        assert bit_error_rate(400, seed=3) == bit_error_rate(400, seed=3)

@@ -1,0 +1,161 @@
+"""Integration tests: full train → deploy → fault-campaign pipelines."""
+
+import numpy as np
+import pytest
+
+from repro.core import BayesianClassifier, enable_stochastic_inference
+from repro.eval import build_task, make_evaluator
+from repro.eval.evaluators import (
+    classification_accuracy,
+    regression_rmse,
+    segmentation_miou,
+)
+from repro.faults import FaultSpec, MonteCarloCampaign, bitflip_sweep
+from repro.models import all_methods, conventional, proposed
+from repro.tensor import Tensor, manual_seed
+
+
+class TestTrainingAcrossMethods:
+    """Every method must train on every task without errors (tiny scale)."""
+
+    @pytest.mark.parametrize("task_name", ["image", "audio", "co2", "vessels"])
+    @pytest.mark.parametrize(
+        "method_name", ["conventional", "spindrop", "spatial-spindrop", "proposed"]
+    )
+    def test_train_and_evaluate(self, task_name, method_name):
+        from repro.models import MethodConfig
+
+        method = MethodConfig(name=method_name)
+        task = build_task(task_name, preset="tiny")
+        model = task.train_model(method, seed=0)
+        evaluator = make_evaluator(task.name, task.test_set, method, mc_samples=2)
+        value = evaluator(model)
+        assert np.isfinite(value)
+        if task.metric_name in ("accuracy", "mIoU"):
+            assert 0.0 <= value <= 1.0
+
+
+class TestLearnability:
+    """On a slightly larger budget the proposed method must actually learn."""
+
+    def test_audio_learns_above_chance(self):
+        task = build_task("audio", preset="tiny")
+        bigger = build_task("audio", preset="tiny")
+        # Train longer than the tiny default to verify learning dynamics.
+        bigger.epochs = 12
+        model = bigger.train_model(proposed(), seed=0)
+        acc = classification_accuracy(model, task.test_set, proposed(), mc_samples=4)
+        assert acc > 0.2  # 10 classes, chance = 0.1
+
+    def test_co2_beats_trivial_persistence_forecast(self):
+        task = build_task("co2", preset="tiny")
+        task.epochs = 12
+        model = task.train_model(proposed(), seed=0)
+        value = regression_rmse(model, task.test_set, proposed(), mc_samples=4)
+        persistence = np.sqrt(
+            ((task.test_set.inputs[:, -1, 0] - task.test_set.targets) ** 2).mean()
+        )
+        assert value < persistence * 1.5
+
+
+class TestFaultPipeline:
+    def test_campaign_on_trained_binary_model(self):
+        manual_seed(0)
+        task = build_task("image", preset="tiny")
+        model = task.train_model(proposed(), seed=0)
+        evaluator = make_evaluator("image", task.test_set, proposed(), mc_samples=2)
+        campaign = MonteCarloCampaign(model, evaluator, n_runs=3, base_seed=1)
+        results = campaign.sweep(bitflip_sweep([0.0, 0.4]))
+        clean, faulty = results[0].mean, results[1].mean
+        assert np.isfinite(clean) and np.isfinite(faulty)
+        # 40% bit flips on a binary net must not *improve* accuracy.
+        assert faulty <= clean + 0.15
+
+    def test_fault_hooks_do_not_leak_between_methods(self):
+        manual_seed(0)
+        task = build_task("audio", preset="tiny")
+        model = task.train_model(proposed(), seed=0)
+        evaluator = make_evaluator("audio", task.test_set, proposed(), mc_samples=2)
+        clean_before = evaluator(model)
+        campaign = MonteCarloCampaign(model, evaluator, n_runs=2, base_seed=0)
+        campaign.run(FaultSpec(kind="additive", level=0.5))
+        clean_after = evaluator(model)
+        # Stochastic MC sampling differs slightly, but no fault residue.
+        assert abs(clean_before - clean_after) < 0.35
+
+    def test_variation_campaign_on_lstm(self):
+        manual_seed(0)
+        task = build_task("co2", preset="tiny")
+        model = task.train_model(proposed(), seed=0)
+        evaluator = make_evaluator("co2", task.test_set, proposed(), mc_samples=2)
+        campaign = MonteCarloCampaign(model, evaluator, n_runs=3, base_seed=0)
+        clean = campaign.run(FaultSpec(kind="none", level=0.0)).mean
+        noisy = campaign.run(FaultSpec(kind="multiplicative", level=0.6), 1).mean
+        assert noisy >= clean * 0.8  # RMSE should not magically improve much
+
+    def test_segmentation_campaign(self):
+        manual_seed(0)
+        task = build_task("vessels", preset="tiny")
+        model = task.train_model(proposed(), seed=0)
+        evaluator = make_evaluator("vessels", task.test_set, proposed(), mc_samples=2)
+        campaign = MonteCarloCampaign(model, evaluator, n_runs=2, base_seed=0)
+        result = campaign.run(FaultSpec(kind="bitflip", level=0.2), 1)
+        assert 0.0 <= result.mean <= 1.0
+
+
+class TestBayesianPipeline:
+    def test_mc_prediction_seed_reproducible(self):
+        manual_seed(0)
+        task = build_task("audio", preset="tiny")
+        model = task.train_model(proposed(), seed=0)
+        clf = BayesianClassifier(model, num_samples=4)
+        x = Tensor(task.test_set.inputs[:8])
+        manual_seed(77)
+        a = clf.predict_proba(x)
+        manual_seed(77)
+        b = clf.predict_proba(x)
+        np.testing.assert_array_equal(a, b)
+
+    def test_stochastic_flag_restored_after_prediction(self):
+        manual_seed(0)
+        task = build_task("audio", preset="tiny")
+        model = task.train_model(proposed(), seed=0)
+        clf = BayesianClassifier(model, num_samples=2)
+        clf.predict(Tensor(task.test_set.inputs[:4]))
+        from repro.nn import StochasticModule
+
+        flags = [
+            m.stochastic_inference
+            for m in model.modules()
+            if isinstance(m, StochasticModule)
+        ]
+        assert not any(flags)
+
+    def test_conventional_model_is_deterministic_at_eval(self):
+        manual_seed(0)
+        task = build_task("audio", preset="tiny")
+        model = task.train_model(conventional(), seed=0)
+        model.eval()
+        from repro.tensor import no_grad
+
+        x = Tensor(task.test_set.inputs[:4])
+        with no_grad():
+            np.testing.assert_array_equal(model(x).data, model(x).data)
+
+
+class TestCheckpointing:
+    def test_trained_model_round_trips_through_disk(self, tmp_path):
+        manual_seed(0)
+        task = build_task("audio", preset="tiny")
+        model = task.train_model(proposed(), seed=0)
+        path = str(tmp_path / "model.npz")
+        model.save(path)
+        clone = task.build_model(proposed(), seed=0)
+        clone.load(path)
+        x = Tensor(task.test_set.inputs[:4])
+        model.eval()
+        clone.eval()
+        from repro.tensor import no_grad
+
+        with no_grad():
+            np.testing.assert_allclose(model(x).data, clone(x).data)

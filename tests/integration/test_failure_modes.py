@@ -1,0 +1,104 @@
+"""Failure-injection tests: the library must fail loudly and precisely."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import BayesianClassifier, InvertedNorm
+from repro.data import ArrayDataset
+from repro.faults import FaultSpec
+from repro.imc import CrossbarArray, CrossbarConfig
+from repro.models import MethodConfig, UNet
+from repro.quant.functional import QuantizedWeight
+from repro.tensor import Tensor
+from repro.train import Adam, SGD, Trainer, cross_entropy
+
+
+class TestShapeErrors:
+    def test_inverted_norm_wrong_channels(self, rng):
+        layer = InvertedNorm(8)
+        with pytest.raises(ValueError, match="channels"):
+            layer(Tensor(rng.normal(size=(2, 4, 3, 3))))
+
+    def test_conv_channel_mismatch_names_sizes(self, rng):
+        conv = nn.Conv2d(3, 4, 3)
+        with pytest.raises(ValueError, match="3"):
+            conv(Tensor(rng.normal(size=(1, 5, 8, 8))))
+
+    def test_dataset_length_mismatch(self):
+        with pytest.raises(ValueError, match="length"):
+            ArrayDataset(np.zeros((2, 1)), np.zeros(3))
+
+    def test_crossbar_input_width(self, rng):
+        qw = QuantizedWeight(
+            codes=np.ones((4, 8)), scale=np.asarray(1.0), bits=8
+        )
+        arr = CrossbarArray(qw, CrossbarConfig.ideal(), rng)
+        with pytest.raises(ValueError, match="8"):
+            arr.matvec(np.zeros((1, 5)))
+
+
+class TestConfigurationErrors:
+    def test_unknown_fault_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            FaultSpec(kind="gamma-rays", level=0.1)
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            MethodConfig(name="mystery")
+
+    def test_unet_width_validation(self):
+        from repro.models import proposed
+
+        with pytest.raises(ValueError, match="multiple of 8"):
+            UNet(proposed(), base_width=12)
+
+    def test_optimizer_empty_params(self):
+        with pytest.raises(ValueError, match="no parameters"):
+            SGD([], lr=0.1)
+
+    def test_bayesian_zero_samples(self):
+        with pytest.raises(ValueError, match="num_samples"):
+            BayesianClassifier(nn.Identity(), num_samples=0)
+
+
+class TestNumericalRobustness:
+    def test_inverted_norm_constant_input_finite(self):
+        """A constant feature map (zero variance) must not produce NaNs."""
+        layer = InvertedNorm(4, p=0.0)
+        layer.eval()
+        out = layer(Tensor(np.full((2, 4, 3, 3), 7.0)))
+        assert np.isfinite(out.data).all()
+
+    def test_cross_entropy_huge_logits_finite(self):
+        logits = Tensor(np.array([[1e6, -1e6, 0.0]]), requires_grad=True)
+        loss = cross_entropy(logits, np.array([0]))
+        assert np.isfinite(loss.item())
+        loss.backward()
+        assert np.isfinite(logits.grad).all()
+
+    def test_training_on_constant_features_does_not_nan(self):
+        ds = ArrayDataset(np.zeros((16, 4)), np.zeros(16, dtype=np.int64))
+        model = nn.Sequential(nn.Linear(4, 8), InvertedNorm(8, p=0.3), nn.Linear(8, 2))
+        trainer = Trainer(model, Adam(model.parameters(), lr=1e-2), cross_entropy)
+        history = trainer.fit(ds, epochs=3, batch_size=8)
+        assert np.isfinite(history.loss).all()
+
+    def test_quantizing_all_zero_weights(self, rng):
+        from repro.quant import QuantLinear
+
+        layer = QuantLinear(4, 2, weight_bits=8)
+        layer.weight.data[:] = 0.0
+        out = layer(Tensor(rng.normal(size=(2, 4))))
+        assert np.isfinite(out.data).all()
+
+    def test_extreme_fault_levels_still_finite(self, rng):
+        from repro.faults import BitFlipFault
+        qw = QuantizedWeight(
+            codes=rng.integers(-127, 128, size=(8, 8)).astype(float),
+            scale=np.asarray(0.01),
+            bits=8,
+        )
+        flipped = BitFlipFault(1.0, np.random.default_rng(0))(qw)
+        assert np.isfinite(flipped).all()
+        assert np.abs(flipped).max() <= 127

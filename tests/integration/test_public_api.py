@@ -1,0 +1,99 @@
+"""Public-API surface tests: imports, exports and docstrings."""
+
+import importlib
+
+import pytest
+
+SUBPACKAGES = [
+    "repro.tensor",
+    "repro.nn",
+    "repro.quant",
+    "repro.core",
+    "repro.faults",
+    "repro.imc",
+    "repro.data",
+    "repro.models",
+    "repro.baselines",
+    "repro.train",
+    "repro.uncertainty",
+    "repro.eval",
+]
+
+
+class TestImports:
+    def test_top_level_import(self):
+        import repro
+
+        assert repro.__version__
+
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_subpackage_imports(self, name):
+        module = importlib.import_module(name)
+        assert module.__doc__, f"{name} needs a module docstring"
+
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_all_exports_resolve(self, name):
+        module = importlib.import_module(name)
+        for symbol in getattr(module, "__all__", []):
+            assert hasattr(module, symbol), f"{name}.{symbol} in __all__ but missing"
+
+    def test_headline_symbols_at_top_level(self):
+        import repro
+
+        for symbol in (
+            "Tensor",
+            "manual_seed",
+            "InvertedNorm",
+            "BayesianClassifier",
+            "BayesianRegressor",
+        ):
+            assert hasattr(repro, symbol)
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_public_classes_documented(self, name):
+        module = importlib.import_module(name)
+        undocumented = []
+        for symbol in getattr(module, "__all__", []):
+            obj = getattr(module, symbol)
+            if isinstance(obj, type) and not obj.__doc__:
+                undocumented.append(symbol)
+        assert not undocumented, f"{name}: classes without docstrings: {undocumented}"
+
+
+class TestBaselinesFacade:
+    def test_baselines_reexport_methods(self):
+        from repro import baselines
+        from repro.models import MethodConfig
+
+        assert isinstance(baselines.spindrop(), MethodConfig)
+        assert isinstance(baselines.spatial_spindrop(), MethodConfig)
+        assert isinstance(baselines.conventional(), MethodConfig)
+        names = [m.name for m in baselines.all_methods()]
+        assert names == [
+            "conventional",
+            "spindrop",
+            "spatial-spindrop",
+            "proposed",
+        ]
+
+    def test_quickstart_snippet_from_readme(self):
+        """The README quickstart must actually run."""
+        import numpy as np
+
+        from repro import nn
+        from repro.core import BayesianClassifier, InvertedNorm
+        from repro.tensor import Tensor
+
+        model = nn.Sequential(
+            nn.Linear(16, 64),
+            InvertedNorm(64, p=0.3),
+            nn.ReLU(),
+            nn.Linear(64, 10),
+        )
+        clf = BayesianClassifier(model, num_samples=10)
+        x = Tensor(np.random.default_rng(0).normal(size=(4, 16)))
+        probs = clf.predict_proba(x)
+        assert probs.shape == (4, 10)
+        assert clf.per_input_nll(x).shape == (4,)

@@ -1,0 +1,165 @@
+"""Tests for dropout variants and the stochastic-module machinery."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor, check_gradients
+
+
+class TestDropout:
+    def test_drop_fraction_statistics(self, rng):
+        d = nn.Dropout(0.4)
+        out = d(Tensor(np.ones(20000)))
+        assert abs((out.data == 0).mean() - 0.4) < 0.03
+
+    def test_kept_values_rescaled(self, rng):
+        d = nn.Dropout(0.5)
+        out = d(Tensor(np.ones(1000)))
+        kept = out.data[out.data != 0]
+        np.testing.assert_allclose(kept, 2.0)
+
+    def test_expectation_preserved(self, rng):
+        d = nn.Dropout(0.3)
+        outs = [d(Tensor(np.ones(2000))).data.mean() for _ in range(30)]
+        assert abs(np.mean(outs) - 1.0) < 0.03
+
+    def test_eval_is_identity(self):
+        d = nn.Dropout(0.5)
+        d.eval()
+        x = Tensor(np.ones(10))
+        np.testing.assert_array_equal(d(x).data, x.data)
+
+    def test_stochastic_inference_reactivates(self):
+        d = nn.Dropout(0.5)
+        d.eval()
+        d.stochastic_inference = True
+        out = d(Tensor(np.ones(1000)))
+        assert (out.data == 0).any()
+
+    def test_p_zero_identity(self):
+        d = nn.Dropout(0.0)
+        x = Tensor(np.ones(10))
+        assert d(x) is x
+
+    def test_invalid_p_raises(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+        with pytest.raises(ValueError):
+            nn.Dropout(-0.1)
+
+    def test_gradient_respects_mask(self, rng):
+        d = nn.Dropout(0.5)
+        x = Tensor(rng.normal(size=100), requires_grad=True)
+        out = d(x)
+        out.sum().backward()
+        zeros = out.data == 0
+        np.testing.assert_allclose(x.grad[zeros], 0.0)
+        np.testing.assert_allclose(x.grad[~zeros], 2.0)
+
+    def test_frozen_scope_reuses_mask(self):
+        d = nn.Dropout(0.5)
+        d.mask_scope = "frozen"
+        x = Tensor(np.ones(500))
+        a = d(x).data.copy()
+        b = d(x).data.copy()
+        np.testing.assert_array_equal(a, b)
+        d.resample()
+        c = d(x).data.copy()
+        assert not np.array_equal(a, c)
+
+    def test_frozen_scope_resamples_on_shape_change(self):
+        d = nn.Dropout(0.5)
+        d.mask_scope = "frozen"
+        d(Tensor(np.ones(100)))
+        out = d(Tensor(np.ones(50)))  # no stale-shape crash
+        assert out.shape == (50,)
+
+
+class TestSpatialDropout:
+    def test_whole_channels_dropped(self, rng):
+        d = nn.SpatialDropout2d(0.5)
+        out = d(Tensor(np.ones((4, 32, 3, 3)))).data
+        per_channel = out.reshape(4, 32, -1)
+        for n in range(4):
+            for c in range(32):
+                vals = np.unique(per_channel[n, c])
+                assert len(vals) == 1  # all-zero or all-scaled
+
+    def test_drop_rate(self, rng):
+        d = nn.SpatialDropout2d(0.3)
+        out = d(Tensor(np.ones((8, 500, 2, 2)))).data
+        dropped = (out.reshape(8, 500, -1)[:, :, 0] == 0).mean()
+        assert abs(dropped - 0.3) < 0.05
+
+    def test_1d_variant(self, rng):
+        d = nn.SpatialDropout1d(0.5)
+        out = d(Tensor(np.ones((2, 64, 10)))).data
+        assert out.shape == (2, 64, 10)
+        per_channel = out.reshape(2, 64, -1)
+        assert ((per_channel == 0).all(axis=2) | (per_channel != 0).all(axis=2)).all()
+
+
+class TestGaussianDropout:
+    def test_multiplicative_noise_statistics(self):
+        d = nn.GaussianDropout(0.5)
+        out = d(Tensor(np.ones(50000))).data
+        assert abs(out.mean() - 1.0) < 0.02
+        assert abs(out.std() - 1.0) < 0.05  # std = sqrt(p/(1-p)) = 1
+
+    def test_eval_identity(self):
+        d = nn.GaussianDropout(0.5)
+        d.eval()
+        x = Tensor(np.ones(10))
+        assert d(x) is x
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            nn.GaussianDropout(0.0)
+
+
+class TestDropConnect:
+    def test_wraps_linear(self, rng):
+        inner = nn.Linear(6, 4)
+        d = nn.DropConnect(inner, p=0.5)
+        out = d(Tensor(rng.normal(size=(3, 6))))
+        assert out.shape == (3, 4)
+
+    def test_eval_matches_inner(self, rng):
+        inner = nn.Linear(6, 4)
+        d = nn.DropConnect(inner, p=0.5)
+        d.eval()
+        x = Tensor(rng.normal(size=(3, 6)))
+        np.testing.assert_allclose(d(x).data, inner(x).data)
+
+    def test_gradients_flow_to_weights(self, rng):
+        inner = nn.Linear(4, 2)
+        d = nn.DropConnect(inner, p=0.3)
+        out = d(Tensor(rng.normal(size=(3, 4))))
+        out.sum().backward()
+        assert inner.weight.grad is not None
+
+    def test_requires_weight(self):
+        with pytest.raises(TypeError):
+            nn.DropConnect(nn.Identity(), p=0.5)
+
+
+class TestMaskScopeHelpers:
+    def test_set_mask_scope_recursive(self):
+        model = nn.Sequential(nn.Dropout(0.5), nn.Sequential(nn.Dropout(0.3)))
+        nn.set_mask_scope(model, "frozen")
+        drops = [m for m in model.modules() if isinstance(m, nn.Dropout)]
+        assert all(d.mask_scope == "frozen" for d in drops)
+
+    def test_set_mask_scope_validates(self):
+        with pytest.raises(ValueError):
+            nn.set_mask_scope(nn.Dropout(0.5), "sometimes")
+
+    def test_resample_masks_clears_caches(self):
+        d = nn.Dropout(0.5)
+        d.mask_scope = "frozen"
+        x = Tensor(np.ones(200))
+        a = d(x).data.copy()
+        nn.resample_masks(d)
+        b = d(x).data.copy()
+        assert not np.array_equal(a, b)

@@ -1,0 +1,139 @@
+"""Unit + gradient tests for linear, conv, pooling and activation layers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor, check_gradients
+
+
+def t(rng, *shape, grad=False):
+    return Tensor(rng.normal(size=shape), requires_grad=grad)
+
+
+class TestLinear:
+    def test_shapes(self, rng):
+        layer = nn.Linear(6, 4)
+        assert layer(t(rng, 5, 6)).shape == (5, 4)
+
+    def test_no_bias(self, rng):
+        layer = nn.Linear(6, 4, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_gradients(self, rng):
+        layer = nn.Linear(4, 3)
+        x = t(rng, 2, 4, grad=True)
+        check_gradients(lambda: layer(x), [x] + layer.parameters())
+
+    def test_batched_3d_input(self, rng):
+        layer = nn.Linear(4, 3)
+        assert layer(t(rng, 2, 5, 4)).shape == (2, 5, 3)
+
+
+class TestConvLayers:
+    def test_conv2d_shapes(self, rng):
+        layer = nn.Conv2d(3, 8, 3, stride=2, padding=1)
+        assert layer(t(rng, 2, 3, 8, 8)).shape == (2, 8, 4, 4)
+
+    def test_conv2d_gradients(self, rng):
+        layer = nn.Conv2d(2, 3, 3, padding=1)
+        x = t(rng, 1, 2, 5, 5, grad=True)
+        check_gradients(lambda: layer(x), [x] + layer.parameters())
+
+    def test_conv1d_shapes(self, rng):
+        layer = nn.Conv1d(1, 4, 9, stride=4, padding=4)
+        assert layer(t(rng, 2, 1, 64)).shape == (2, 4, 16)
+
+    def test_conv_transpose2d_shapes(self, rng):
+        layer = nn.ConvTranspose2d(4, 2, 2, stride=2)
+        assert layer(t(rng, 1, 4, 5, 5)).shape == (1, 2, 10, 10)
+
+    def test_parameter_count(self):
+        layer = nn.Conv2d(3, 8, 3)
+        assert layer.num_parameters() == 8 * 3 * 9 + 8
+
+
+class TestPoolingLayers:
+    def test_max_pool2d(self, rng):
+        assert nn.MaxPool2d(2)(t(rng, 1, 2, 8, 8)).shape == (1, 2, 4, 4)
+
+    def test_avg_pool2d_stride(self, rng):
+        assert nn.AvgPool2d(3, stride=2)(t(rng, 1, 2, 7, 7)).shape == (1, 2, 3, 3)
+
+    def test_max_pool1d(self, rng):
+        assert nn.MaxPool1d(4)(t(rng, 2, 3, 16)).shape == (2, 3, 4)
+
+    def test_global_pools(self, rng):
+        assert nn.GlobalAvgPool2d()(t(rng, 2, 5, 4, 4)).shape == (2, 5)
+        assert nn.GlobalAvgPool1d()(t(rng, 2, 5, 9)).shape == (2, 5)
+
+    def test_upsample(self, rng):
+        assert nn.UpsampleNearest2d(2)(t(rng, 1, 2, 3, 3)).shape == (1, 2, 6, 6)
+
+    def test_flatten(self, rng):
+        assert nn.Flatten()(t(rng, 2, 3, 4)).shape == (2, 12)
+
+
+class TestActivations:
+    @pytest.mark.parametrize(
+        "layer,fn",
+        [
+            (nn.ReLU(), lambda v: np.maximum(v, 0)),
+            (nn.Tanh(), np.tanh),
+            (nn.Sigmoid(), lambda v: 1 / (1 + np.exp(-v))),
+            (nn.HardTanh(), lambda v: np.clip(v, -1, 1)),
+        ],
+        ids=["relu", "tanh", "sigmoid", "hardtanh"],
+    )
+    def test_matches_numpy(self, rng, layer, fn):
+        x = t(rng, 4, 5)
+        np.testing.assert_allclose(layer(x).data, fn(x.data), atol=1e-12)
+
+    def test_leaky_relu_slope(self):
+        layer = nn.LeakyReLU(0.2)
+        out = layer(Tensor(np.array([-1.0, 2.0])))
+        np.testing.assert_allclose(out.data, [-0.2, 2.0])
+
+    def test_softmax_normalizes(self, rng):
+        out = nn.Softmax()(t(rng, 3, 7))
+        np.testing.assert_allclose(out.data.sum(axis=-1), np.ones(3))
+
+    def test_log_softmax_consistency(self, rng):
+        x = t(rng, 3, 7)
+        np.testing.assert_allclose(
+            nn.LogSoftmax()(x).data, np.log(nn.Softmax()(x).data), atol=1e-12
+        )
+
+
+class TestLSTMLayer:
+    def test_output_shapes(self, rng):
+        lstm = nn.LSTM(3, 8, num_layers=2)
+        out, state = lstm(t(rng, 4, 6, 3))
+        assert out.shape == (4, 6, 8)
+        assert len(state) == 2
+        assert state[0][0].shape == (4, 8)
+
+    def test_state_continuation(self, rng):
+        lstm = nn.LSTM(2, 4)
+        x = t(rng, 1, 6, 2)
+        full, _ = lstm(x)
+        first, state = lstm(x[:, :3, :])
+        second, _ = lstm(x[:, 3:, :], state=state)
+        np.testing.assert_allclose(second.data, full.data[:, 3:, :], atol=1e-10)
+
+    def test_forget_bias_initialized_to_one(self):
+        cell = nn.LSTMCell(2, 4)
+        np.testing.assert_allclose(cell.bias_ih.data[4:8], np.ones(4))
+
+    def test_cell_gradcheck(self, rng):
+        cell = nn.LSTMCell(3, 4)
+        x = t(rng, 2, 3, grad=True)
+        h = t(rng, 2, 4, grad=True)
+        c = t(rng, 2, 4, grad=True)
+        check_gradients(
+            lambda: cell(x, (h, c))[0] + cell(x, (h, c))[1],
+            [x, h, c],
+            atol=1e-4,
+            rtol=1e-3,
+        )

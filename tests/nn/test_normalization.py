@@ -1,0 +1,128 @@
+"""Tests for conventional normalization layers (invariants + gradients)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor, check_gradients
+
+
+def t(rng, *shape, grad=False):
+    return Tensor(rng.normal(loc=2.0, scale=3.0, size=shape), requires_grad=grad)
+
+
+class TestBatchNorm2d:
+    def test_train_output_standardized_per_channel(self, rng):
+        bn = nn.BatchNorm2d(4)
+        out = bn(t(rng, 8, 4, 5, 5)).data
+        means = out.mean(axis=(0, 2, 3))
+        stds = out.std(axis=(0, 2, 3))
+        np.testing.assert_allclose(means, 0.0, atol=1e-10)
+        np.testing.assert_allclose(stds, 1.0, atol=1e-3)
+
+    def test_running_stats_converge(self, rng):
+        bn = nn.BatchNorm2d(2, momentum=0.2)
+        for _ in range(60):
+            bn(t(rng, 16, 2, 4, 4))
+        np.testing.assert_allclose(bn._buffers["running_mean"], 2.0, atol=0.3)
+        np.testing.assert_allclose(bn._buffers["running_var"], 9.0, rtol=0.2)
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = nn.BatchNorm2d(2)
+        bn._buffers["running_mean"][:] = 2.0
+        bn._buffers["running_var"][:] = 9.0
+        bn.eval()
+        x = t(rng, 4, 2, 3, 3)
+        out = bn(x).data
+        expected = (x.data - 2.0) / np.sqrt(9.0 + bn.eps)
+        np.testing.assert_allclose(out, expected, atol=1e-10)
+
+    def test_eval_is_deterministic(self, rng):
+        bn = nn.BatchNorm2d(2)
+        bn(t(rng, 8, 2, 3, 3))
+        bn.eval()
+        x = t(rng, 4, 2, 3, 3)
+        np.testing.assert_array_equal(bn(x).data, bn(x).data)
+
+    def test_gradients(self, rng):
+        bn = nn.BatchNorm2d(3)
+        x = t(rng, 4, 3, 3, 3, grad=True)
+        check_gradients(lambda: bn(x), [x, bn.weight, bn.bias])
+
+    def test_affine_false_has_no_params(self, rng):
+        bn = nn.BatchNorm2d(3, affine=False)
+        assert not bn.parameters()
+        bn(t(rng, 4, 3, 2, 2))
+
+
+class TestBatchNorm1d:
+    def test_2d_input(self, rng):
+        bn = nn.BatchNorm1d(5)
+        out = bn(t(rng, 32, 5)).data
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-10)
+
+    def test_3d_input(self, rng):
+        bn = nn.BatchNorm1d(5)
+        out = bn(t(rng, 8, 5, 7)).data
+        np.testing.assert_allclose(out.mean(axis=(0, 2)), 0.0, atol=1e-10)
+
+
+class TestLayerNorm:
+    def test_per_instance_standardization(self, rng):
+        ln = nn.LayerNorm(4)
+        out = ln(t(rng, 6, 4, 3, 3)).data
+        flat = out.reshape(6, -1)
+        np.testing.assert_allclose(flat.mean(axis=1), 0.0, atol=1e-10)
+        np.testing.assert_allclose(flat.std(axis=1), 1.0, atol=1e-3)
+
+    def test_train_eval_identical(self, rng):
+        ln = nn.LayerNorm(4)
+        x = t(rng, 2, 4, 3, 3)
+        train_out = ln(x).data.copy()
+        ln.eval()
+        np.testing.assert_array_equal(ln(x).data, train_out)
+
+    def test_works_on_2d_input(self, rng):
+        ln = nn.LayerNorm(8)
+        out = ln(t(rng, 5, 8)).data
+        np.testing.assert_allclose(out.mean(axis=1), 0.0, atol=1e-10)
+
+    def test_gradients(self, rng):
+        ln = nn.LayerNorm(3)
+        x = t(rng, 2, 3, 4, grad=True)
+        check_gradients(lambda: ln(x), [x, ln.weight, ln.bias])
+
+
+class TestInstanceNorm2d:
+    def test_per_channel_per_instance(self, rng):
+        inorm = nn.InstanceNorm2d(3)
+        out = inorm(t(rng, 4, 3, 5, 5)).data
+        np.testing.assert_allclose(out.mean(axis=(2, 3)), 0.0, atol=1e-10)
+
+    def test_gradients(self, rng):
+        inorm = nn.InstanceNorm2d(2)
+        x = t(rng, 2, 2, 4, 4, grad=True)
+        check_gradients(lambda: inorm(x), [x, inorm.weight, inorm.bias])
+
+
+class TestGroupNorm:
+    def test_group_statistics(self, rng):
+        gn = nn.GroupNorm(2, 4)
+        out = gn(t(rng, 3, 4, 5, 5)).data
+        grouped = out.reshape(3, 2, 2, 5, 5)
+        np.testing.assert_allclose(grouped.mean(axis=(2, 3, 4)), 0.0, atol=1e-10)
+
+    def test_invalid_group_count_raises(self):
+        with pytest.raises(ValueError):
+            nn.GroupNorm(3, 4)
+
+    def test_gradients(self, rng):
+        gn = nn.GroupNorm(2, 4)
+        x = t(rng, 2, 4, 3, 3, grad=True)
+        check_gradients(lambda: gn(x), [x, gn.weight, gn.bias])
+
+    def test_single_group_equals_layernorm_stats(self, rng):
+        gn = nn.GroupNorm(1, 4)
+        ln = nn.LayerNorm(4)
+        x = t(rng, 2, 4, 3, 3)
+        np.testing.assert_allclose(gn(x).data, ln(x).data, atol=1e-10)

@@ -1,0 +1,138 @@
+"""Tests for quantized layer wrappers and their fault hooks."""
+
+import numpy as np
+import pytest
+
+from repro.quant import (
+    PACT,
+    QuantConv1d,
+    QuantConv2d,
+    QuantLinear,
+    QuantLSTMCell,
+    QuantReLU,
+    SignActivation,
+)
+from repro.tensor import Tensor, no_grad
+
+
+class TestQuantConv2d:
+    def test_binary_forward_uses_binarized_weights(self, rng):
+        layer = QuantConv2d(2, 3, 3, padding=1, weight_bits=1)
+        x = Tensor(rng.normal(size=(1, 2, 5, 5)))
+        layer(x)
+        record = layer.last_quantized
+        assert record.bits == 1
+        assert set(np.unique(record.codes)) <= {-1.0, 1.0}
+
+    def test_training_updates_latent_weights(self, rng):
+        layer = QuantConv2d(2, 3, 3, weight_bits=1)
+        x = Tensor(rng.normal(size=(1, 2, 5, 5)))
+        before = layer.weight.data.copy()
+        out = layer(x)
+        out.sum().backward()
+        assert layer.weight.grad is not None
+        assert np.any(layer.weight.grad != 0)
+        assert np.array_equal(layer.weight.data, before)  # grads don't mutate
+
+    def test_weight_fault_applied_every_forward(self, rng):
+        layer = QuantConv2d(1, 1, 3, weight_bits=1)
+        x = Tensor(rng.normal(size=(1, 1, 5, 5)))
+        clean = layer(x).data.copy()
+        layer.weight_fault = lambda qw: -qw.codes
+        flipped = layer(x).data
+        np.testing.assert_allclose(flipped, -clean, atol=1e-12)
+        layer.weight_fault = None
+        np.testing.assert_allclose(layer(x).data, clean, atol=1e-12)
+
+    def test_eight_bit_mode(self, rng):
+        layer = QuantConv2d(2, 3, 3, weight_bits=8)
+        layer(Tensor(rng.normal(size=(1, 2, 5, 5))))
+        assert layer.last_quantized.bits == 8
+
+
+class TestQuantConv1d:
+    def test_forward_shape(self, rng):
+        layer = QuantConv1d(1, 4, 9, stride=4, padding=4, weight_bits=8)
+        out = layer(Tensor(rng.normal(size=(2, 1, 64))))
+        assert out.shape == (2, 4, 16)
+        assert layer.last_quantized.bits == 8
+
+
+class TestQuantLinear:
+    def test_close_to_float_linear(self, rng):
+        layer = QuantLinear(16, 8, weight_bits=8)
+        x = Tensor(rng.normal(size=(4, 16)))
+        with no_grad():
+            q_out = layer(x).data
+        float_out = x.data @ layer.weight.data.T + layer.bias.data
+        rel = np.abs(q_out - float_out).max() / np.abs(float_out).max()
+        assert rel < 0.05  # 8-bit quantization error is small
+
+    def test_fault_hook(self, rng):
+        layer = QuantLinear(4, 2, weight_bits=8)
+        x = Tensor(rng.normal(size=(1, 4)))
+        clean = layer(x).data.copy()
+        layer.weight_fault = lambda qw: np.zeros_like(qw.codes)
+        zeroed = layer(x).data
+        np.testing.assert_allclose(zeroed, layer.bias.data[None, :])
+        assert not np.allclose(zeroed, clean)
+
+
+class TestQuantLSTMCell:
+    def test_step_shapes(self, rng):
+        cell = QuantLSTMCell(3, 5, weight_bits=8)
+        x = Tensor(rng.normal(size=(2, 3)))
+        h = Tensor(np.zeros((2, 5)))
+        c = Tensor(np.zeros((2, 5)))
+        h2, c2 = cell(x, (h, c))
+        assert h2.shape == (2, 5) and c2.shape == (2, 5)
+        assert cell.last_quantized is not None
+        assert cell.last_quantized_hh is not None
+
+    def test_independent_fault_hooks(self, rng):
+        cell = QuantLSTMCell(3, 5, weight_bits=8)
+        x = Tensor(rng.normal(size=(2, 3)))
+        state = (Tensor(rng.normal(size=(2, 5))), Tensor(np.zeros((2, 5))))
+        clean = cell(x, state)[0].data.copy()
+        cell.weight_fault = lambda qw: np.zeros_like(qw.codes)
+        only_ih = cell(x, state)[0].data.copy()
+        cell.weight_fault = None
+        cell.weight_fault_hh = lambda qw: np.zeros_like(qw.codes)
+        only_hh = cell(x, state)[0].data.copy()
+        assert not np.allclose(clean, only_ih)
+        assert not np.allclose(clean, only_hh)
+        assert not np.allclose(only_ih, only_hh)
+
+
+class TestSignActivation:
+    def test_binary_output(self, rng):
+        act = SignActivation()
+        out = act(Tensor(rng.normal(size=(3, 4))))
+        assert set(np.unique(out.data)) <= {-1.0, 1.0}
+
+    def test_pre_fault_noise_injection(self, rng):
+        act = SignActivation()
+        x = Tensor(np.full((100,), 0.1))
+        clean = act(x).data.copy()
+        np.testing.assert_array_equal(clean, 1.0)
+        noise_rng = np.random.default_rng(0)
+        act.pre_fault = lambda v: v + noise_rng.normal(0, 1.0, v.shape)
+        noisy = act(x).data
+        assert (noisy == -1.0).any()  # strong noise flips some signs
+
+
+class TestQuantReLU:
+    def test_levels_and_range(self, rng):
+        act = QuantReLU(bits=3, max_val=2.0)
+        out = act(Tensor(rng.normal(scale=3.0, size=1000)))
+        assert out.data.min() >= 0.0 and out.data.max() <= 2.0
+        assert len(np.unique(out.data)) <= 8
+
+
+class TestPACTLayer:
+    def test_alpha_is_trainable(self, rng):
+        act = PACT(bits=4, alpha_init=3.0)
+        x = Tensor(rng.normal(scale=5.0, size=(2, 8)), requires_grad=True)
+        act(x).sum().backward()
+        assert act.alpha.grad is not None
+        assert act.num_parameters() == 1

@@ -1,0 +1,143 @@
+"""Gradient and shape checks for conv / pool / upsample kernels."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import (
+    Tensor,
+    avg_pool1d,
+    avg_pool2d,
+    check_gradients,
+    conv1d,
+    conv2d,
+    conv_transpose2d,
+    max_pool1d,
+    max_pool2d,
+    upsample_nearest2d,
+)
+
+
+def t(rng, *shape):
+    return Tensor(rng.normal(size=shape), requires_grad=True)
+
+
+class TestConv2d:
+    def test_output_shape_basic(self, rng):
+        out = conv2d(t(rng, 2, 3, 8, 8), t(rng, 5, 3, 3, 3), padding=1)
+        assert out.shape == (2, 5, 8, 8)
+
+    def test_output_shape_strided(self, rng):
+        out = conv2d(t(rng, 2, 3, 8, 8), t(rng, 5, 3, 3, 3), stride=2, padding=1)
+        assert out.shape == (2, 5, 4, 4)
+
+    def test_channel_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            conv2d(t(rng, 1, 3, 4, 4), t(rng, 2, 4, 3, 3))
+
+    def test_matches_direct_computation(self, rng):
+        x = t(rng, 1, 2, 5, 5)
+        w = t(rng, 3, 2, 3, 3)
+        out = conv2d(x, w).data
+        # brute-force cross-correlation
+        ref = np.zeros((1, 3, 3, 3))
+        for o in range(3):
+            for i in range(3):
+                for j in range(3):
+                    patch = x.data[0, :, i : i + 3, j : j + 3]
+                    ref[0, o, i, j] = (patch * w.data[o]).sum()
+        np.testing.assert_allclose(out, ref, atol=1e-12)
+
+    def test_gradients(self, rng):
+        x, w, b = t(rng, 2, 3, 6, 6), t(rng, 4, 3, 3, 3), t(rng, 4)
+        check_gradients(lambda: conv2d(x, w, b, stride=2, padding=1), [x, w, b])
+
+    def test_gradients_1x1(self, rng):
+        x, w = t(rng, 2, 3, 4, 4), t(rng, 5, 3, 1, 1)
+        check_gradients(lambda: conv2d(x, w), [x, w])
+
+    def test_gradients_asymmetric_kernel(self, rng):
+        x, w = t(rng, 1, 2, 6, 6), t(rng, 3, 2, 1, 3)
+        check_gradients(lambda: conv2d(x, w, padding=(0, 1)), [x, w])
+
+
+class TestConv1d:
+    def test_output_shape(self, rng):
+        out = conv1d(t(rng, 2, 3, 20), t(rng, 4, 3, 5), stride=4, padding=2)
+        assert out.shape == (2, 4, 5)
+
+    def test_gradients(self, rng):
+        x, w, b = t(rng, 2, 3, 12), t(rng, 4, 3, 5), t(rng, 4)
+        check_gradients(lambda: conv1d(x, w, b, stride=2, padding=2), [x, w, b])
+
+    def test_matches_numpy_correlate(self, rng):
+        x = t(rng, 1, 1, 10)
+        w = t(rng, 1, 1, 3)
+        out = conv1d(x, w).data[0, 0]
+        ref = np.correlate(x.data[0, 0], w.data[0, 0], mode="valid")
+        np.testing.assert_allclose(out, ref, atol=1e-12)
+
+
+class TestConvTranspose2d:
+    def test_output_shape(self, rng):
+        out = conv_transpose2d(t(rng, 2, 4, 5, 5), t(rng, 4, 3, 2, 2), stride=2)
+        assert out.shape == (2, 3, 10, 10)
+
+    def test_gradients(self, rng):
+        x, w, b = t(rng, 2, 3, 4, 4), t(rng, 3, 2, 2, 2), t(rng, 2)
+        check_gradients(lambda: conv_transpose2d(x, w, b, stride=2), [x, w, b])
+
+    def test_inverts_stride_structure(self, rng):
+        # transpose conv of a delta spreads the kernel at the right offset
+        x = Tensor(np.zeros((1, 1, 3, 3)))
+        x.data[0, 0, 1, 1] = 1.0
+        w = Tensor(rng.normal(size=(1, 1, 2, 2)))
+        out = conv_transpose2d(x, w, stride=2).data
+        np.testing.assert_allclose(out[0, 0, 2:4, 2:4], w.data[0, 0])
+
+    def test_channel_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            conv_transpose2d(t(rng, 1, 3, 4, 4), t(rng, 2, 3, 2, 2))
+
+
+class TestPooling:
+    def test_max_pool2d_shape_and_values(self):
+        x = Tensor(np.arange(16, dtype=float).reshape(1, 1, 4, 4))
+        out = max_pool2d(x, 2)
+        np.testing.assert_allclose(out.data[0, 0], [[5, 7], [13, 15]])
+
+    def test_max_pool2d_gradients(self, rng):
+        x = t(rng, 2, 3, 6, 6)
+        check_gradients(lambda: max_pool2d(x, 2), [x])
+
+    def test_max_pool2d_overlapping_gradients(self, rng):
+        x = t(rng, 1, 2, 6, 6)
+        check_gradients(lambda: max_pool2d(x, 3, stride=2), [x])
+
+    def test_avg_pool2d_values(self):
+        x = Tensor(np.arange(16, dtype=float).reshape(1, 1, 4, 4))
+        out = avg_pool2d(x, 2)
+        np.testing.assert_allclose(out.data[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_avg_pool2d_gradients(self, rng):
+        x = t(rng, 2, 3, 6, 6)
+        check_gradients(lambda: avg_pool2d(x, 2), [x])
+
+    def test_max_pool1d_gradients(self, rng):
+        x = t(rng, 2, 3, 12)
+        check_gradients(lambda: max_pool1d(x, 4), [x])
+
+    def test_avg_pool1d_gradients(self, rng):
+        x = t(rng, 2, 3, 12)
+        check_gradients(lambda: avg_pool1d(x, 3), [x])
+
+
+class TestUpsample:
+    def test_values(self):
+        x = Tensor([[[[1.0, 2.0], [3.0, 4.0]]]])
+        out = upsample_nearest2d(x, 2)
+        assert out.shape == (1, 1, 4, 4)
+        np.testing.assert_allclose(out.data[0, 0, :2, :2], [[1, 1], [1, 1]])
+
+    def test_gradients(self, rng):
+        x = t(rng, 2, 3, 3, 3)
+        check_gradients(lambda: upsample_nearest2d(x, 2), [x])

@@ -1,0 +1,80 @@
+"""Tests for gradient-mode switching and RNG management."""
+
+import numpy as np
+
+from repro.tensor import (
+    Tensor,
+    enable_grad,
+    get_rng,
+    is_grad_enabled,
+    manual_seed,
+    no_grad,
+    set_grad_enabled,
+    spawn_rng,
+)
+
+
+class TestGradMode:
+    def test_default_enabled(self):
+        assert is_grad_enabled()
+
+    def test_no_grad_restores_on_exception(self):
+        try:
+            with no_grad():
+                assert not is_grad_enabled()
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert is_grad_enabled()
+
+    def test_enable_grad_inside_no_grad(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            with enable_grad():
+                y = x * 2.0
+            z = x * 3.0
+        assert y.requires_grad
+        assert not z.requires_grad
+
+    def test_nested_no_grad(self):
+        with no_grad():
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_set_grad_enabled(self):
+        set_grad_enabled(False)
+        try:
+            x = Tensor([1.0], requires_grad=True)
+            assert not (x * 2.0).requires_grad
+        finally:
+            set_grad_enabled(True)
+
+
+class TestRNG:
+    def test_manual_seed_reproduces_stream(self):
+        manual_seed(123)
+        a = get_rng().random(5)
+        manual_seed(123)
+        b = get_rng().random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_spawn_rng_independent_of_global(self):
+        manual_seed(0)
+        r1 = spawn_rng(1)
+        global_draw_before = get_rng().random()
+        r2 = spawn_rng(1)
+        np.testing.assert_array_equal(r1.random(3), r2.random(3))
+
+    def test_spawn_different_tags_differ(self):
+        manual_seed(0)
+        a = spawn_rng(1).random(3)
+        b = spawn_rng(2).random(3)
+        assert not np.array_equal(a, b)
+
+    def test_spawn_accepts_string_tag(self):
+        manual_seed(0)
+        a = spawn_rng("chip-7").random(3)
+        b = spawn_rng("chip-7").random(3)
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,255 @@
+"""Finite-difference gradient checks for every differentiable op."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, check_gradients, concatenate, ops, stack_tensors
+
+
+def t(rng, *shape):
+    return Tensor(rng.normal(size=shape), requires_grad=True)
+
+
+class TestArithmeticGradients:
+    def test_add_broadcast(self, rng):
+        a, b = t(rng, 3, 4), t(rng, 4)
+        check_gradients(lambda: a + b, [a, b])
+
+    def test_sub_broadcast(self, rng):
+        a, b = t(rng, 2, 3, 4), t(rng, 3, 1)
+        check_gradients(lambda: a - b, [a, b])
+
+    def test_rsub(self, rng):
+        a = t(rng, 3)
+        check_gradients(lambda: 5.0 - a, [a])
+
+    def test_mul_broadcast(self, rng):
+        a, b = t(rng, 3, 4), t(rng, 3, 1)
+        check_gradients(lambda: a * b, [a, b])
+
+    def test_div(self, rng):
+        a, b = t(rng, 3, 4), t(rng, 3, 4)
+        b.data += 5.0  # keep away from zero
+        check_gradients(lambda: a / b, [a, b])
+
+    def test_rdiv(self, rng):
+        a = t(rng, 3)
+        a.data += 5.0
+        check_gradients(lambda: 2.0 / a, [a])
+
+    def test_neg(self, rng):
+        a = t(rng, 3, 2)
+        check_gradients(lambda: -a, [a])
+
+    def test_pow(self, rng):
+        a = t(rng, 4)
+        a.data = np.abs(a.data) + 0.5
+        check_gradients(lambda: a**3.0, [a])
+
+    def test_pow_rejects_tensor_exponent(self, rng):
+        a = t(rng, 3)
+        with pytest.raises(TypeError):
+            a ** t(rng, 3)
+
+
+class TestMatmulGradients:
+    def test_matrix_matrix(self, rng):
+        a, b = t(rng, 3, 4), t(rng, 4, 5)
+        check_gradients(lambda: a @ b, [a, b])
+
+    def test_matrix_vector(self, rng):
+        a, b = t(rng, 3, 4), t(rng, 4)
+        check_gradients(lambda: a @ b, [a, b])
+
+    def test_vector_matrix(self, rng):
+        a, b = t(rng, 4), t(rng, 4, 5)
+        check_gradients(lambda: a @ b, [a, b])
+
+    def test_batched_matmul(self, rng):
+        a, b = t(rng, 2, 3, 4), t(rng, 2, 4, 5)
+        check_gradients(lambda: a @ b, [a, b])
+
+    def test_broadcast_batched_matmul(self, rng):
+        a, b = t(rng, 2, 3, 4), t(rng, 4, 5)
+        check_gradients(lambda: a @ b, [a, b])
+
+
+class TestReductionGradients:
+    def test_sum_all(self, rng):
+        a = t(rng, 3, 4)
+        check_gradients(lambda: a.sum(), [a])
+
+    def test_sum_axis_keepdims(self, rng):
+        a = t(rng, 3, 4)
+        check_gradients(lambda: a.sum(axis=1, keepdims=True), [a])
+
+    def test_sum_multi_axis(self, rng):
+        a = t(rng, 2, 3, 4)
+        check_gradients(lambda: a.sum(axis=(0, 2)), [a])
+
+    def test_mean(self, rng):
+        a = t(rng, 3, 4)
+        check_gradients(lambda: a.mean(axis=0), [a])
+
+    def test_var(self, rng):
+        a = t(rng, 3, 5)
+        check_gradients(lambda: a.var(axis=1), [a])
+
+    def test_var_matches_numpy_population(self, rng):
+        a = t(rng, 4, 6)
+        np.testing.assert_allclose(a.var(axis=1).data, a.data.var(axis=1))
+
+    def test_max_axis(self, rng):
+        a = t(rng, 3, 5)
+        check_gradients(lambda: a.max(axis=1), [a])
+
+    def test_max_all(self, rng):
+        a = t(rng, 3, 5)
+        check_gradients(lambda: a.max(), [a])
+
+    def test_min(self, rng):
+        a = t(rng, 3, 5)
+        check_gradients(lambda: a.min(axis=0), [a])
+
+    def test_max_splits_ties(self):
+        a = Tensor([[2.0, 2.0, 1.0]], requires_grad=True)
+        a.max(axis=1).sum().backward()
+        np.testing.assert_allclose(a.grad, [[0.5, 0.5, 0.0]])
+
+
+class TestShapeGradients:
+    def test_reshape(self, rng):
+        a = t(rng, 3, 4)
+        check_gradients(lambda: a.reshape(2, 6), [a])
+
+    def test_reshape_infer(self, rng):
+        a = t(rng, 3, 4)
+        check_gradients(lambda: a.reshape(-1), [a])
+
+    def test_flatten(self, rng):
+        a = t(rng, 2, 3, 4)
+        assert a.flatten(start_dim=1).shape == (2, 12)
+        check_gradients(lambda: a.flatten(start_dim=1), [a])
+
+    def test_transpose_default(self, rng):
+        a = t(rng, 3, 4)
+        check_gradients(lambda: a.T, [a])
+
+    def test_transpose_axes(self, rng):
+        a = t(rng, 2, 3, 4)
+        check_gradients(lambda: a.transpose(1, 2, 0), [a])
+
+    def test_swapaxes(self, rng):
+        a = t(rng, 2, 3, 4)
+        check_gradients(lambda: a.swapaxes(0, 2), [a])
+
+    def test_expand_dims_squeeze(self, rng):
+        a = t(rng, 3, 4)
+        check_gradients(lambda: a.expand_dims(1), [a])
+        b = t(rng, 3, 1, 4)
+        check_gradients(lambda: b.squeeze(1), [b])
+
+    def test_getitem_slice(self, rng):
+        a = t(rng, 5, 4)
+        check_gradients(lambda: a[1:4, ::2], [a])
+
+    def test_getitem_fancy_repeated_indices(self):
+        a = Tensor([1.0, 2.0, 3.0], requires_grad=True)
+        a[np.array([0, 0, 2])].sum().backward()
+        np.testing.assert_allclose(a.grad, [2.0, 0.0, 1.0])
+
+    def test_concatenate(self, rng):
+        a, b = t(rng, 2, 3), t(rng, 4, 3)
+        check_gradients(lambda: concatenate([a, b], axis=0), [a, b])
+
+    def test_concatenate_axis1(self, rng):
+        a, b = t(rng, 2, 3), t(rng, 2, 5)
+        check_gradients(lambda: concatenate([a, b], axis=1), [a, b])
+
+    def test_stack(self, rng):
+        a, b = t(rng, 2, 3), t(rng, 2, 3)
+        check_gradients(lambda: stack_tensors([a, b], axis=1), [a, b])
+
+
+class TestElementwiseOpGradients:
+    @pytest.mark.parametrize(
+        "fn",
+        [ops.exp, ops.tanh, ops.sigmoid, ops.relu, ops.leaky_relu, ops.abs_],
+        ids=["exp", "tanh", "sigmoid", "relu", "leaky_relu", "abs"],
+    )
+    def test_unary(self, rng, fn):
+        a = t(rng, 3, 4)
+        a.data += 0.05  # keep relu/abs kinks away from sample points
+        check_gradients(lambda: fn(a), [a])
+
+    def test_log_sqrt_positive_domain(self, rng):
+        a = t(rng, 3, 4)
+        a.data = np.abs(a.data) + 0.5
+        check_gradients(lambda: ops.log(a), [a])
+        check_gradients(lambda: ops.sqrt(a), [a])
+
+    def test_hardtanh(self, rng):
+        a = t(rng, 20)
+        a.data *= 2.0
+        a.data += 0.01
+        check_gradients(lambda: ops.hardtanh(a), [a])
+
+    def test_clip(self, rng):
+        a = t(rng, 20)
+        a.data *= 2.0
+        a.data += 0.013
+        check_gradients(lambda: ops.clip(a, -1.0, 1.0), [a])
+
+    def test_clip_one_sided(self, rng):
+        a = t(rng, 10)
+        a.data += 0.017
+        check_gradients(lambda: ops.clip(a, None, 0.5), [a])
+        check_gradients(lambda: ops.clip(a, -0.5, None), [a])
+
+    def test_maximum(self, rng):
+        a, b = t(rng, 4, 3), t(rng, 4, 3)
+        check_gradients(lambda: ops.maximum(a, b), [a, b])
+
+    def test_where(self, rng):
+        a, b = t(rng, 4, 3), t(rng, 4, 3)
+        cond = rng.random((4, 3)) > 0.5
+        check_gradients(lambda: ops.where(cond, a, b), [a, b])
+
+    def test_softmax(self, rng):
+        a = t(rng, 3, 5)
+        coeff = Tensor(rng.normal(size=(3, 5)))
+        check_gradients(lambda: ops.softmax(a) * coeff, [a])
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        a = t(rng, 3, 5)
+        np.testing.assert_allclose(ops.softmax(a).data.sum(axis=-1), np.ones(3))
+
+    def test_log_softmax(self, rng):
+        a = t(rng, 3, 5)
+        coeff = Tensor(rng.normal(size=(3, 5)))
+        check_gradients(lambda: ops.log_softmax(a) * coeff, [a])
+
+    def test_log_softmax_stability_large_logits(self):
+        a = Tensor([[1000.0, 1000.0]], requires_grad=True)
+        out = ops.log_softmax(a)
+        assert np.all(np.isfinite(out.data))
+        np.testing.assert_allclose(out.data, np.log(0.5) * np.ones((1, 2)))
+
+    def test_sigmoid_stability_extremes(self):
+        a = Tensor([-1000.0, 1000.0])
+        out = ops.sigmoid(a)
+        np.testing.assert_allclose(out.data, [0.0, 1.0], atol=1e-12)
+
+    def test_pad(self, rng):
+        a = t(rng, 2, 3, 4)
+        check_gradients(lambda: ops.pad(a, [(0, 0), (1, 2), (2, 1)]), [a])
+
+    def test_dropout_mask_apply(self, rng):
+        a = t(rng, 4, 5)
+        mask = (rng.random((4, 5)) > 0.3).astype(float)
+        check_gradients(lambda: ops.dropout_mask_apply(a, mask, scale=2.0), [a])
+
+    def test_add_noise_passthrough_gradient(self, rng):
+        a = t(rng, 4, 5)
+        noise = rng.normal(size=(4, 5))
+        check_gradients(lambda: ops.add_noise(a, noise), [a])

@@ -1,0 +1,92 @@
+"""Property-based tests for autograd algebra using hypothesis."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.tensor import Tensor, no_grad, unbroadcast
+
+finite_arrays = arrays(
+    dtype=np.float64,
+    shape=array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=5),
+    elements=st.floats(-10, 10, allow_nan=False, allow_infinity=False),
+)
+
+
+@given(finite_arrays)
+@settings(max_examples=50, deadline=None)
+def test_add_commutes(a):
+    x, y = Tensor(a), Tensor(a * 0.5 + 1.0)
+    np.testing.assert_allclose((x + y).data, (y + x).data)
+
+
+@given(finite_arrays)
+@settings(max_examples=50, deadline=None)
+def test_sum_linear_in_scaling(a):
+    x = Tensor(a, requires_grad=True)
+    (x * 3.0).sum().backward()
+    np.testing.assert_allclose(x.grad, 3.0 * np.ones_like(a))
+
+
+@given(finite_arrays)
+@settings(max_examples=50, deadline=None)
+def test_mean_gradient_uniform(a):
+    x = Tensor(a, requires_grad=True)
+    x.mean().backward()
+    np.testing.assert_allclose(x.grad, np.ones_like(a) / a.size)
+
+
+@given(finite_arrays)
+@settings(max_examples=50, deadline=None)
+def test_reshape_roundtrip_preserves_gradient(a):
+    x = Tensor(a, requires_grad=True)
+    x.reshape(-1).reshape(a.shape).sum().backward()
+    np.testing.assert_allclose(x.grad, np.ones_like(a))
+
+@given(finite_arrays)
+@settings(max_examples=50, deadline=None)
+def test_chain_rule_product(a):
+    # d/dx sum(x * x * x) == 3 x^2
+    x = Tensor(a, requires_grad=True)
+    (x * x * x).sum().backward()
+    np.testing.assert_allclose(x.grad, 3.0 * a**2, rtol=1e-10, atol=1e-10)
+
+
+@given(finite_arrays)
+@settings(max_examples=50, deadline=None)
+def test_no_grad_outputs_are_plain(a):
+    x = Tensor(a, requires_grad=True)
+    with no_grad():
+        y = (x * 2.0 + 1.0).sum()
+    assert not y.requires_grad
+
+
+@given(
+    arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 4), st.integers(1, 4)),
+        elements=st.floats(-5, 5, allow_nan=False),
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_unbroadcast_row_inverse(a):
+    # broadcasting a row vector up then unbroadcasting a ones-gradient
+    # counts how many copies were made
+    row = a[:1]
+    grad = np.ones((3,) + a.shape)
+    reduced = unbroadcast(grad, row.shape)
+    np.testing.assert_allclose(reduced, 3.0 * a.shape[0] * np.ones_like(row))
+
+
+@given(st.integers(1, 6), st.integers(1, 6), st.integers(1, 6))
+@settings(max_examples=30, deadline=None)
+def test_matmul_shapes(n, k, m):
+    rng = np.random.default_rng(0)
+    a = Tensor(rng.normal(size=(n, k)), requires_grad=True)
+    b = Tensor(rng.normal(size=(k, m)), requires_grad=True)
+    out = a @ b
+    assert out.shape == (n, m)
+    out.sum().backward()
+    assert a.grad.shape == (n, k)
+    assert b.grad.shape == (k, m)

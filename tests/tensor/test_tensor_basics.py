@@ -1,0 +1,149 @@
+"""Unit tests for Tensor construction, introspection and graph mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, no_grad, zeros, ones
+
+
+class TestConstruction:
+    def test_from_list(self):
+        t = Tensor([1.0, 2.0, 3.0])
+        assert t.shape == (3,)
+        assert t.dtype == np.float64
+
+    def test_from_numpy_shares_dtype_upcast(self):
+        t = Tensor(np.array([1, 2], dtype=np.int32))
+        assert t.dtype == np.float64
+
+    def test_from_tensor_shares_data(self):
+        a = Tensor([1.0, 2.0])
+        b = Tensor(a)
+        assert b.data is a.data
+
+    def test_requires_grad_default_false(self):
+        assert not Tensor([1.0]).requires_grad
+
+    def test_item_scalar(self):
+        assert Tensor([[3.5]]).item() == 3.5
+
+    def test_item_nonscalar_raises(self):
+        with pytest.raises(ValueError):
+            Tensor([1.0, 2.0]).item()
+
+    def test_len_and_size(self):
+        t = Tensor(np.zeros((4, 5)))
+        assert len(t) == 4
+        assert t.size == 20
+        assert t.ndim == 2
+
+    def test_zeros_ones_helpers(self):
+        assert np.all(zeros(2, 3).data == 0)
+        assert np.all(ones(2, 3).data == 1)
+        assert zeros(2, requires_grad=True).requires_grad
+
+    def test_repr_mentions_requires_grad(self):
+        assert "requires_grad" in repr(Tensor([1.0], requires_grad=True))
+        assert "requires_grad" not in repr(Tensor([1.0]))
+
+
+class TestGraphMechanics:
+    def test_backward_scalar_default_seed(self):
+        x = Tensor([2.0, 3.0], requires_grad=True)
+        (x * x).sum().backward()
+        np.testing.assert_allclose(x.grad, [4.0, 6.0])
+
+    def test_backward_nonscalar_without_grad_raises(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2.0).backward()
+
+    def test_backward_explicit_grad(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        (x * 3.0).backward(np.array([1.0, 10.0]))
+        np.testing.assert_allclose(x.grad, [3.0, 30.0])
+
+    def test_backward_grad_shape_mismatch_raises(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 3.0).backward(np.array([1.0]))
+
+    def test_grad_accumulates_across_backwards(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2.0).sum().backward()
+        (x * 3.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [5.0])
+
+    def test_zero_grad(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2.0).sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_shared_subexpression_gradient(self):
+        # y = x*x used twice; d/dx (x^2 + x^2) = 4x
+        x = Tensor([3.0], requires_grad=True)
+        y = x * x
+        (y + y).sum().backward()
+        np.testing.assert_allclose(x.grad, [12.0])
+
+    def test_diamond_graph(self):
+        x = Tensor([2.0], requires_grad=True)
+        a = x * 3.0
+        b = x * 5.0
+        (a * b).sum().backward()
+        # d/dx 15x^2 = 30x
+        np.testing.assert_allclose(x.grad, [60.0])
+
+    def test_deep_chain_no_recursion_error(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = x
+        for _ in range(3000):
+            y = y + 1.0
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0])
+
+    def test_detach_cuts_graph(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = (x * 2.0).detach()
+        assert not y.requires_grad
+        z = y * 3.0
+        assert not z.requires_grad
+
+    def test_clone_is_differentiable_copy(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = x.clone()
+        assert y.data is not x.data
+        (y * 2.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [2.0])
+
+    def test_no_grad_blocks_recording(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+        assert y._backward is None
+
+    def test_constant_operand_gets_no_grad(self):
+        x = Tensor([1.0], requires_grad=True)
+        c = Tensor([5.0])
+        (x * c).sum().backward()
+        assert c.grad is None
+
+    def test_interior_node_grad_not_retained(self):
+        x = Tensor([1.0], requires_grad=True)
+        mid = x * 2.0
+        (mid * 3.0).sum().backward()
+        assert mid.grad is None
+        np.testing.assert_allclose(x.grad, [6.0])
+
+
+class TestComparisons:
+    def test_comparisons_return_numpy_bool(self):
+        a = Tensor([1.0, 2.0, 3.0])
+        res = a > 1.5
+        assert isinstance(res, np.ndarray)
+        np.testing.assert_array_equal(res, [False, True, True])
+        np.testing.assert_array_equal(a >= 2.0, [False, True, True])
+        np.testing.assert_array_equal(a < 2.0, [True, False, False])
+        np.testing.assert_array_equal(a <= 1.0, [True, False, False])

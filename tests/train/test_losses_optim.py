@@ -1,0 +1,217 @@
+"""Tests for losses, optimizers, schedules and metrics."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor, check_gradients
+from repro.train import (
+    SGD,
+    Adam,
+    CosineSchedule,
+    StepSchedule,
+    accuracy,
+    bce_with_logits,
+    binary_miou,
+    cross_entropy,
+    dice_loss,
+    expected_calibration_error,
+    improvement_percent,
+    l1_loss,
+    l2_regularization,
+    mse_loss,
+    nll_from_probs,
+    nll_loss,
+    rmse,
+    segmentation_loss,
+)
+
+
+class TestLosses:
+    def test_cross_entropy_uniform(self):
+        logits = Tensor(np.zeros((4, 10)))
+        loss = cross_entropy(logits, np.zeros(4, dtype=int))
+        np.testing.assert_allclose(loss.item(), np.log(10))
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = Tensor(np.eye(3) * 100.0)
+        loss = cross_entropy(logits, np.arange(3))
+        assert loss.item() < 1e-6
+
+    def test_cross_entropy_gradcheck(self, rng):
+        logits = Tensor(rng.normal(size=(4, 5)), requires_grad=True)
+        labels = rng.integers(0, 5, 4)
+        check_gradients(lambda: cross_entropy(logits, labels), [logits])
+
+    def test_nll_loss_matches_cross_entropy(self, rng):
+        from repro.tensor import ops
+
+        logits = Tensor(rng.normal(size=(4, 5)))
+        labels = rng.integers(0, 5, 4)
+        np.testing.assert_allclose(
+            nll_loss(ops.log_softmax(logits), labels).item(),
+            cross_entropy(logits, labels).item(),
+        )
+
+    def test_mse_and_l1(self):
+        pred = Tensor(np.array([1.0, 3.0]))
+        assert mse_loss(pred, np.array([0.0, 0.0])).item() == 5.0
+        assert l1_loss(pred, np.array([0.0, 0.0])).item() == 2.0
+
+    def test_bce_with_logits_stable_extremes(self):
+        logits = Tensor(np.array([1000.0, -1000.0]))
+        loss = bce_with_logits(logits, np.array([1.0, 0.0]))
+        assert np.isfinite(loss.item()) and loss.item() < 1e-6
+
+    def test_bce_gradcheck(self, rng):
+        logits = Tensor(rng.normal(size=(6,)), requires_grad=True)
+        target = (rng.random(6) > 0.5).astype(float)
+        check_gradients(lambda: bce_with_logits(logits, target), [logits])
+
+    def test_dice_loss_bounds(self, rng):
+        perfect = Tensor(np.full((1, 4, 4), 100.0))
+        assert dice_loss(perfect, np.ones((1, 4, 4))).item() < 0.01
+        wrong = Tensor(np.full((1, 4, 4), -100.0))
+        assert dice_loss(wrong, np.ones((1, 4, 4))).item() > 0.9
+
+    def test_segmentation_loss_combines(self, rng):
+        logits = Tensor(rng.normal(size=(2, 4, 4)), requires_grad=True)
+        target = (rng.random((2, 4, 4)) > 0.5).astype(float)
+        check_gradients(lambda: segmentation_loss(logits, target), [logits])
+
+    def test_l2_regularization(self):
+        params = [Tensor(np.array([3.0]), requires_grad=True)]
+        assert l2_regularization(params, 0.5).item() == 4.5
+        assert l2_regularization([], 0.5).item() == 0.0
+
+
+class TestOptimizers:
+    def _quadratic_setup(self):
+        target = np.array([1.0, -2.0, 3.0])
+        p = nn.Parameter(np.zeros(3))
+
+        def loss():
+            diff = p - Tensor(target)
+            return (diff * diff).sum()
+
+        return p, loss
+
+    def test_sgd_converges(self):
+        p, loss = self._quadratic_setup()
+        opt = SGD([p], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            loss().backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, [1.0, -2.0, 3.0], atol=1e-4)
+
+    def test_sgd_momentum_converges(self):
+        p, loss = self._quadratic_setup()
+        opt = SGD([p], lr=0.05, momentum=0.9)
+        for _ in range(250):
+            opt.zero_grad()
+            loss().backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, [1.0, -2.0, 3.0], atol=1e-3)
+
+    def test_adam_converges(self):
+        p, loss = self._quadratic_setup()
+        opt = Adam([p], lr=0.1)
+        for _ in range(300):
+            opt.zero_grad()
+            loss().backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, [1.0, -2.0, 3.0], atol=1e-3)
+
+    def test_weight_decay_shrinks_weights(self):
+        p = nn.Parameter(np.array([10.0]))
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.zeros(1)
+        opt.step()
+        assert p.data[0] < 10.0
+
+    def test_skips_parameters_without_grad(self):
+        p = nn.Parameter(np.array([1.0]))
+        opt = Adam([p], lr=0.1)
+        opt.step()  # no crash
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_empty_parameters_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_invalid_lr_raises(self):
+        with pytest.raises(ValueError):
+            Adam([nn.Parameter(np.zeros(1))], lr=0.0)
+
+
+class TestSchedules:
+    def test_cosine_decays_to_floor(self):
+        p = nn.Parameter(np.zeros(1))
+        opt = SGD([p], lr=1.0)
+        sched = CosineSchedule(opt, total_epochs=10, floor=0.1)
+        sched.step(0)
+        assert opt.lr == pytest.approx(1.0)
+        sched.step(10)
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_cosine_monotone(self):
+        p = nn.Parameter(np.zeros(1))
+        opt = SGD([p], lr=1.0)
+        sched = CosineSchedule(opt, total_epochs=20)
+        lrs = [sched.step(e) for e in range(21)]
+        assert all(a >= b - 1e-12 for a, b in zip(lrs, lrs[1:]))
+
+    def test_step_schedule(self):
+        p = nn.Parameter(np.zeros(1))
+        opt = SGD([p], lr=1.0)
+        sched = StepSchedule(opt, step_size=5, gamma=0.1)
+        assert sched.step(4) == pytest.approx(1.0)
+        assert sched.step(5) == pytest.approx(0.1)
+        assert sched.step(10) == pytest.approx(0.01)
+
+
+class TestMetrics:
+    def test_accuracy_from_labels_and_logits(self):
+        assert accuracy(np.array([0, 1, 1]), np.array([0, 1, 0])) == pytest.approx(2 / 3)
+        logits = np.array([[0.9, 0.1], [0.2, 0.8]])
+        assert accuracy(logits, np.array([0, 1])) == 1.0
+
+    def test_rmse(self):
+        assert rmse(np.array([1.0, 2.0]), np.array([0.0, 0.0])) == pytest.approx(
+            np.sqrt(2.5)
+        )
+
+    def test_binary_miou_perfect(self):
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[:2] = True
+        assert binary_miou(mask, mask) == 1.0
+
+    def test_binary_miou_inverted(self):
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[:2] = True
+        assert binary_miou(mask, ~mask) == 0.0
+
+    def test_binary_miou_empty_class_counts_as_one(self):
+        empty = np.zeros((4, 4), dtype=bool)
+        assert binary_miou(empty, empty) == 1.0
+
+    def test_nll_from_probs(self):
+        probs = np.array([[0.9, 0.1], [0.5, 0.5]])
+        expected = -(np.log(0.9) + np.log(0.5)) / 2
+        assert nll_from_probs(probs, np.array([0, 0])) == pytest.approx(expected)
+
+    def test_ece_perfectly_calibrated(self):
+        probs = np.array([[0.8, 0.2]] * 10)
+        labels = np.array([0] * 8 + [1] * 2)
+        assert expected_calibration_error(probs, labels) == pytest.approx(0.0, abs=1e-9)
+
+    def test_ece_overconfident(self):
+        probs = np.array([[0.99, 0.01]] * 10)
+        labels = np.array([0] * 5 + [1] * 5)
+        assert expected_calibration_error(probs, labels) > 0.4
+
+    def test_improvement_percent_directions(self):
+        assert improvement_percent(0.5, 0.75, higher_is_better=True) == pytest.approx(50.0)
+        assert improvement_percent(0.2, 0.1, higher_is_better=False) == pytest.approx(50.0)
+        assert improvement_percent(0.0, 1.0) == 0.0

@@ -1,0 +1,99 @@
+"""Tests for the Trainer loop."""
+
+import numpy as np
+
+from repro import nn
+from repro.data import ArrayDataset
+from repro.tensor import Tensor, manual_seed
+from repro.train import Adam, CosineSchedule, Trainer, cross_entropy, mse_loss
+from repro.train.trainer import evaluate_batched
+
+
+def linear_separable_dataset(n=120, rng=None):
+    rng = rng or np.random.default_rng(0)
+    x = rng.normal(size=(n, 2))
+    y = (x[:, 0] + x[:, 1] > 0).astype(np.int64)
+    return ArrayDataset(x, y)
+
+
+class TestTrainer:
+    def test_loss_decreases(self):
+        manual_seed(0)
+        ds = linear_separable_dataset()
+        model = nn.Sequential(nn.Linear(2, 16), nn.ReLU(), nn.Linear(16, 2))
+        trainer = Trainer(model, Adam(model.parameters(), lr=0.01), cross_entropy)
+        history = trainer.fit(ds, epochs=10, batch_size=16)
+        assert history.loss[-1] < history.loss[0] * 0.5
+
+    def test_reaches_high_accuracy(self):
+        manual_seed(0)
+        ds = linear_separable_dataset()
+        model = nn.Sequential(nn.Linear(2, 16), nn.ReLU(), nn.Linear(16, 2))
+        trainer = Trainer(model, Adam(model.parameters(), lr=0.02), cross_entropy)
+        trainer.fit(ds, epochs=20, batch_size=16)
+        logits = evaluate_batched(model, ds)
+        acc = (logits.argmax(axis=1) == ds.targets).mean()
+        assert acc > 0.95
+
+    def test_metric_callback_recorded(self):
+        manual_seed(0)
+        ds = linear_separable_dataset(40)
+        model = nn.Sequential(nn.Linear(2, 2))
+        trainer = Trainer(
+            model,
+            Adam(model.parameters(), lr=0.01),
+            cross_entropy,
+            metric_fn=lambda m, d: 0.5,
+        )
+        history = trainer.fit(ds, epochs=3, batch_size=8, eval_set=ds)
+        assert history.metric == [0.5, 0.5, 0.5]
+
+    def test_schedule_applied(self):
+        manual_seed(0)
+        ds = linear_separable_dataset(40)
+        model = nn.Sequential(nn.Linear(2, 2))
+        opt = Adam(model.parameters(), lr=0.1)
+        trainer = Trainer(
+            model, opt, cross_entropy, schedule=CosineSchedule(opt, 10)
+        )
+        history = trainer.fit(ds, epochs=5, batch_size=8)
+        assert history.lr[0] > history.lr[-1]
+
+    def test_grad_clip_bounds_update(self):
+        manual_seed(0)
+        ds = ArrayDataset(np.full((8, 2), 100.0), np.full(8, 1000.0))
+        model = nn.Sequential(nn.Linear(2, 1), nn.Lambda(lambda t: t.reshape(-1)))
+        opt = Adam(model.parameters(), lr=0.01)
+        trainer = Trainer(model, opt, mse_loss, grad_clip=1.0)
+        trainer.train_epoch(
+            __import__("repro.data", fromlist=["DataLoader"]).DataLoader(
+                ds, batch_size=8
+            )
+        )
+        total = sum(float((p.grad**2).sum()) for p in model.parameters())
+        assert np.sqrt(total) <= 1.0 + 1e-6
+
+    def test_history_final_loss(self):
+        from repro.train import History
+
+        assert np.isnan(History().final_loss)
+        h = History(loss=[2.0, 1.0])
+        assert h.final_loss == 1.0
+
+
+class TestEvaluateBatched:
+    def test_batches_concatenate(self):
+        manual_seed(0)
+        ds = linear_separable_dataset(50)
+        model = nn.Sequential(nn.Linear(2, 3))
+        out = evaluate_batched(model, ds, batch_size=16)
+        assert out.shape == (50, 3)
+
+    def test_runs_in_eval_mode_without_grad(self):
+        manual_seed(0)
+        ds = linear_separable_dataset(10)
+        model = nn.Sequential(nn.Linear(2, 3), nn.Dropout(0.5))
+        a = evaluate_batched(model, ds)
+        b = evaluate_batched(model, ds)
+        np.testing.assert_array_equal(a, b)  # dropout off in eval
+        assert all(p.grad is None for p in model.parameters())

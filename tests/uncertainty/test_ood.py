@@ -1,0 +1,99 @@
+"""Tests for OOD evaluation (Fig. 7 protocol)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import BayesianClassifier, InvertedNorm
+from repro.data import make_image_dataset
+from repro.tensor import Tensor, manual_seed
+from repro.train import Adam, Trainer, cross_entropy
+from repro.uncertainty import evaluate_shift_sweep, nll_threshold
+
+
+@pytest.fixture(scope="module")
+def trained_classifier():
+    """A small CNN trained on the synthetic image task (module-scoped)."""
+    manual_seed(0)
+    from repro.quant import QuantConv2d, SignActivation
+
+    dataset = make_image_dataset(n_per_class=20, size=12)
+    model = nn.Sequential(
+        nn.Conv2d(3, 8, 3, padding=1),
+        InvertedNorm(8, p=0.3),
+        nn.ReLU(),
+        nn.Conv2d(8, 16, 3, stride=2, padding=1),
+        InvertedNorm(16, p=0.3),
+        nn.ReLU(),
+        nn.GlobalAvgPool2d(),
+        nn.Linear(16, 10),
+    )
+    trainer = Trainer(model, Adam(model.parameters(), lr=3e-3), cross_entropy)
+    trainer.fit(dataset, epochs=12, batch_size=32)
+    clf = BayesianClassifier(model, num_samples=6)
+    test = make_image_dataset(n_per_class=6, size=12)
+    return clf, test.inputs, test.targets
+
+
+class TestThreshold:
+    def test_threshold_is_mean_clean_nll(self, trained_classifier):
+        clf, inputs, _ = trained_classifier
+        manual_seed(5)
+        threshold = nll_threshold(clf, inputs)
+        manual_seed(5)
+        per_input = clf.per_input_nll(Tensor(inputs))
+        assert threshold == pytest.approx(per_input.mean())
+
+
+class TestShiftSweep:
+    def test_rejects_unknown_kind(self, trained_classifier):
+        clf, inputs, labels = trained_classifier
+        with pytest.raises(ValueError):
+            evaluate_shift_sweep(clf, inputs, labels, "blur", [0.0])
+
+    def test_uniform_noise_degrades_accuracy_and_raises_nll(self, trained_classifier):
+        clf, inputs, labels = trained_classifier
+        manual_seed(1)
+        result = evaluate_shift_sweep(
+            clf, inputs, labels, "uniform", [0.0, 1.5, 3.0]
+        )
+        assert result.accuracies[0] > result.accuracies[-1]
+        assert result.nlls[-1] > result.nlls[0]
+
+    def test_rotation_degrades_accuracy(self, trained_classifier):
+        clf, inputs, labels = trained_classifier
+        manual_seed(2)
+        result = evaluate_shift_sweep(
+            clf, inputs, labels, "rotation", [0.0, 45.0]
+        )
+        assert result.accuracies[1] < result.accuracies[0]
+
+    def test_detection_rate_grows_with_shift(self, trained_classifier):
+        clf, inputs, labels = trained_classifier
+        manual_seed(3)
+        result = evaluate_shift_sweep(
+            clf, inputs, labels, "uniform", [0.0, 2.0, 4.0]
+        )
+        assert result.stages[-1].detection_rate >= result.stages[0].detection_rate
+        assert 0.0 <= result.overall_detection_rate() <= 1.0
+
+    def test_stage_arrays_aligned(self, trained_classifier):
+        clf, inputs, labels = trained_classifier
+        result = evaluate_shift_sweep(clf, inputs, labels, "uniform", [0.0, 1.0])
+        assert len(result.magnitudes) == len(result.accuracies) == 2
+        np.testing.assert_array_equal(result.magnitudes, [0.0, 1.0])
+
+    def test_explicit_threshold_respected(self, trained_classifier):
+        clf, inputs, labels = trained_classifier
+        result = evaluate_shift_sweep(
+            clf, inputs, labels, "uniform", [5.0], threshold=-1.0
+        )
+        # Impossible threshold (NLL always > -1) → everything flagged.
+        assert result.stages[0].detection_rate == 1.0
+
+    def test_overall_rate_ignores_clean_stage(self, trained_classifier):
+        clf, inputs, labels = trained_classifier
+        result = evaluate_shift_sweep(
+            clf, inputs, labels, "uniform", [0.0, 3.0], threshold=-1.0
+        )
+        assert result.overall_detection_rate() == 1.0
