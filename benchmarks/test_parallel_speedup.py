@@ -1,0 +1,89 @@
+"""Campaign-engine benchmark: parallel backends vs the serial reference.
+
+Runs one Monte Carlo bit-flip campaign (tiny audio task, ``n_runs=32``)
+on the serial and process backends, asserts the values are bit-identical,
+and reports wall-clock throughput for each.  The ≥2× speedup assertion is
+made only on machines that actually have ≥4 usable cores — on a 1-core
+container a process pool cannot beat a serial loop, and pretending
+otherwise would just make the benchmark flaky.
+
+Run explicitly (benchmarks are excluded from tier-1)::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_parallel_speedup.py -s
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.eval import build_task, clear_memory_cache, make_evaluator, trained_model
+from repro.faults import MonteCarloCampaign, bitflip_sweep
+from repro.eval.campaigns import TaskEvalHandle
+
+from conftest import print_banner
+
+N_RUNS = 32
+WORKERS = 4
+LEVELS = [0.0, 0.05, 0.1]
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def _campaign(executor: str):
+    task = build_task("audio", preset="tiny")
+    method_samples = 4
+    from repro.models import proposed
+
+    method = proposed()
+    model = trained_model(task, method, "tiny", seed=0)
+    evaluator = make_evaluator(task.name, task.test_set, method,
+                               mc_samples=method_samples)
+    handle = TaskEvalHandle("audio", "tiny", 0, method, method_samples, None,
+                            task.seed)
+    return MonteCarloCampaign(
+        model, evaluator, n_runs=N_RUNS, base_seed=0,
+        executor=executor, workers=WORKERS, handle=handle,
+    )
+
+
+@pytest.mark.paper_artifact("campaign-engine")
+def test_parallel_campaign_speedup():
+    print_banner(
+        f"Campaign engine: serial vs process x{WORKERS} "
+        f"(n_runs={N_RUNS}, {_usable_cpus()} usable CPUs)"
+    )
+    specs = bitflip_sweep(LEVELS)
+    timings = {}
+    results = {}
+    for executor in ("serial", "process"):
+        clear_memory_cache()
+        campaign = _campaign(executor)
+        start = time.perf_counter()
+        results[executor] = campaign.sweep(specs)
+        timings[executor] = time.perf_counter() - start
+        cells = 1 + (len(LEVELS) - 1) * N_RUNS
+        print(f"{executor:>8}: {timings[executor]:6.2f}s "
+              f"({cells / timings[executor]:6.2f} cells/s)")
+
+    for serial_result, process_result in zip(results["serial"], results["process"]):
+        np.testing.assert_array_equal(serial_result.values, process_result.values)
+    speedup = timings["serial"] / timings["process"]
+    print(f" speedup: {speedup:.2f}x")
+    if _usable_cpus() >= WORKERS:
+        assert speedup >= 2.0, (
+            f"expected >=2x speedup with {WORKERS} workers on "
+            f"{_usable_cpus()} CPUs, got {speedup:.2f}x"
+        )
+    else:
+        pytest.skip(
+            f"only {_usable_cpus()} usable CPU(s): determinism verified, "
+            f"speedup assertion needs >= {WORKERS} cores "
+            f"(measured {speedup:.2f}x)"
+        )

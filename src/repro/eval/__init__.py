@@ -5,10 +5,18 @@ from .activations import (
     activation_shift_experiment,
     capture_weighted_sums,
 )
-from .cache import cache_dir, clear_memory_cache, trained_model
+from .cache import (
+    cache_dir,
+    campaign_key,
+    clear_memory_cache,
+    load_campaign_values,
+    store_campaign_values,
+    trained_model,
+)
 from .campaigns import (
     MethodCurve,
     RobustnessSweep,
+    TaskEvalHandle,
     baseline_metrics,
     run_robustness_sweep,
 )
@@ -20,6 +28,7 @@ from .evaluators import (
 )
 from .reporting import (
     METHOD_LABELS,
+    ProgressMeter,
     format_sweep,
     format_table_row,
     summarize_improvements,
@@ -52,6 +61,11 @@ __all__ = [
     "trained_model",
     "cache_dir",
     "clear_memory_cache",
+    "campaign_key",
+    "load_campaign_values",
+    "store_campaign_values",
+    "TaskEvalHandle",
+    "ProgressMeter",
     "classification_accuracy",
     "segmentation_miou",
     "regression_rmse",

@@ -1,23 +1,34 @@
-"""Trained-model cache shared by tests, examples and benchmarks.
+"""Result caches shared by tests, examples, benchmarks and the CLI.
 
-Training a model for every (task, method) pair in every benchmark would
-dominate runtime, so trained weights are cached in-process and persisted to
-``REPRO_CACHE_DIR`` (default ``<repo>/.repro_cache``) as ``.npz`` state
-dicts keyed by (task, method, preset, seed).  Delete the directory to force
-retraining.
+Two caches live here, both persisted under ``REPRO_CACHE_DIR`` (default
+``<repo>/.repro_cache``):
+
+* the **trained-model cache** — ``.npz`` state dicts keyed by
+  (task, method, preset, seed), because training a model for every
+  (task, method) pair in every benchmark would dominate runtime;
+* the **campaign-result cache** — per-scenario Monte Carlo value arrays
+  keyed by (task, method, fault spec, n_runs, samples, seed, eval cap),
+  so re-running or resuming a robustness sweep skips every completed
+  scenario's cells entirely.
+
+Delete the directory to force retraining / re-simulation.
 """
 
 from __future__ import annotations
 
 import os
 import pathlib
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
+import numpy as np
+
+from ..faults import FaultSpec
 from ..models import MethodConfig
 from ..nn.module import Module
 from .tasks import Task
 
 _MEMORY: Dict[Tuple, Module] = {}
+_CAMPAIGN_MEMORY: Dict[str, np.ndarray] = {}
 
 
 def cache_dir() -> pathlib.Path:
@@ -72,5 +83,70 @@ def trained_model(
 
 
 def clear_memory_cache() -> None:
-    """Drop in-process cached models (disk cache untouched)."""
+    """Drop in-process cached models and campaign results (disk untouched)."""
     _MEMORY.clear()
+    _CAMPAIGN_MEMORY.clear()
+
+
+# ----------------------------------------------------------------------
+# Campaign-result cache
+# ----------------------------------------------------------------------
+def campaign_key(
+    task: Task,
+    method: MethodConfig,
+    spec: FaultSpec,
+    n_runs: int,
+    samples: int,
+    seed: int,
+    max_eval_samples: Optional[int] = None,
+) -> str:
+    """Filename-safe cache key for one (task, method, scenario) campaign.
+
+    Every knob that changes the simulated values is part of the key: the
+    task geometry (``cache_tag``), the method hyper-parameters, the fault
+    spec, the Monte Carlo settings, the seed, and the evaluation-set cap —
+    so changing any of them is a cache miss, never a stale hit.
+    """
+    parts = [
+        task.name,
+        task.cache_tag,
+        f"ds{task.seed}",
+        _method_key(method),
+        spec.kind,
+        f"l{spec.level:g}",
+        spec.stuck_to,
+        f"r{n_runs}",
+        f"s{samples}",
+        f"seed{seed}",
+        f"cap{max_eval_samples}",
+    ]
+    return "_".join(str(p) for p in parts)
+
+
+def _campaign_path(key: str) -> pathlib.Path:
+    directory = cache_dir() / "campaigns"
+    directory.mkdir(parents=True, exist_ok=True)
+    return directory / f"{key}.npy"
+
+
+def load_campaign_values(key: str) -> Optional[np.ndarray]:
+    """Cached per-chip metric values for ``key``, or ``None`` on a miss."""
+    if key in _CAMPAIGN_MEMORY:
+        return _CAMPAIGN_MEMORY[key].copy()
+    path = _campaign_path(key)
+    if path.exists():
+        try:
+            values = np.load(path)
+        except (OSError, ValueError):
+            path.unlink()  # truncated/corrupt file from an interrupted run
+            return None
+        _CAMPAIGN_MEMORY[key] = values
+        return values.copy()
+    return None
+
+
+def store_campaign_values(key: str, values: np.ndarray) -> None:
+    """Persist one scenario's campaign values in memory and on disk."""
+    values = np.asarray(values, dtype=np.float64)
+    _CAMPAIGN_MEMORY[key] = values
+    np.save(_campaign_path(key), values)

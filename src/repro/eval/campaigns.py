@@ -3,20 +3,41 @@
 These produce the data behind Table I and the curves of Figs. 5 and 6:
 for each method, train (or fetch the cached) model, then run a Monte Carlo
 fault campaign per fault level and collect mean ± std of the task metric.
+
+Execution architecture
+----------------------
+:func:`run_robustness_sweep` is a thin driver over the parallel campaign
+engine (:mod:`repro.faults.executor`):
+
+1. per method, the trained model is fetched (warming the model cache so
+   process workers never retrain);
+2. completed scenarios are served from the campaign-result cache
+   (:func:`repro.eval.cache.load_campaign_values`) and skipped;
+3. the remaining scenarios — with their *original* scenario indices, so
+   per-cell seeds are unaffected by what was cached — are flattened into
+   one (scenario × chip-run) grid and executed on the requested backend
+   (``serial`` / ``thread`` / ``process``, see ``executor=``/``workers=``);
+   process workers rebuild the (model, evaluator) pair from a pickled
+   :class:`TaskEvalHandle`;
+4. fresh results are written back to the cache.
+
+Results are bit-identical for every backend, worker count, and cache state.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..faults import CampaignResult, FaultSpec, MonteCarloCampaign
+from ..faults.executor import EvalHandle, Evaluator
 from ..models import MethodConfig
-from .cache import trained_model
+from ..nn.module import Module
+from .cache import campaign_key, load_campaign_values, store_campaign_values, trained_model
 from .evaluators import make_evaluator
-from .tasks import Task, mc_runs, mc_samples
+from .tasks import Task, build_task, mc_runs, mc_samples
 
 
 @dataclass
@@ -65,6 +86,44 @@ class RobustnessSweep:
         return float(self.improvement_over(baseline, ours).max())
 
 
+@dataclass(frozen=True)
+class TaskEvalHandle(EvalHandle):
+    """Picklable recipe rebuilding a task's (model, evaluator) in a worker.
+
+    The worker re-derives the task (datasets are a pure function of
+    ``(task_name, preset, task_seed)``), fetches the trained model from the
+    shared cache — the driver trains it *before* dispatch, so workers only
+    load weights (or inherit the in-memory cache via fork) — and rebinds
+    the metric evaluator.  ``task_seed`` is the seed the *driver's* task
+    was built with (``Task.seed``), which may differ from the campaign
+    ``seed``; using the campaign seed here would make workers evaluate a
+    different synthesized test set than the serial path.
+    """
+
+    task_name: str
+    preset: str
+    seed: int
+    method: MethodConfig
+    samples: int
+    max_eval_samples: Optional[int]
+    task_seed: int
+
+    def key(self) -> Hashable:
+        return self
+
+    def build(self) -> Tuple[Module, Evaluator]:
+        task = build_task(self.task_name, preset=self.preset, seed=self.task_seed)
+        model = trained_model(task, self.method, self.preset, seed=self.seed)
+        evaluator = make_evaluator(
+            task.name,
+            task.test_set,
+            self.method,
+            mc_samples=self.samples,
+            max_samples=self.max_eval_samples,
+        )
+        return model, evaluator
+
+
 def campaign_eval_cap(preset: str) -> Optional[int]:
     """Evaluation-set cap for fault campaigns (None = whole test set)."""
     return {"tiny": None, "small": 100, "paper": None}[preset]
@@ -80,11 +139,20 @@ def run_robustness_sweep(
     samples: Optional[int] = None,
     max_eval_samples: Optional[int] = -1,
     progress=None,
+    executor: str = "serial",
+    workers: Optional[int] = None,
+    use_cache: bool = True,
+    on_cell_done: Optional[Callable[[int, int], None]] = None,
 ) -> RobustnessSweep:
     """Train/fetch each method's model and sweep the fault levels.
 
     Returns mean ± std of the task metric per method per level — the data
     behind one panel of Fig. 5 or Fig. 6.
+
+    ``executor``/``workers`` select the campaign backend (results are
+    bit-identical to serial); ``use_cache=False`` bypasses the
+    campaign-result cache (it is still written); ``on_cell_done(done,
+    total)`` observes per-method cell completion for throughput reporting.
     """
     n_runs = n_runs if n_runs is not None else mc_runs(preset)
     samples = samples if samples is not None else mc_samples(preset)
@@ -98,23 +166,56 @@ def run_robustness_sweep(
         fault_kind=fault_kind,
     )
     for method in methods:
-        model = trained_model(task, method, preset, seed=seed)
-        evaluator = make_evaluator(
-            task.name,
-            task.test_set,
-            method,
-            mc_samples=samples,
-            max_samples=max_eval_samples,
-        )
-        campaign = MonteCarloCampaign(
-            model, evaluator, n_runs=n_runs, base_seed=seed
-        )
-        results: List[CampaignResult] = campaign.sweep(
-            specs,
-            progress=(lambda msg, m=method: progress(f"[{task.name}/{m.name}] {msg}"))
-            if progress
-            else None,
-        )
+        keys = [
+            campaign_key(task, method, spec, n_runs, samples, seed, max_eval_samples)
+            for spec in specs
+        ]
+        results: List[Optional[CampaignResult]] = [None] * len(specs)
+        pending: List[int] = []
+        for idx, (spec, key) in enumerate(zip(specs, keys)):
+            values = load_campaign_values(key) if use_cache else None
+            if values is not None and len(values) == n_runs:
+                results[idx] = CampaignResult(spec=spec, values=values)
+            else:
+                pending.append(idx)
+        if pending:
+            # Model and evaluator are only needed for uncached scenarios;
+            # a fully cache-served method skips training/loading entirely.
+            model = trained_model(task, method, preset, seed=seed)
+            evaluator = make_evaluator(
+                task.name,
+                task.test_set,
+                method,
+                mc_samples=samples,
+                max_samples=max_eval_samples,
+            )
+            handle = TaskEvalHandle(
+                task.name, preset, seed, method, samples, max_eval_samples,
+                task.seed,
+            )
+            campaign = MonteCarloCampaign(
+                model,
+                evaluator,
+                n_runs=n_runs,
+                base_seed=seed,
+                executor=executor,
+                workers=workers,
+                handle=handle,
+            )
+            fresh = campaign.sweep(
+                [specs[i] for i in pending],
+                scenario_indices=pending,
+                on_cell_done=on_cell_done,
+            )
+            for idx, result in zip(pending, fresh):
+                results[idx] = result
+                store_campaign_values(keys[idx], result.values)
+        if progress is not None:
+            for spec, result in zip(specs, results):
+                progress(
+                    f"[{task.name}/{method.name}] {spec.describe()}: "
+                    f"{result.mean:.4f} ± {result.std:.4f}"
+                )
         sweep.curves[method.name] = MethodCurve(
             method=method,
             levels=np.array([s.level for s in specs]),
@@ -130,12 +231,29 @@ def baseline_metrics(
     preset: str = "small",
     seed: int = 0,
     samples: Optional[int] = None,
+    use_cache: bool = True,
 ) -> Dict[str, float]:
-    """Fault-free metric per method (one Table I row)."""
+    """Fault-free metric per method (one Table I row).
+
+    Expressed as a single-scenario fault-free campaign per method so it
+    shares the engine's hermetic per-cell seeding and the campaign-result
+    cache with the robustness sweeps.
+    """
     samples = samples if samples is not None else mc_samples(preset)
+    clean = FaultSpec(kind="none", level=0.0)
     row = {}
     for method in methods:
-        model = trained_model(task, method, preset, seed=seed)
-        evaluator = make_evaluator(task.name, task.test_set, method, mc_samples=samples)
-        row[method.name] = evaluator(model)
+        key = campaign_key(task, method, clean, 1, samples, seed, None)
+        values = load_campaign_values(key) if use_cache else None
+        if values is None:
+            model = trained_model(task, method, preset, seed=seed)
+            evaluator = make_evaluator(
+                task.name, task.test_set, method, mc_samples=samples
+            )
+            campaign = MonteCarloCampaign(
+                model, evaluator, n_runs=1, base_seed=seed
+            )
+            values = campaign.run(clean).values
+            store_campaign_values(key, values)
+        row[method.name] = float(values[0])
     return row

@@ -7,10 +7,17 @@ Regenerate any paper artifact without pytest::
     python -m repro.eval fig6 --task co2 --fault multiplicative
     python -m repro.eval fig7 --shift rotation
     python -m repro.eval campaign --task audio --fault additive \
-        --levels 0 0.1 0.2 --runs 10
+        --levels 0 0.1 0.2 --runs 10 --executor process --workers 4
 
-Trained models are cached under ``.repro_cache`` exactly as the benchmarks
-do, so repeated invocations are fast.
+Monte Carlo campaigns run on the parallel engine: ``--executor
+{serial,thread,process}`` selects the backend and ``--workers N`` the
+worker count — results are bit-identical to serial in any configuration.
+A live throughput line (cells/s, ETA) is printed to stderr while a sweep
+is running.
+
+Trained models and completed campaign scenarios are cached under
+``.repro_cache`` exactly as the benchmarks do, so repeated and resumed
+invocations skip finished work (``--no-cache`` forces re-simulation).
 """
 
 from __future__ import annotations
@@ -32,7 +39,13 @@ from ..tensor import manual_seed
 from ..uncertainty import evaluate_shift_sweep
 from .campaigns import baseline_metrics, run_robustness_sweep
 from .cache import trained_model
-from .reporting import format_sweep, format_table_row, summarize_improvements, table_header
+from .reporting import (
+    ProgressMeter,
+    format_sweep,
+    format_table_row,
+    summarize_improvements,
+    table_header,
+)
 from .tasks import build_task, mc_samples
 
 _SWEEP_BUILDERS = {
@@ -66,30 +79,40 @@ def cmd_table1(args) -> None:
     ]
     print(table_header())
     for task_name, topology, metric, precision in rows:
-        task = build_task(task_name, preset=args.preset)
-        values = baseline_metrics(task, _methods_for(task_name), preset=args.preset)
+        task = build_task(task_name, preset=args.preset, seed=args.seed)
+        values = baseline_metrics(
+            task, _methods_for(task_name), preset=args.preset, seed=args.seed
+        )
         print(format_table_row(topology, task_name, metric, precision, values))
 
 
 def cmd_sweep(args) -> None:
-    task = build_task(args.task, preset=args.preset)
+    task = build_task(args.task, preset=args.preset, seed=args.seed)
     levels = args.levels if args.levels else _DEFAULT_LEVELS[args.fault]
     specs = _SWEEP_BUILDERS[args.fault](levels)
+    meter = ProgressMeter(label=f"{args.task}/{args.fault}")
     sweep = run_robustness_sweep(
         task,
         _methods_for(args.task),
         specs,
         preset=args.preset,
+        seed=args.seed,
         n_runs=args.runs,
         progress=print if args.verbose else None,
+        executor=args.executor,
+        workers=args.workers,
+        use_cache=not args.no_cache,
+        on_cell_done=meter,
     )
+    if meter.total:
+        meter.finish()
     print(format_sweep(sweep))
     print(summarize_improvements(sweep))
 
 
 def cmd_fig7(args) -> None:
-    task = build_task("image", preset=args.preset)
-    model = trained_model(task, proposed(), args.preset)
+    task = build_task("image", preset=args.preset, seed=args.seed)
+    model = trained_model(task, proposed(), args.preset, seed=args.seed)
     clf = BayesianClassifier(model, num_samples=mc_samples(args.preset))
     inputs = task.test_set.inputs[:100]
     labels = task.test_set.targets[:100]
@@ -129,6 +152,18 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--levels", type=float, nargs="*", default=None)
         p.add_argument("--runs", type=int, default=None)
         p.add_argument("--verbose", action="store_true")
+        p.add_argument(
+            "--executor", default="serial", choices=("serial", "thread", "process"),
+            help="campaign backend; results are bit-identical to serial",
+        )
+        p.add_argument(
+            "--workers", type=int, default=None,
+            help="worker count for --executor thread/process (default 4)",
+        )
+        p.add_argument(
+            "--no-cache", action="store_true",
+            help="ignore cached campaign results and re-simulate every cell",
+        )
 
     p7 = sub.add_parser("fig7", help="Fig. 7 OOD shift sweep")
     p7.add_argument("--shift", default="rotation", choices=("rotation", "uniform"))

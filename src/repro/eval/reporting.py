@@ -1,12 +1,83 @@
-"""Text rendering of experiment results in the paper's format."""
+"""Text rendering of experiment results and campaign progress reporting."""
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+import sys
+import time
+from typing import Dict, Optional, Sequence, TextIO
 
 import numpy as np
 
 from .campaigns import RobustnessSweep
+
+
+class ProgressMeter:
+    """Throughput/ETA reporter for campaign cell grids.
+
+    Plugs into the engine's ``on_cell_done(done, total)`` callback and
+    renders an in-place line like ``campaign: 24/64 cells · 3.1 cells/s ·
+    ETA 13s`` (rate-limited to ``min_interval`` seconds), ending with a
+    one-line summary via :meth:`finish`.  Writes to stderr by default so
+    result tables on stdout stay machine-readable.
+    """
+
+    def __init__(
+        self,
+        label: str = "campaign",
+        stream: Optional[TextIO] = None,
+        min_interval: float = 0.2,
+    ):
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval = min_interval
+        # Clock starts on the first completed cell, so setup work before
+        # the grid (model training, dataset synthesis) does not deflate
+        # the reported throughput.
+        self.started: Optional[float] = None
+        self.done = 0
+        self.total = 0
+        self._base_done = 0
+        self._base_total = 0
+        self._seg_done = 0
+        self._seg_total = 0
+        self._last_render = 0.0
+
+    def __call__(self, done: int, total: int) -> None:
+        if self.started is None:
+            self.started = time.monotonic()
+        # ``done`` strictly increases within one cell grid, so a
+        # non-increasing value means a new grid (next method) started:
+        # fold the finished segment into the running totals.
+        if done <= self._seg_done:
+            self._base_done += self._seg_done
+            self._base_total += self._seg_total
+        self._seg_done, self._seg_total = done, total
+        self.done = self._base_done + done
+        self.total = self._base_total + total
+        now = time.monotonic()
+        if done < total and now - self._last_render < self.min_interval:
+            return
+        self._last_render = now
+        elapsed = max(now - self.started, 1e-9)
+        rate = self.done / elapsed
+        eta = (self.total - self.done) / rate if rate > 0 else float("inf")
+        self.stream.write(
+            f"\r{self.label}: {self.done}/{self.total} cells · "
+            f"{rate:.2f} cells/s · ETA {eta:4.0f}s"
+        )
+        self.stream.flush()
+
+    def finish(self) -> str:
+        """Clear the live line and return/emit the final summary."""
+        started = self.started if self.started is not None else time.monotonic()
+        elapsed = max(time.monotonic() - started, 1e-9)
+        summary = (
+            f"{self.label}: {self.done} cells in {elapsed:.1f}s "
+            f"({self.done / elapsed:.2f} cells/s)"
+        )
+        self.stream.write("\r" + summary + " " * 16 + "\n")
+        self.stream.flush()
+        return summary
 
 #: Paper column labels for the four methods.
 METHOD_LABELS = {

@@ -81,6 +81,9 @@ class Task:
     weight_decay: float = 1e-4
     grad_clip: Optional[float] = 5.0
     cache_tag: str = ""  # geometry fingerprint so stale checkpoints miss
+    #: Seed the datasets were synthesized with; campaign handles rebuild
+    #: the task from it so workers evaluate the exact same test set.
+    seed: int = 0
 
     def build_model(self, method: MethodConfig, seed: int = 0) -> Module:
         """Construct the model deterministically for (method, seed)."""
@@ -140,6 +143,7 @@ def image_task(preset: str = "small", seed: int = 0) -> Task:
         batch_size=sizes["batch"],
         lr=3e-3,
         cache_tag=_tag(sizes),
+        seed=seed,
     )
 
 
@@ -170,6 +174,7 @@ def audio_task(preset: str = "small", seed: int = 0) -> Task:
         batch_size=sizes["batch"],
         lr=3e-3,
         cache_tag=_tag(sizes),
+        seed=seed,
     )
 
 
@@ -198,6 +203,7 @@ def co2_task(preset: str = "small", seed: int = 0) -> Task:
         lr=5e-3,
         weight_decay=1e-5,
         cache_tag=_tag(sizes),
+        seed=seed,
     )
 
 
@@ -226,6 +232,7 @@ def vessel_task(preset: str = "small", seed: int = 0) -> Task:
         batch_size=sizes["batch"],
         lr=3e-3,
         cache_tag=_tag(sizes),
+        seed=seed,
     )
 
 

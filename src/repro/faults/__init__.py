@@ -9,6 +9,15 @@ from .campaign import (
     multiplicative_sweep,
     uniform_sweep,
 )
+from .executor import (
+    EXECUTORS,
+    EvalHandle,
+    FactoryHandle,
+    WorkCell,
+    cell_rngs,
+    evaluate_cell,
+    run_cells,
+)
 from .models import (
     ActivationNoise,
     AdditiveVariation,
@@ -34,6 +43,13 @@ __all__ = [
     "FaultInjector",
     "MonteCarloCampaign",
     "CampaignResult",
+    "EXECUTORS",
+    "EvalHandle",
+    "FactoryHandle",
+    "WorkCell",
+    "cell_rngs",
+    "evaluate_cell",
+    "run_cells",
     "bitflip_sweep",
     "additive_sweep",
     "multiplicative_sweep",

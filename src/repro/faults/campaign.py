@@ -10,20 +10,30 @@ dedicated, independently-seeded weight-fault model, and — for conductance
 
 :class:`MonteCarloCampaign` repeats an evaluation over ``n_runs`` simulated
 chip instances (the paper uses 100) with independent fault realizations and
-reports mean and standard deviation, which is exactly what the shaded bands
-in Figs. 5 and 6 show.
+reports mean and standard deviation — the shaded bands of Figs. 5 and 6.
+
+Since the campaign-engine refactor, the campaign itself is a thin
+*scheduler*: it flattens the (scenario × chip-run) grid into
+:class:`~repro.faults.executor.WorkCell` units and hands them to
+:func:`~repro.faults.executor.run_cells`, which executes them on a
+``serial``, ``thread``, or ``process`` backend.  Every cell derives all of
+its randomness from ``SeedSequence(base_seed, spawn_key=(scenario, run))``
+and evaluates under a scoped generator, so campaign results are
+bit-identical across backends, worker counts, and scheduling orders.
+:meth:`MonteCarloCampaign.sweep` submits *all* scenarios' cells as one
+grid, so parallel workers stay busy across scenario boundaries.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
 from ..nn.module import Module
 from ..quant.layers import QuantLSTMCell, QuantizedComputeLayer, SignActivation
-from ..tensor.random import spawn_rng
+from .executor import EvalHandle, WorkCell, run_cells
 from .models import FaultSpec
 
 
@@ -129,47 +139,93 @@ class MonteCarloCampaign:
         Campaign-level seed; run ``i`` of scenario ``s`` derives its chip
         randomness from ``(base_seed, s, i)`` so campaigns are reproducible
         and scenarios are independent.
+    executor:
+        Execution backend: ``"serial"`` (default), ``"thread"``, or
+        ``"process"``.  All backends produce bit-identical results.
+    workers:
+        Worker count for the parallel backends.
+    handle:
+        Picklable :class:`~repro.faults.executor.EvalHandle` recreating
+        ``(model, evaluator)`` in workers; required for ``"process"``.
     """
 
     def __init__(
         self,
-        model: Module,
-        evaluator: Callable[[Module], float],
+        model: Optional[Module],
+        evaluator: Optional[Callable[[Module], float]],
         n_runs: int = 100,
         base_seed: int = 0,
+        executor: str = "serial",
+        workers: Optional[int] = None,
+        handle: Optional[EvalHandle] = None,
     ):
         self.model = model
         self.evaluator = evaluator
         self.n_runs = n_runs
         self.base_seed = base_seed
+        self.executor = executor
+        self.workers = workers
+        self.handle = handle
+
+    def _cells(self, spec: FaultSpec, scenario_index: int) -> List[WorkCell]:
+        """Flatten one scenario into work cells (fault-free → one cell)."""
+        n_effective = 1 if spec.kind == "none" or spec.level == 0.0 else self.n_runs
+        return [WorkCell(scenario_index, run, spec) for run in range(n_effective)]
+
+    def _execute(
+        self,
+        cells: Sequence[WorkCell],
+        on_cell_done: Optional[Callable[[int, int], None]] = None,
+    ) -> np.ndarray:
+        return run_cells(
+            cells,
+            self.base_seed,
+            model=self.model,
+            evaluator=self.evaluator,
+            handle=self.handle,
+            executor=self.executor,
+            workers=self.workers,
+            on_cell_done=on_cell_done,
+        )
+
+    def _package(self, spec: FaultSpec, values: np.ndarray) -> CampaignResult:
+        """Broadcast a short-circuited scenario back to ``n_runs`` values."""
+        if len(values) < self.n_runs:
+            values = np.full(self.n_runs, values[0] if len(values) else np.nan)
+        return CampaignResult(spec=spec, values=values[: self.n_runs])
 
     def run(self, spec: FaultSpec, scenario_index: int = 0) -> CampaignResult:
         """Evaluate one fault scenario over ``n_runs`` chip instances."""
-        injector = FaultInjector(self.model)
-        values = np.empty(self.n_runs)
-        n_effective = 1 if spec.kind == "none" or spec.level == 0.0 else self.n_runs
-        for run in range(n_effective):
-            chip_rng = np.random.default_rng(
-                np.random.SeedSequence(
-                    entropy=self.base_seed, spawn_key=(scenario_index, run)
-                )
-            )
-            injector.attach(spec, chip_rng)
-            try:
-                values[run] = self.evaluator(self.model)
-            finally:
-                injector.detach()
-        if n_effective == 1:
-            values[:] = values[0]
-        return CampaignResult(spec=spec, values=values[:self.n_runs])
+        values = self._execute(self._cells(spec, scenario_index))
+        return self._package(spec, values)
 
     def sweep(
-        self, specs: Sequence[FaultSpec], progress: Optional[Callable[[str], None]] = None
+        self,
+        specs: Sequence[FaultSpec],
+        progress: Optional[Callable[[str], None]] = None,
+        scenario_indices: Optional[Sequence[int]] = None,
+        on_cell_done: Optional[Callable[[int, int], None]] = None,
     ) -> List[CampaignResult]:
-        """Run a list of scenarios (e.g. increasing fault levels)."""
+        """Run a list of scenarios (e.g. increasing fault levels).
+
+        All scenarios' cells are submitted as a single flat grid so that
+        parallel workers never idle at scenario boundaries.
+        ``scenario_indices`` pins each spec's seed-deriving index (used by
+        resumed sweeps where some scenarios were served from cache, so the
+        remaining ones must keep their original coordinates).
+        """
+        if scenario_indices is None:
+            scenario_indices = range(len(specs))
+        grid: List[WorkCell] = []
+        slices: List[slice] = []
+        for spec, idx in zip(specs, scenario_indices):
+            cells = self._cells(spec, idx)
+            slices.append(slice(len(grid), len(grid) + len(cells)))
+            grid.extend(cells)
+        values = self._execute(grid, on_cell_done=on_cell_done)
         results = []
-        for idx, spec in enumerate(specs):
-            result = self.run(spec, scenario_index=idx)
+        for spec, sl in zip(specs, slices):
+            result = self._package(spec, values[sl])
             if progress is not None:
                 progress(f"{spec.describe()}: {result.mean:.4f} ± {result.std:.4f}")
             results.append(result)

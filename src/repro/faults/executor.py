@@ -1,0 +1,340 @@
+"""Parallel execution engine for Monte Carlo fault campaigns.
+
+A fault campaign is an embarrassingly parallel grid: every
+(scenario, chip-run) pair — a :class:`WorkCell` — is an independent
+evaluation of the model under one frozen fault realization.  This module
+flattens that grid and executes it on a pluggable backend:
+
+* ``"serial"`` — the reference implementation, a plain loop;
+* ``"thread"`` — a pool of worker threads, each owning its own model
+  replica (fault hooks are per-model mutable state, so replicas are
+  mandatory);
+* ``"process"`` — a :class:`concurrent.futures.ProcessPoolExecutor`;
+  workers receive a pickled :class:`EvalHandle` and rebuild the
+  (model, evaluator) pair once per worker, caching it for subsequent cells.
+
+Determinism
+-----------
+Results are bit-identical across backends, worker counts, and scheduling
+orders.  Each cell derives every random stream it touches from
+``SeedSequence(base_seed, spawn_key=(scenario_index, run_index))``:
+
+* the first spawned child seeds the fault-injection RNG handed to
+  :class:`~repro.faults.campaign.FaultInjector.attach`;
+* the second seeds a generator installed via
+  :func:`~repro.tensor.random.scoped_rng` for the duration of the
+  evaluation, so dropout masks / affine-dropout noise / activation faults
+  drawn through ``get_rng()`` are a pure function of the cell coordinates
+  rather than of whatever ran before.
+
+Cell values are written back by submission index, never completion order.
+"""
+
+from __future__ import annotations
+
+import copy
+import queue
+import threading
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn.dropout import resample_masks
+from ..nn.module import Module
+from ..tensor.random import scoped_rng
+from .models import FaultSpec
+
+EXECUTORS = ("serial", "thread", "process")
+
+Evaluator = Callable[[Module], float]
+
+
+@dataclass(frozen=True)
+class WorkCell:
+    """One independent unit of campaign work: a (scenario, chip-run) pair."""
+
+    scenario_index: int
+    run_index: int
+    spec: FaultSpec
+
+
+def cell_rngs(
+    base_seed: int, scenario_index: int, run_index: int
+) -> Tuple[np.random.Generator, np.random.Generator]:
+    """Derive the (fault, evaluation) generator pair for one cell.
+
+    Both streams are children of the campaign's canonical
+    ``SeedSequence(base_seed, spawn_key=(scenario, run))``, so they depend
+    only on the cell coordinates.
+    """
+    seq = np.random.SeedSequence(
+        entropy=base_seed, spawn_key=(scenario_index, run_index)
+    )
+    fault_seq, eval_seq = seq.spawn(2)
+    return np.random.default_rng(fault_seq), np.random.default_rng(eval_seq)
+
+
+def evaluate_cell(
+    model: Module, evaluator: Evaluator, cell: WorkCell, base_seed: int
+) -> float:
+    """Evaluate one cell hermetically: attach faults, score, detach.
+
+    All stochasticity (fault patterns, dropout masks, activation noise) is
+    scoped to generators derived from the cell coordinates, and frozen
+    dropout masks are invalidated first, so the returned value does not
+    depend on prior use of ``model``.
+    """
+    from .campaign import FaultInjector  # local import breaks the cycle
+
+    fault_rng, eval_rng = cell_rngs(base_seed, cell.scenario_index, cell.run_index)
+    injector = FaultInjector(model)
+    with scoped_rng(eval_rng):
+        resample_masks(model)
+        injector.attach(cell.spec, fault_rng)
+        try:
+            return float(evaluator(model))
+        finally:
+            injector.detach()
+
+
+# ----------------------------------------------------------------------
+# Evaluation handles: picklable recipes for (model, evaluator)
+# ----------------------------------------------------------------------
+class EvalHandle:
+    """Recipe that (re)creates a ``(model, evaluator)`` pair in a worker.
+
+    Process workers cannot receive live models (fault hooks, closures and
+    autograd state do not ship well), so they receive a handle instead and
+    build the pair locally, once, keyed by :meth:`key`.
+    """
+
+    def key(self) -> Hashable:
+        raise NotImplementedError
+
+    def build(self) -> Tuple[Module, Evaluator]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FactoryHandle(EvalHandle):
+    """Handle around a top-level factory function.
+
+    ``factory(*args)`` must return ``(model, evaluator)`` and must be a
+    module-level callable (picklable by reference) whose result is
+    deterministic — typically it seeds model construction internally.
+    """
+
+    factory: Callable[..., Tuple[Module, Evaluator]]
+    args: Tuple = ()
+
+    def key(self) -> Hashable:
+        return (self.factory.__module__, self.factory.__qualname__, self.args)
+
+    def build(self) -> Tuple[Module, Evaluator]:
+        return self.factory(*self.args)
+
+
+# Per-process build cache: a forked/spawned worker builds each distinct
+# handle once and reuses the pair for every subsequent cell it executes.
+_WORKER_PAIRS: Dict[Hashable, Tuple[Module, Evaluator]] = {}
+
+
+def _worker_pair(handle: EvalHandle) -> Tuple[Module, Evaluator]:
+    key = handle.key()
+    if key not in _WORKER_PAIRS:
+        _WORKER_PAIRS[key] = handle.build()
+    return _WORKER_PAIRS[key]
+
+
+def _run_cell_from_handle(
+    handle: EvalHandle, index: int, cell: WorkCell, base_seed: int
+) -> Tuple[int, float]:
+    model, evaluator = _worker_pair(handle)
+    return index, evaluate_cell(model, evaluator, cell, base_seed)
+
+
+# ----------------------------------------------------------------------
+# Grid execution
+# ----------------------------------------------------------------------
+def run_cells(
+    cells: Sequence[WorkCell],
+    base_seed: int,
+    *,
+    model: Optional[Module] = None,
+    evaluator: Optional[Evaluator] = None,
+    handle: Optional[EvalHandle] = None,
+    executor: str = "serial",
+    workers: Optional[int] = None,
+    on_cell_done: Optional[Callable[[int, int], None]] = None,
+) -> np.ndarray:
+    """Execute a flat cell grid and return values aligned with ``cells``.
+
+    Parameters
+    ----------
+    cells:
+        The flattened (scenario, run) grid.
+    base_seed:
+        Campaign seed from which every cell derives its streams.
+    model, evaluator:
+        A live pair, sufficient for ``serial`` and ``thread`` execution
+        (thread workers evaluate deep copies of ``model``).
+    handle:
+        Picklable :class:`EvalHandle`; required for ``process`` execution
+        and preferred for ``thread`` (each worker builds its own pair).
+    executor:
+        One of :data:`EXECUTORS`.
+    workers:
+        Worker count for the parallel backends (default: 4).
+    on_cell_done:
+        Callback ``(done, total)`` fired after each completed cell —
+        throughput/ETA reporting hooks onto this.
+    """
+    if executor not in EXECUTORS:
+        raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
+    if handle is None and (model is None or evaluator is None):
+        raise ValueError("run_cells needs either (model, evaluator) or a handle")
+    total = len(cells)
+    if total == 0:
+        return np.empty(0)
+    workers = max(1, int(workers) if workers is not None else 4)
+
+    if executor == "serial" or workers == 1 or total == 1:
+        if model is None or evaluator is None:
+            model, evaluator = handle.build()
+        values = np.empty(total)
+        for i, cell in enumerate(cells):
+            values[i] = evaluate_cell(model, evaluator, cell, base_seed)
+            if on_cell_done is not None:
+                on_cell_done(i + 1, total)
+        return values
+
+    if executor == "thread":
+        return _run_threaded(
+            cells, base_seed, model, evaluator, handle, workers, on_cell_done
+        )
+    return _run_process(cells, base_seed, model, evaluator, handle, workers, on_cell_done)
+
+
+def _run_threaded(
+    cells: Sequence[WorkCell],
+    base_seed: int,
+    model: Optional[Module],
+    evaluator: Optional[Evaluator],
+    handle: Optional[EvalHandle],
+    workers: int,
+    on_cell_done: Optional[Callable[[int, int], None]],
+) -> np.ndarray:
+    """Thread-pool backend: one model replica per worker thread.
+
+    Replicas are built up front on the calling thread (handle builds may
+    seed the process-global generator, which must not race), then worker
+    threads only evaluate — and evaluation randomness is thread-local via
+    :func:`scoped_rng`.
+    """
+    workers = min(workers, len(cells))
+    pairs: List[Tuple[Module, Evaluator]] = []
+    seen_models: set = set()
+    for _ in range(workers):
+        if model is not None and evaluator is not None:
+            # Deep-copying the live pair is strictly cheaper than
+            # handle.build() (which may re-synthesize datasets).
+            pairs.append((copy.deepcopy(model), evaluator))
+            continue
+        worker_model, worker_evaluator = handle.build()
+        # Handles backed by an in-process cache (e.g. TaskEvalHandle →
+        # trained_model's memory cache) return the SAME model object on
+        # every build; fault hooks are per-model state, so aliased
+        # replicas would race.  Copy any repeat.
+        if id(worker_model) in seen_models:
+            worker_model = copy.deepcopy(worker_model)
+        seen_models.add(id(worker_model))
+        pairs.append((worker_model, worker_evaluator))
+
+    values = np.empty(len(cells))
+    work: "queue.SimpleQueue[Optional[Tuple[int, WorkCell]]]" = queue.SimpleQueue()
+    for item in enumerate(cells):
+        work.put(item)
+    for _ in range(workers):
+        work.put(None)
+
+    lock = threading.Lock()
+    done = 0
+    errors: List[BaseException] = []
+    abort = threading.Event()
+
+    def drain(pair: Tuple[Module, Evaluator]) -> None:
+        nonlocal done
+        worker_model, worker_evaluator = pair
+        while True:
+            item = work.get()
+            if item is None:
+                return
+            if abort.is_set():  # fail fast: discard remaining cells
+                continue
+            index, cell = item
+            try:
+                value = evaluate_cell(worker_model, worker_evaluator, cell, base_seed)
+            except BaseException as exc:  # surface on the caller's thread
+                with lock:
+                    errors.append(exc)
+                abort.set()
+                continue
+            values[index] = value
+            with lock:
+                done += 1
+                if on_cell_done is not None:
+                    on_cell_done(done, len(cells))
+
+    threads = [
+        threading.Thread(target=drain, args=(pair,), daemon=True) for pair in pairs
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+    return values
+
+
+def _run_process(
+    cells: Sequence[WorkCell],
+    base_seed: int,
+    model: Optional[Module],
+    evaluator: Optional[Evaluator],
+    handle: Optional[EvalHandle],
+    workers: int,
+    on_cell_done: Optional[Callable[[int, int], None]],
+) -> np.ndarray:
+    """Process-pool backend: workers rebuild (model, evaluator) from a handle."""
+    if handle is None:
+        raise ValueError(
+            "process execution needs a picklable EvalHandle; live models and "
+            "evaluator closures do not survive pickling — wrap construction "
+            "in a FactoryHandle (or use run_robustness_sweep, which builds a "
+            "handle automatically)"
+        )
+    workers = min(workers, len(cells))
+    values = np.empty(len(cells))
+    done = 0
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        pending = {
+            pool.submit(_run_cell_from_handle, handle, i, cell, base_seed)
+            for i, cell in enumerate(cells)
+        }
+        try:
+            while pending:
+                finished, pending = wait(pending, return_when=FIRST_EXCEPTION)
+                for future in finished:
+                    index, value = future.result()  # re-raises worker exceptions
+                    values[index] = value
+                    done += 1
+                    if on_cell_done is not None:
+                        on_cell_done(done, len(cells))
+        except BaseException:
+            for future in pending:  # fail fast: drop unstarted cells
+                future.cancel()
+            raise
+    return values

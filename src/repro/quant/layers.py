@@ -22,7 +22,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..tensor import Tensor
+from ..tensor import Tensor, ops
 from ..tensor import conv as F
 from ..nn import init
 from ..nn.module import Module, Parameter
@@ -170,9 +170,7 @@ class QuantLSTMCell(QuantizedComputeLayer):
         import math
 
         from ..tensor.random import get_rng
-        from ..tensor import ops
 
-        self._ops = ops
         self.input_size = input_size
         self.hidden_size = hidden_size
         bound = 1.0 / math.sqrt(hidden_size)
@@ -194,7 +192,6 @@ class QuantLSTMCell(QuantizedComputeLayer):
 
     def forward(self, x: Tensor, state):
         h, c = state
-        ops = self._ops
         w_ih, rec_ih = fake_quantize_weight(
             self.weight_ih, self.weight_bits, fault=self.weight_fault
         )

@@ -8,7 +8,7 @@ randomness.
 
 from .grad_mode import enable_grad, is_grad_enabled, no_grad, set_grad_enabled
 from .gradcheck import check_gradients, numeric_gradient
-from .random import get_rng, manual_seed, spawn_rng
+from .random import get_rng, manual_seed, scoped_rng, spawn_rng
 from .tensor import (
     Tensor,
     as_tensor,
@@ -63,6 +63,7 @@ __all__ = [
     "set_grad_enabled",
     "manual_seed",
     "get_rng",
+    "scoped_rng",
     "spawn_rng",
     "check_gradients",
     "numeric_gradient",

@@ -1,28 +1,40 @@
-"""Global gradient-recording mode.
+"""Gradient-recording mode (thread-local).
 
 The autograd engine records an operation graph only while gradient mode is
 enabled.  Inference-heavy code (Monte Carlo fault campaigns, Bayesian
 sampling) runs inside :func:`no_grad` to avoid building graphs it will never
 backpropagate through.
+
+The flag is **thread-local**: parallel campaign workers toggle ``no_grad``
+concurrently, and a process-wide flag would race — two overlapping
+``no_grad`` blocks on different threads could restore the stale ``False``
+and silently disable autograd for every later training run in the process.
+Each thread starts with gradients enabled.
 """
 
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Iterator
 
-_GRAD_ENABLED = True
+
+class _GradMode(threading.local):
+    def __init__(self) -> None:
+        self.enabled = True
+
+
+_MODE = _GradMode()
 
 
 def is_grad_enabled() -> bool:
     """Return True when operations should record autograd history."""
-    return _GRAD_ENABLED
+    return _MODE.enabled
 
 
 def set_grad_enabled(enabled: bool) -> None:
-    """Globally enable or disable autograd recording."""
-    global _GRAD_ENABLED
-    _GRAD_ENABLED = bool(enabled)
+    """Enable or disable autograd recording on the current thread."""
+    _MODE.enabled = bool(enabled)
 
 
 @contextlib.contextmanager
@@ -38,22 +50,20 @@ def no_grad() -> Iterator[None]:
     >>> y.requires_grad
     False
     """
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    previous = _MODE.enabled
+    _MODE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _MODE.enabled = previous
 
 
 @contextlib.contextmanager
 def enable_grad() -> Iterator[None]:
     """Context manager that re-enables autograd inside a ``no_grad`` block."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = True
+    previous = _MODE.enabled
+    _MODE.enabled = True
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _MODE.enabled = previous

@@ -3,14 +3,35 @@
 Every stochastic component (parameter initialization, dropout masks, fault
 injection, dataset synthesis, device models) draws from generators created
 here, so experiments are reproducible end to end from a single seed.
+
+Two layers of control exist:
+
+* :func:`manual_seed` resets the process-wide base generator — the classic
+  "seed everything" entry point used by scripts and tests.
+* :func:`scoped_rng` installs a *thread-local* generator override for the
+  duration of a ``with`` block.  Every ``get_rng()`` draw inside the block
+  (dropout masks, affine-dropout noise, activation faults ...) comes from
+  the scoped generator, and the previous state is restored on exit.  This
+  is what makes Monte Carlo campaign cells hermetic: each (scenario, run)
+  cell evaluates under its own derived generator, so results are identical
+  whether cells run serially, on a thread pool, or on a process pool — in
+  any order.
 """
 
 from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Iterator
 
 import numpy as np
 
 _GLOBAL_SEED = 0
 _GENERATOR = np.random.default_rng(_GLOBAL_SEED)
+
+# Thread-local override installed by scoped_rng(); each worker thread of a
+# parallel campaign scopes its own generator without racing the others.
+_THREAD_STATE = threading.local()
 
 
 def manual_seed(seed: int) -> None:
@@ -21,8 +42,26 @@ def manual_seed(seed: int) -> None:
 
 
 def get_rng() -> np.random.Generator:
-    """Return the library-wide generator (advanced by every draw)."""
+    """Return the active generator (thread-local override, else global)."""
+    override = getattr(_THREAD_STATE, "override", None)
+    if override is not None:
+        return override
     return _GENERATOR
+
+
+@contextlib.contextmanager
+def scoped_rng(generator: np.random.Generator) -> Iterator[np.random.Generator]:
+    """Route all ``get_rng()`` draws on this thread through ``generator``.
+
+    Nestable and exception-safe; the previous override (or the global
+    generator) is restored when the block exits.
+    """
+    previous = getattr(_THREAD_STATE, "override", None)
+    _THREAD_STATE.override = generator
+    try:
+        yield generator
+    finally:
+        _THREAD_STATE.override = previous
 
 
 def spawn_rng(tag: int | str = 0) -> np.random.Generator:

@@ -1,0 +1,194 @@
+"""Tests for the campaign-result cache and cached/resumed sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    build_task,
+    campaign_key,
+    clear_memory_cache,
+    load_campaign_values,
+    run_robustness_sweep,
+    store_campaign_values,
+)
+from repro.faults import FaultSpec, bitflip_sweep
+from repro.models import proposed
+
+
+@pytest.fixture
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    clear_memory_cache()
+    yield tmp_path
+    clear_memory_cache()
+
+
+class TestCampaignValueCache:
+    def _key(self, **overrides):
+        task = build_task("audio", preset="tiny")
+        defaults = dict(
+            task=task,
+            method=proposed(),
+            spec=FaultSpec(kind="bitflip", level=0.1),
+            n_runs=4,
+            samples=2,
+            seed=0,
+            max_eval_samples=None,
+        )
+        defaults.update(overrides)
+        return campaign_key(**defaults)
+
+    def test_round_trip(self, isolated_cache):
+        key = self._key()
+        assert load_campaign_values(key) is None
+        values = np.array([0.25, 0.5, 0.75, 1.0])
+        store_campaign_values(key, values)
+        np.testing.assert_array_equal(load_campaign_values(key), values)
+        # Survives dropping the in-memory layer (disk hit).
+        clear_memory_cache()
+        np.testing.assert_array_equal(load_campaign_values(key), values)
+
+    def test_loaded_values_are_copies(self, isolated_cache):
+        key = self._key()
+        store_campaign_values(key, np.array([1.0, 2.0]))
+        loaded = load_campaign_values(key)
+        loaded[0] = -99.0
+        assert load_campaign_values(key)[0] == 1.0
+
+    def test_key_distinguishes_every_campaign_knob(self, isolated_cache):
+        base = self._key()
+        assert self._key(n_runs=8) != base
+        assert self._key(seed=1) != base
+        assert self._key(samples=4) != base
+        assert self._key(max_eval_samples=50) != base
+        assert self._key(spec=FaultSpec(kind="bitflip", level=0.2)) != base
+        assert self._key(spec=FaultSpec(kind="additive", level=0.1)) != base
+        assert self._key(method=proposed(p=0.5)) != base
+
+    def test_corrupt_disk_entry_is_a_miss(self, isolated_cache):
+        key = self._key()
+        store_campaign_values(key, np.array([1.0]))
+        clear_memory_cache()
+        path = isolated_cache / "campaigns" / f"{key}.npy"
+        path.write_bytes(b"not a numpy file")
+        assert load_campaign_values(key) is None
+        assert not path.exists()  # corrupt entry evicted
+
+
+class TestSweepCaching:
+    def _sweep(self, cell_log, use_cache=True, n_runs=2):
+        task = build_task("audio", preset="tiny")
+        return run_robustness_sweep(
+            task,
+            [proposed()],
+            bitflip_sweep([0.0, 0.2]),
+            preset="tiny",
+            n_runs=n_runs,
+            samples=2,
+            use_cache=use_cache,
+            on_cell_done=lambda done, total: cell_log.append(done),
+        )
+
+    def test_second_run_is_served_from_cache(self, isolated_cache):
+        first_cells, second_cells = [], []
+        first = self._sweep(first_cells)
+        second = self._sweep(second_cells)
+        assert first_cells  # fresh run simulated cells
+        assert second_cells == []  # cached run simulated none
+        np.testing.assert_array_equal(
+            first.curves["proposed"].means, second.curves["proposed"].means
+        )
+        np.testing.assert_array_equal(
+            first.curves["proposed"].stds, second.curves["proposed"].stds
+        )
+
+    def test_cache_survives_process_memory_loss(self, isolated_cache):
+        first_cells, second_cells = [], []
+        first = self._sweep(first_cells)
+        clear_memory_cache()  # simulate a fresh process (disk cache kept)
+        second = self._sweep(second_cells)
+        assert second_cells == []
+        np.testing.assert_array_equal(
+            first.curves["proposed"].means, second.curves["proposed"].means
+        )
+
+    def test_no_cache_recomputes_identical_values(self, isolated_cache):
+        first_cells, forced_cells = [], []
+        first = self._sweep(first_cells)
+        forced = self._sweep(forced_cells, use_cache=False)
+        assert forced_cells  # bypassed the cache
+        np.testing.assert_array_equal(
+            first.curves["proposed"].means, forced.curves["proposed"].means
+        )
+
+    def test_changing_n_runs_invalidates(self, isolated_cache):
+        first_cells, second_cells = [], []
+        self._sweep(first_cells, n_runs=2)
+        self._sweep(second_cells, n_runs=3)
+        assert second_cells  # different grid shape -> cache miss
+
+
+class TestSweepBackendEquivalence:
+    """run_robustness_sweep must be bit-identical on every backend.
+
+    This is the sweep-level determinism guarantee: TaskEvalHandle rebuilds
+    (model, evaluator) in workers, and thread workers must get de-aliased
+    model replicas even though the in-process trained-model cache returns
+    one shared object.  The co2 task exercises the QuantLSTMCell replica
+    path (frozen dropout masks, two fault hooks per cell).
+    """
+
+    @pytest.mark.parametrize("task_name", ["audio", "co2"])
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_parallel_sweep_matches_serial(self, task_name, executor,
+                                           isolated_cache):
+        def sweep_with(backend):
+            clear_memory_cache()
+            task = build_task(task_name, preset="tiny")
+            return run_robustness_sweep(
+                task,
+                [proposed()],
+                bitflip_sweep([0.0, 0.1, 0.2]),
+                preset="tiny",
+                n_runs=3,
+                samples=2,
+                executor=backend,
+                workers=4,
+                use_cache=False,
+            )
+
+        serial = sweep_with("serial")
+        parallel = sweep_with(executor)
+        np.testing.assert_array_equal(
+            serial.curves["proposed"].means, parallel.curves["proposed"].means
+        )
+        np.testing.assert_array_equal(
+            serial.curves["proposed"].stds, parallel.curves["proposed"].stds
+        )
+
+    def test_campaign_seed_differs_from_task_seed(self, isolated_cache):
+        # Regression: workers must rebuild the task with the seed the
+        # driver's datasets were synthesized with (Task.seed), not the
+        # campaign seed — otherwise process workers score a different
+        # test set than the serial path.
+        def sweep_with(backend):
+            clear_memory_cache()
+            task = build_task("audio", preset="tiny", seed=0)
+            return run_robustness_sweep(
+                task,
+                [proposed()],
+                bitflip_sweep([0.0, 0.2]),
+                preset="tiny",
+                seed=5,  # campaign/model seed != task seed
+                n_runs=2,
+                samples=2,
+                executor=backend,
+                workers=2,
+                use_cache=False,
+            )
+
+        serial = sweep_with("serial")
+        parallel = sweep_with("process")
+        np.testing.assert_array_equal(
+            serial.curves["proposed"].means, parallel.curves["proposed"].means
+        )

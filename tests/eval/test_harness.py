@@ -151,6 +151,35 @@ class TestReporting:
         assert "audio" in text and "0.1" in text
 
 
+class TestProgressMeter:
+    def _meter(self):
+        import io
+
+        from repro.eval import ProgressMeter
+
+        stream = io.StringIO()
+        return ProgressMeter(label="bench", stream=stream, min_interval=0.0), stream
+
+    def test_tracks_throughput_and_eta(self):
+        meter, stream = self._meter()
+        meter(1, 4)
+        meter(4, 4)
+        out = stream.getvalue()
+        assert "bench: 4/4 cells" in out
+        assert "cells/s" in out and "ETA" in out
+
+    def test_accumulates_across_method_grids(self):
+        meter, stream = self._meter()
+        for done in (1, 2, 3):  # first method's grid
+            meter(done, 3)
+        for done in (1, 2):  # next method starts a fresh grid
+            meter(done, 2)
+        assert meter.done == 5 and meter.total == 5
+        summary = meter.finish()
+        assert "5 cells" in summary
+        assert stream.getvalue().endswith("\n")
+
+
 class TestActivationCapture:
     def test_capture_weighted_sums(self, rng):
         manual_seed(0)

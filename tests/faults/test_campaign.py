@@ -156,6 +156,83 @@ class TestMonteCarloCampaign:
         assert all(m.weight_fault is None for m in sites)
 
 
+class TestCampaignEdgeCases:
+    def _counting_campaign(self, n_runs=5):
+        manual_seed(0)
+        model = binary_model()
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.normal(size=(8, 1, 8, 8)))
+        y = rng.integers(0, 2, 8)
+        calls = []
+
+        def evaluator(m):
+            calls.append(1)
+            m.eval()
+            from repro.tensor import no_grad
+
+            with no_grad():
+                return float((m(x).data.argmax(axis=1) == y).mean())
+
+        return MonteCarloCampaign(model, evaluator, n_runs=n_runs, base_seed=0), calls
+
+    def test_none_spec_evaluates_exactly_once_and_broadcasts(self):
+        campaign, calls = self._counting_campaign(n_runs=5)
+        result = campaign.run(FaultSpec(kind="none", level=0.0))
+        assert len(calls) == 1
+        assert result.n_runs == 5
+        assert np.all(result.values == result.values[0])
+
+    def test_zero_level_spec_short_circuits_like_none(self):
+        campaign, calls = self._counting_campaign(n_runs=4)
+        result = campaign.run(FaultSpec(kind="bitflip", level=0.0))
+        assert len(calls) == 1
+        assert np.all(result.values == result.values[0])
+
+    def test_faulty_spec_evaluates_once_per_run(self):
+        campaign, calls = self._counting_campaign(n_runs=4)
+        campaign.run(FaultSpec(kind="bitflip", level=0.2))
+        assert len(calls) == 4
+
+    def test_attach_is_idempotent(self):
+        model = binary_model()
+        injector = FaultInjector(model)
+        spec = FaultSpec(kind="bitflip", level=0.1)
+        injector.attach(spec, np.random.default_rng(0))
+        injector.attach(spec, np.random.default_rng(0))
+        sites = [m for m in model.modules() if hasattr(m, "weight_fault")]
+        # Re-attaching replaces hooks instead of stacking them, and one
+        # detach restores the ideal chip.
+        assert all(m.weight_fault is not None for m in sites)
+        injector.detach()
+        assert all(m.weight_fault is None for m in sites)
+
+    def test_detach_is_idempotent_and_safe_on_clean_model(self):
+        model = binary_model()
+        injector = FaultInjector(model)
+        injector.detach()  # never attached: must be a no-op
+        injector.attach(FaultSpec(kind="additive", level=0.2), np.random.default_rng(0))
+        injector.detach()
+        injector.detach()
+        sites = [m for m in model.modules() if hasattr(m, "weight_fault")]
+        signs = [m for m in model.modules() if isinstance(m, SignActivation)]
+        assert all(m.weight_fault is None for m in sites)
+        assert all(s.pre_fault is None for s in signs)
+
+    def test_layers_get_independent_variation_realizations(self):
+        manual_seed(0)
+        model = nn.Sequential(
+            QuantLinear(8, 8, weight_bits=8), QuantLinear(8, 8, weight_bits=8)
+        )
+        injector = FaultInjector(model)
+        injector.attach(FaultSpec(kind="additive", level=0.3), np.random.default_rng(0))
+        model.eval()
+        model(Tensor(np.eye(8)))
+        a, b = model[0].last_quantized, model[1].last_quantized
+        noise_a = model[0].weight_fault(a) - a.codes
+        noise_b = model[1].weight_fault(b) - b.codes
+        assert not np.array_equal(noise_a, noise_b)
+
+
 class TestSweepBuilders:
     def test_zero_level_becomes_none(self):
         specs = bitflip_sweep([0.0, 0.05, 0.1])

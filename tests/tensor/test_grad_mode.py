@@ -78,3 +78,73 @@ class TestRNG:
         a = spawn_rng("chip-7").random(3)
         b = spawn_rng("chip-7").random(3)
         np.testing.assert_array_equal(a, b)
+
+
+class TestThreadIsolation:
+    """Grad mode and scoped RNGs are per-thread: parallel campaign workers
+    must not corrupt the main thread's autograd or random state."""
+
+    def test_concurrent_no_grad_does_not_leak_across_threads(self):
+        import threading
+
+        # Force the lost-restore interleave of a process-global flag:
+        # w1 enters no_grad, w2 enters (and with a shared flag would snap
+        # previous=False), w1 exits, w2 exits last.  A shared flag ends
+        # disabled; the thread-local one must stay enabled.
+        w1_inside = threading.Event()
+        w2_inside = threading.Event()
+        w1_done = threading.Event()
+
+        def w1():
+            with no_grad():
+                w1_inside.set()
+                assert w2_inside.wait(5)
+            w1_done.set()
+
+        def w2():
+            assert w1_inside.wait(5)
+            with no_grad():
+                w2_inside.set()
+                assert w1_done.wait(5)
+                assert not is_grad_enabled()
+
+        threads = [threading.Thread(target=w1), threading.Thread(target=w2)]
+        for t in threads:
+            t.start()
+        assert w1_inside.wait(5)
+        assert is_grad_enabled()  # main thread unaffected mid-flight
+        for t in threads:
+            t.join()
+        assert is_grad_enabled()
+
+    def test_scoped_rng_is_thread_local(self):
+        import threading
+
+        from repro.tensor import scoped_rng
+
+        manual_seed(42)
+        expected = np.random.default_rng(42).random(3)
+        seen = {}
+
+        def worker():
+            with scoped_rng(np.random.default_rng(7)):
+                seen["worker"] = get_rng().random(3)
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        # The worker's override never touched the main thread's stream.
+        np.testing.assert_array_equal(get_rng().random(3), expected)
+        np.testing.assert_array_equal(
+            seen["worker"], np.random.default_rng(7).random(3)
+        )
+
+    def test_scoped_rng_restores_previous_override(self):
+        from repro.tensor import scoped_rng
+
+        outer = np.random.default_rng(1)
+        inner = np.random.default_rng(2)
+        with scoped_rng(outer):
+            with scoped_rng(inner):
+                assert get_rng() is inner
+            assert get_rng() is outer
