@@ -1,0 +1,70 @@
+"""Campaign-engine benchmark: chip-batched backend vs the serial reference.
+
+Runs one Monte Carlo uniform-noise campaign (tiny CO2/LSTM task,
+``n_runs=32``) on the serial and batched backends, asserts the per-chip
+values are bit-identical, and reports wall-clock throughput for each.
+Unlike the process-pool benchmark (``test_parallel_speedup.py``), the
+batched backend needs no parallel hardware: it replaces ``C``
+Python-dispatched forwards by one stacked tensor pass, so the speedup
+materializes even on a 1-core container — the ≥3× assertion is
+unconditional.  The LSTM task is the engine's best case (hundreds of tiny
+matmuls per forward, all dispatch overhead); see docs/campaign-engine.md
+for per-task ratios.
+
+Run explicitly (benchmarks are excluded from tier-1)::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_batched_speedup.py -s
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.eval import build_task, clear_memory_cache, make_evaluator, trained_model
+from repro.faults import MonteCarloCampaign, uniform_sweep
+from repro.models import proposed
+
+from conftest import print_banner
+
+N_RUNS = 32
+LEVELS = [0.0, 0.1, 0.2]
+MIN_SPEEDUP = 3.0
+
+
+def _campaign(executor: str) -> MonteCarloCampaign:
+    task = build_task("co2", preset="tiny")
+    method = proposed()
+    model = trained_model(task, method, "tiny", seed=0)
+    evaluator = make_evaluator(task.name, task.test_set, method, mc_samples=4)
+    return MonteCarloCampaign(
+        model, evaluator, n_runs=N_RUNS, base_seed=0, executor=executor
+    )
+
+
+@pytest.mark.paper_artifact("campaign-engine")
+def test_batched_campaign_speedup():
+    print_banner(
+        f"Campaign engine: serial vs chip-batched (co2/LSTM, n_runs={N_RUNS})"
+    )
+    specs = uniform_sweep(LEVELS)
+    cells = 1 + (len(LEVELS) - 1) * N_RUNS
+    timings = {}
+    results = {}
+    for executor in ("serial", "batched"):
+        clear_memory_cache()
+        campaign = _campaign(executor)
+        start = time.perf_counter()
+        results[executor] = campaign.sweep(specs)
+        timings[executor] = time.perf_counter() - start
+        print(f"{executor:>8}: {timings[executor]:6.2f}s "
+              f"({cells / timings[executor]:6.2f} cells/s)")
+
+    for serial_result, batched_result in zip(results["serial"], results["batched"]):
+        np.testing.assert_array_equal(serial_result.values, batched_result.values)
+    speedup = timings["serial"] / timings["batched"]
+    print(f" speedup: {speedup:.2f}x (threshold {MIN_SPEEDUP:.1f}x)")
+    assert speedup >= MIN_SPEEDUP, (
+        f"expected the chip-batched backend to be >={MIN_SPEEDUP}x faster "
+        f"than serial on the tiny LSTM campaign, got {speedup:.2f}x"
+    )

@@ -9,6 +9,8 @@ normalization on the synthetic Mauna-Loa-shaped CO2 record, then:
    variation against the conventional LSTM.
 
 Run:  python examples/co2_forecasting.py
+Runtime: first run ~2 min (trains the small-preset LSTMs into .repro_cache);
+~5 s thereafter.
 """
 
 import numpy as np

@@ -10,6 +10,8 @@ Walks the full IMC stack the paper's Section II-D describes:
    as conductance variation and stuck cells grow.
 
 Run:  python examples/imc_deployment.py
+Runtime: ~1 s with a warm model cache; first run additionally trains the
+small-preset M5 (~1 min).
 """
 
 import numpy as np

@@ -7,6 +7,8 @@ backbone, then compares their accuracy under increasing bit-flip rates and
 additive conductance variation — the Fig. 6a experiment at example scale.
 
 Run:  python examples/keyword_spotting.py
+Runtime: first run ~3 min (trains three small-preset M5 variants); ~15 s
+thereafter (fault campaigns re-run, models come from .repro_cache).
 """
 
 import numpy as np

@@ -11,6 +11,7 @@ and then demonstrates the two headline capabilities:
    bit-flip faults are injected into the quantized weights.
 
 Run:  python examples/quickstart.py
+Runtime: ~15 s on a laptop CPU (trains its small CNN from scratch each run).
 """
 
 import numpy as np

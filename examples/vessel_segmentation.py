@@ -5,6 +5,8 @@ inverted normalization on procedurally generated vessel trees, renders a
 test prediction as ASCII art, and measures mIoU under bit-flip faults.
 
 Run:  python examples/vessel_segmentation.py
+Runtime: first run ~3 min (trains the small-preset binary U-Net); ~5 s
+thereafter with the cached model.
 """
 
 import numpy as np

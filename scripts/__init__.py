@@ -1,0 +1,1 @@
+"""Repository maintenance scripts (run as ``python -m scripts.<name>``)."""

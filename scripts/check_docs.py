@@ -1,0 +1,112 @@
+"""Documentation checker: every link and referenced path must resolve.
+
+Run from the repository root (CI runs it in the docs job)::
+
+    python -m scripts.check_docs
+
+Checks, over ``README.md`` and every ``docs/*.md``:
+
+1. relative markdown links ``[text](target)`` point at files/directories
+   that exist (anchors are stripped; external ``http(s)://`` links are
+   not fetched);
+2. repository paths mentioned in prose or tables — ``benchmarks/*.py``,
+   ``examples/*.py``, ``tests/**.py``, ``docs/*.md``, ``scripts/*.py`` —
+   exist;
+3. documented CLI entry points parse: every ``python -m repro.eval ...``
+   invocation found in the documents is validated against the real
+   argument parser (no network, no training — parse only).
+
+Exits non-zero listing every failure, so CI catches stale docs the moment
+a file moves or a flag is renamed.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import shlex
+import sys
+from typing import List, Tuple
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+LINK_RE = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+PATH_RE = re.compile(
+    r"\b((?:benchmarks|examples|tests|docs|scripts)/[\w./-]+?\.(?:py|md))\b"
+)
+CLI_RE = re.compile(r"python -m repro\.eval[^\n`|]*")
+
+
+def _doc_files() -> List[pathlib.Path]:
+    docs = [ROOT / "README.md"]
+    docs.extend(sorted((ROOT / "docs").glob("*.md")))
+    return [d for d in docs if d.exists()]
+
+
+def _check_links(doc: pathlib.Path, text: str) -> List[str]:
+    errors = []
+    for target in LINK_RE.findall(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = (doc.parent / relative).resolve()
+        if not resolved.exists():
+            errors.append(f"{doc.relative_to(ROOT)}: broken link -> {target}")
+    return errors
+
+
+def _check_paths(doc: pathlib.Path, text: str) -> List[str]:
+    errors = []
+    for path in set(PATH_RE.findall(text)):
+        if "*" in path or "<" in path:
+            continue
+        if not (ROOT / path).exists():
+            errors.append(f"{doc.relative_to(ROOT)}: missing path -> {path}")
+    return errors
+
+
+def _check_cli_commands(doc: pathlib.Path, text: str) -> List[str]:
+    sys.path.insert(0, str(ROOT / "src"))
+    try:
+        from repro.eval.cli import build_parser
+    finally:
+        sys.path.pop(0)
+    parser = build_parser()
+    errors = []
+    # Join backslash line continuations first, so flags on continuation
+    # lines are part of the matched command and get validated too.
+    joined = re.sub(r"\\\s*\n\s*", " ", text)
+    for command in CLI_RE.findall(joined):
+        if "..." in command:  # schematic example, not a runnable invocation
+            continue
+        argv = shlex.split(command)[3:]  # drop python -m repro.eval
+        try:
+            parser.parse_args(argv)
+        except SystemExit:
+            errors.append(
+                f"{doc.relative_to(ROOT)}: CLI invocation does not parse -> "
+                f"{command.strip()}"
+            )
+    return errors
+
+
+def main() -> int:
+    failures: List[str] = []
+    for doc in _doc_files():
+        text = doc.read_text(encoding="utf-8")
+        failures += _check_links(doc, text)
+        failures += _check_paths(doc, text)
+        failures += _check_cli_commands(doc, text)
+    if failures:
+        print(f"check_docs: {len(failures)} failure(s)")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"check_docs: {len(_doc_files())} documents OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

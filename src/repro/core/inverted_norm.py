@@ -40,6 +40,7 @@ from ..nn.dropout import StochasticModule
 from ..nn.module import Parameter
 from ..nn.normalization import normalize
 from ..tensor import Tensor
+from ..tensor.chipbatch import chip_axes
 from ..tensor.random import get_rng
 
 
@@ -69,8 +70,22 @@ class AffineDropoutSampler:
     def sample(
         self, num_features: int, rng: Optional[np.random.Generator] = None
     ) -> Tuple[np.ndarray, np.ndarray]:
-        """Return independent keep-masks ``(m_gamma, m_beta)`` of shape (C,)."""
+        """Return independent keep-masks ``(m_gamma, m_beta)``.
+
+        Shape ``(num_features,)`` normally.  When the active generator is a
+        chip batch (:class:`~repro.tensor.chipbatch.ChipBatchRng`), one mask
+        pair is drawn *per chip* from that chip's own stream — exactly the
+        draws the serial engine would make — and stacked to
+        ``(n_chips, num_features)``.
+        """
         rng = rng or get_rng()
+        per_chip = getattr(rng, "generators", None)
+        if per_chip is not None:
+            pairs = [self.sample(num_features, g) for g in per_chip]
+            return (
+                np.stack([m_g for m_g, _ in pairs], axis=0),
+                np.stack([m_b for _, m_b in pairs], axis=0),
+            )
         if self.granularity == "vector":
             m_g = np.full(num_features, float(rng.random() >= self.p))
             m_b = np.full(num_features, float(rng.random() >= self.p))
@@ -176,24 +191,37 @@ class InvertedNorm(StochasticModule):
             beta = self.bias * keep
         return gamma, beta
 
+    def _param_shape(self, param_ndim: int, x_ndim: int) -> Tuple[int, ...]:
+        """Broadcast shape placing features on the channel axis of ``x``.
+
+        Under a chip batch the channel axis is 2 and per-chip sampled
+        masks (``param_ndim == 2``) keep their leading chip axis.
+        """
+        c_axis = chip_axes(1)
+        lead = (1,) * c_axis if param_ndim == 1 else (-1,) + (1,) * (c_axis - 1)
+        return lead + (self.num_features,) + (1,) * (x_ndim - c_axis - 1)
+
     def forward(self, x: Tensor) -> Tensor:
-        if x.shape[1] != self.num_features:
+        c_axis = chip_axes(1)
+        if x.shape[c_axis] != self.num_features:
             raise ValueError(
-                f"expected {self.num_features} channels, got {x.shape[1]} "
+                f"expected {self.num_features} channels, got {x.shape[c_axis]} "
                 f"(input shape {x.shape})"
             )
         gamma, beta = self._effective_affine()
-        shape = (1, self.num_features) + (1,) * (x.ndim - 2)
         # Inverted order: affine transformation FIRST (Fig. 2b) ...
-        z = x * gamma.reshape(shape) + beta.reshape(shape)
-        # ... then normalization (per instance or per channel group).
+        z = x * gamma.reshape(self._param_shape(gamma.ndim, x.ndim)) + beta.reshape(
+            self._param_shape(beta.ndim, x.ndim)
+        )
+        # ... then normalization (per instance or per channel group), never
+        # mixing statistics across chips of a batch.
         if self.mode == "instance":
-            return normalize(z, tuple(range(1, z.ndim)), self.eps)
-        n, c = z.shape[0], z.shape[1]
-        spatial = z.shape[2:]
-        grouped = z.reshape(n, self.num_groups, c // self.num_groups, *spatial)
-        axes = tuple(range(2, grouped.ndim))
-        return normalize(grouped, axes, self.eps).reshape(n, c, *spatial)
+            return normalize(z, tuple(range(c_axis, z.ndim)), self.eps)
+        lead, c = z.shape[:c_axis], z.shape[c_axis]
+        spatial = z.shape[c_axis + 1 :]
+        grouped = z.reshape(*lead, self.num_groups, c // self.num_groups, *spatial)
+        axes = tuple(range(c_axis + 1, grouped.ndim))
+        return normalize(grouped, axes, self.eps).reshape(*lead, c, *spatial)
 
     def extra_repr(self) -> str:
         return (
@@ -240,19 +268,23 @@ class ConventionalNormAdapter(StochasticModule):
         inner = self._inner
         inner.stochastic_inference = self.stochastic_inference
         object.__setattr__(inner, "training", self.training)
+        c_axis = chip_axes(1)
         # Normalize first (conventional order) ...
         if inner.mode == "instance":
-            x_hat = normalize(x, tuple(range(1, x.ndim)), inner.eps)
+            x_hat = normalize(x, tuple(range(c_axis, x.ndim)), inner.eps)
         else:
-            n, c = x.shape[0], x.shape[1]
-            spatial = x.shape[2:]
-            grouped = x.reshape(n, inner.num_groups, c // inner.num_groups, *spatial)
-            axes = tuple(range(2, grouped.ndim))
-            x_hat = normalize(grouped, axes, inner.eps).reshape(n, c, *spatial)
+            lead, c = x.shape[:c_axis], x.shape[c_axis]
+            spatial = x.shape[c_axis + 1 :]
+            grouped = x.reshape(
+                *lead, inner.num_groups, c // inner.num_groups, *spatial
+            )
+            axes = tuple(range(c_axis + 1, grouped.ndim))
+            x_hat = normalize(grouped, axes, inner.eps).reshape(*lead, c, *spatial)
         # ... then the stochastic affine transformation.
         gamma, beta = inner._effective_affine()
-        shape = (1, inner.num_features) + (1,) * (x.ndim - 2)
-        return x_hat * gamma.reshape(shape) + beta.reshape(shape)
+        return x_hat * gamma.reshape(
+            inner._param_shape(gamma.ndim, x.ndim)
+        ) + beta.reshape(inner._param_shape(beta.ndim, x.ndim))
 
     def extra_repr(self) -> str:
         return self._inner.extra_repr()

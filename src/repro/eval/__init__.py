@@ -1,4 +1,13 @@
-"""Experiment harness: tasks, evaluators, caches, campaigns, reporting."""
+"""Experiment harness: tasks, evaluators, caches, campaigns, reporting.
+
+Campaign drivers (:func:`run_robustness_sweep`, :func:`baseline_metrics`)
+ride the parallel engine in :mod:`repro.faults.executor`; pass
+``executor="batched"`` to evaluate each scenario's chip instances in one
+vectorized forward (the fastest backend on a single core — every evaluator
+built by :func:`make_evaluator` is chip-aware and returns a per-chip metric
+vector under an active chip batch).  Results are bit-identical across all
+backends and are cached per scenario by :func:`campaign_key`.
+"""
 
 from .activations import (
     DistributionSummary,
@@ -18,6 +27,7 @@ from .campaigns import (
     RobustnessSweep,
     TaskEvalHandle,
     baseline_metrics,
+    campaign_eval_cap,
     run_robustness_sweep,
 )
 from .evaluators import (
@@ -72,6 +82,7 @@ __all__ = [
     "make_evaluator",
     "run_robustness_sweep",
     "baseline_metrics",
+    "campaign_eval_cap",
     "RobustnessSweep",
     "MethodCurve",
     "format_table_row",

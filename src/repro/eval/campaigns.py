@@ -16,9 +16,11 @@ engine (:mod:`repro.faults.executor`):
 3. the remaining scenarios — with their *original* scenario indices, so
    per-cell seeds are unaffected by what was cached — are flattened into
    one (scenario × chip-run) grid and executed on the requested backend
-   (``serial`` / ``thread`` / ``process``, see ``executor=``/``workers=``);
-   process workers rebuild the (model, evaluator) pair from a pickled
-   :class:`TaskEvalHandle`;
+   (``serial`` / ``thread`` / ``process`` / ``batched``, see
+   ``executor=``/``workers=``); process workers rebuild the (model,
+   evaluator) pair from a pickled :class:`TaskEvalHandle`, while the
+   ``batched`` backend evaluates each scenario's chips in one vectorized
+   forward (the evaluators built here are chip-aware);
 4. fresh results are written back to the cache.
 
 Results are bit-identical for every backend, worker count, and cache state.
@@ -143,6 +145,7 @@ def run_robustness_sweep(
     workers: Optional[int] = None,
     use_cache: bool = True,
     on_cell_done: Optional[Callable[[int, int], None]] = None,
+    chip_limit: Optional[int] = None,
 ) -> RobustnessSweep:
     """Train/fetch each method's model and sweep the fault levels.
 
@@ -150,7 +153,8 @@ def run_robustness_sweep(
     behind one panel of Fig. 5 or Fig. 6.
 
     ``executor``/``workers`` select the campaign backend (results are
-    bit-identical to serial); ``use_cache=False`` bypasses the
+    bit-identical to serial); ``chip_limit`` caps the chips stacked per
+    pass by the ``batched`` backend; ``use_cache=False`` bypasses the
     campaign-result cache (it is still written); ``on_cell_done(done,
     total)`` observes per-method cell completion for throughput reporting.
     """
@@ -201,6 +205,7 @@ def run_robustness_sweep(
                 executor=executor,
                 workers=workers,
                 handle=handle,
+                chip_limit=chip_limit,
             )
             fresh = campaign.sweep(
                 [specs[i] for i in pending],

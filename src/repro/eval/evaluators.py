@@ -3,6 +3,16 @@
 Bayesian methods are scored with Monte Carlo averaging (fresh dropout /
 affine-dropout masks per pass); the conventional NN is scored with a single
 deterministic pass — exactly the paper's evaluation protocol.
+
+Chip-aware evaluation
+---------------------
+Every evaluator here is *chip-aware*: under an active chip batch
+(:func:`repro.tensor.chipbatch.chip_batch`, installed by the campaign
+engine's ``batched`` executor) the test inputs are broadcast to a leading
+chip axis, predictions come back chip-stacked, and the metric is computed
+**per chip** in exactly the arithmetic order of the serial path — so the
+evaluator returns a ``(n_chips,)`` vector whose entry ``i`` is bit-identical
+to the float a serial evaluation of chip ``i`` would produce.
 """
 
 from __future__ import annotations
@@ -16,7 +26,16 @@ from ..data.dataset import ArrayDataset
 from ..models import MethodConfig
 from ..nn.module import Module
 from ..tensor import Tensor, no_grad
+from ..tensor.chipbatch import active_chip_count
 from ..train.metrics import accuracy, binary_miou, rmse
+
+
+def _as_input(x: np.ndarray) -> Tensor:
+    """Wrap a test batch, broadcasting it across an active chip batch."""
+    n_chips = active_chip_count()
+    if n_chips is not None:
+        x = np.broadcast_to(x[None], (n_chips,) + x.shape).copy()
+    return Tensor(x)
 
 
 def classification_accuracy(
@@ -25,13 +44,16 @@ def classification_accuracy(
     method: MethodConfig,
     mc_samples: int = 8,
     batch_size: int = 256,
-) -> float:
-    """Test-set accuracy (MC-averaged for Bayesian methods)."""
-    correct = 0
+) -> float | np.ndarray:
+    """Test-set accuracy (MC-averaged for Bayesian methods).
+
+    Returns a float, or a per-chip vector under an active chip batch.
+    """
+    correct: np.ndarray | int = 0
     total = 0
     for start in range(0, len(test_set), batch_size):
         x, y = test_set[np.s_[start : start + batch_size]]
-        xt = Tensor(x)
+        xt = _as_input(x)
         if method.is_bayesian:
             clf = BayesianClassifier(model, num_samples=mc_samples)
             pred = clf.predict(xt)
@@ -39,7 +61,7 @@ def classification_accuracy(
             model.eval()
             with no_grad():
                 pred = model(xt).data.argmax(axis=-1)
-        correct += int((pred == y).sum())
+        correct = correct + (pred == y).sum(axis=-1)
         total += len(y)
     return correct / total
 
@@ -50,12 +72,17 @@ def segmentation_miou(
     method: MethodConfig,
     mc_samples: int = 8,
     batch_size: int = 8,
-) -> float:
-    """Mean IoU of thresholded sigmoid predictions (MC-averaged logits)."""
-    ious = []
+) -> float | np.ndarray:
+    """Mean IoU of thresholded sigmoid predictions (MC-averaged logits).
+
+    Returns a float, or a per-chip vector under an active chip batch; each
+    chip's mIoU averages the same per-image IoUs in the same order as the
+    serial path.
+    """
+    per_image = []  # float per image, or (n_chips,) per image when batched
     for start in range(0, len(test_set), batch_size):
         x, y = test_set[np.s_[start : start + batch_size]]
-        xt = Tensor(x)
+        xt = _as_input(x)
         if method.is_bayesian:
             logits = mc_forward(model, xt, mc_samples).mean(axis=0)
         else:
@@ -63,9 +90,22 @@ def segmentation_miou(
             with no_grad():
                 logits = model(xt).data
         pred_mask = logits > 0.0  # sigmoid(logit) > 0.5
+        batched = pred_mask.ndim == y.ndim + 1
         for i in range(len(y)):
-            ious.append(binary_miou(pred_mask[i], y[i] > 0.5))
-    return float(np.mean(ious))
+            if batched:
+                per_image.append(
+                    np.array(
+                        [binary_miou(chip_mask, y[i] > 0.5) for chip_mask in pred_mask[:, i]]
+                    )
+                )
+            else:
+                per_image.append(binary_miou(pred_mask[i], y[i] > 0.5))
+    if per_image and isinstance(per_image[0], np.ndarray):
+        stacked = np.stack(per_image, axis=0)  # (images, chips)
+        return np.array(
+            [float(np.mean(stacked[:, chip])) for chip in range(stacked.shape[1])]
+        )
+    return float(np.mean(per_image))
 
 
 def regression_rmse(
@@ -74,13 +114,16 @@ def regression_rmse(
     method: MethodConfig,
     mc_samples: int = 8,
     batch_size: int = 256,
-) -> float:
-    """RMSE of one-step forecasts (MC-averaged for Bayesian methods)."""
+) -> float | np.ndarray:
+    """RMSE of one-step forecasts (MC-averaged for Bayesian methods).
+
+    Returns a float, or a per-chip vector under an active chip batch.
+    """
     preds = []
     targets = []
     for start in range(0, len(test_set), batch_size):
         x, y = test_set[np.s_[start : start + batch_size]]
-        xt = Tensor(x)
+        xt = _as_input(x)
         if method.is_bayesian:
             reg = BayesianRegressor(model, num_samples=mc_samples)
             preds.append(reg.predict(xt))
@@ -89,7 +132,8 @@ def regression_rmse(
             with no_grad():
                 preds.append(model(xt).data)
         targets.append(y)
-    return rmse(np.concatenate(preds), np.concatenate(targets))
+    # Concatenate along the sample axis (the last one when chip-batched).
+    return rmse(np.concatenate(preds, axis=-1), np.concatenate(targets))
 
 
 EVALUATORS: dict[str, Callable] = {
@@ -112,7 +156,9 @@ def make_evaluator(
     This is the ``evaluator`` consumed by
     :class:`~repro.faults.campaign.MonteCarloCampaign`.  ``max_samples``
     caps the evaluation set (deterministic prefix) so Monte Carlo fault
-    campaigns stay affordable on CPU.
+    campaigns stay affordable on CPU.  The returned callable is chip-aware:
+    under an active chip batch it returns a per-chip metric vector, which
+    is what the ``batched`` executor backend requires.
     """
     fn = EVALUATORS[task_name]
     if max_samples is not None and len(test_set) > max_samples:

@@ -1,4 +1,13 @@
-"""NVM non-ideality models and Monte Carlo fault campaigns."""
+"""NVM non-ideality models and Monte Carlo fault campaigns.
+
+Campaigns execute on the pluggable engine in :mod:`repro.faults.executor`
+(:data:`EXECUTORS` = ``serial`` / ``thread`` / ``process`` / ``batched``).
+The ``batched`` backend evaluates all chip instances of a scenario in one
+vectorized forward — :func:`evaluate_cells_batched` stacks per-chip frozen
+fault patterns (:class:`ChipBatchedWeightFault`,
+:class:`ChipBatchedActivationNoise`) along a leading chip axis while
+staying bit-identical per chip to the serial reference.
+"""
 
 from .campaign import (
     CampaignResult,
@@ -16,12 +25,15 @@ from .executor import (
     WorkCell,
     cell_rngs,
     evaluate_cell,
+    evaluate_cells_batched,
     run_cells,
 )
 from .models import (
     ActivationNoise,
     AdditiveVariation,
     BitFlipFault,
+    ChipBatchedActivationNoise,
+    ChipBatchedWeightFault,
     FaultSpec,
     MultiplicativeVariation,
     RetentionDriftFault,
@@ -40,6 +52,8 @@ __all__ = [
     "StuckAtFault",
     "RetentionDriftFault",
     "ActivationNoise",
+    "ChipBatchedWeightFault",
+    "ChipBatchedActivationNoise",
     "FaultInjector",
     "MonteCarloCampaign",
     "CampaignResult",
@@ -49,6 +63,7 @@ __all__ = [
     "WorkCell",
     "cell_rngs",
     "evaluate_cell",
+    "evaluate_cells_batched",
     "run_cells",
     "bitflip_sweep",
     "additive_sweep",

@@ -16,12 +16,15 @@ Since the campaign-engine refactor, the campaign itself is a thin
 *scheduler*: it flattens the (scenario × chip-run) grid into
 :class:`~repro.faults.executor.WorkCell` units and hands them to
 :func:`~repro.faults.executor.run_cells`, which executes them on a
-``serial``, ``thread``, or ``process`` backend.  Every cell derives all of
-its randomness from ``SeedSequence(base_seed, spawn_key=(scenario, run))``
-and evaluates under a scoped generator, so campaign results are
-bit-identical across backends, worker counts, and scheduling orders.
-:meth:`MonteCarloCampaign.sweep` submits *all* scenarios' cells as one
-grid, so parallel workers stay busy across scenario boundaries.
+``serial``, ``thread``, ``process``, or ``batched`` backend.  Every cell
+derives all of its randomness from ``SeedSequence(base_seed,
+spawn_key=(scenario, run))`` and evaluates under a scoped generator, so
+campaign results are bit-identical across backends, worker counts, and
+scheduling orders.  :meth:`MonteCarloCampaign.sweep` submits *all*
+scenarios' cells as one grid, so parallel workers stay busy across
+scenario boundaries and the ``batched`` backend can vectorize each
+scenario's chips into a single stacked forward
+(:meth:`FaultInjector.attach_batched`).
 """
 
 from __future__ import annotations
@@ -34,7 +37,7 @@ import numpy as np
 from ..nn.module import Module
 from ..quant.layers import QuantLSTMCell, QuantizedComputeLayer, SignActivation
 from .executor import EvalHandle, WorkCell, run_cells
-from .models import FaultSpec
+from .models import ChipBatchedActivationNoise, ChipBatchedWeightFault, FaultSpec
 
 
 class FaultInjector:
@@ -79,6 +82,41 @@ class FaultInjector:
             for act in self._activation_sites():
                 act_rng = np.random.default_rng(rng.integers(0, 2**63))
                 act.pre_fault = spec.build_activation_model(act_rng)
+
+    def attach_batched(
+        self, spec: FaultSpec, rngs: Sequence[np.random.Generator]
+    ) -> None:
+        """Install stacked fault hooks for ``len(rngs)`` chips at once.
+
+        The chip-batched counterpart of :meth:`attach` used by the
+        ``batched`` executor backend: ``rngs[i]`` is chip ``i``'s
+        cell-derived fault generator, and every per-layer seed is drawn
+        from it in exactly the order :meth:`attach` draws — including the
+        draw-then-skip for binary layers under variation and the extra
+        recurrent-matrix draw for LSTM cells — so each chip's frozen
+        patterns are bit-identical to a serial evaluation of that cell.
+        """
+        self.detach()
+        if spec.kind == "none" or spec.level == 0.0:
+            return
+        has_sign_sites = bool(self._activation_sites())
+        for layer in self._weight_sites():
+            seeds = [int(rng.integers(0, 2**63)) for rng in rngs]
+            if spec.is_variation and layer.weight_bits == 1 and has_sign_sites:
+                continue  # binary layers receive variation at activations
+            layer.weight_fault = ChipBatchedWeightFault(spec, seeds)
+            if isinstance(layer, QuantLSTMCell):
+                hh_seeds = [int(rng.integers(0, 2**63)) for rng in rngs]
+                layer.weight_fault_hh = ChipBatchedWeightFault(spec, hh_seeds)
+        if spec.is_variation:
+            for act in self._activation_sites():
+                act_seeds = [int(rng.integers(0, 2**63)) for rng in rngs]
+                act.pre_fault = ChipBatchedActivationNoise(
+                    [
+                        spec.build_activation_model(np.random.default_rng(seed))
+                        for seed in act_seeds
+                    ]
+                )
 
     def detach(self) -> None:
         """Remove all fault hooks (restore the ideal chip)."""
@@ -140,13 +178,18 @@ class MonteCarloCampaign:
         randomness from ``(base_seed, s, i)`` so campaigns are reproducible
         and scenarios are independent.
     executor:
-        Execution backend: ``"serial"`` (default), ``"thread"``, or
-        ``"process"``.  All backends produce bit-identical results.
+        Execution backend: ``"serial"`` (default), ``"thread"``,
+        ``"process"``, or ``"batched"`` (all chips of a scenario in one
+        vectorized forward).  All backends produce bit-identical results.
     workers:
         Worker count for the parallel backends.
     handle:
         Picklable :class:`~repro.faults.executor.EvalHandle` recreating
         ``(model, evaluator)`` in workers; required for ``"process"``.
+    chip_limit:
+        ``"batched"`` only: maximum chips stacked per vectorized pass
+        (None = a scenario's full chip count); caps the activation
+        working set without changing results.
     """
 
     def __init__(
@@ -158,6 +201,7 @@ class MonteCarloCampaign:
         executor: str = "serial",
         workers: Optional[int] = None,
         handle: Optional[EvalHandle] = None,
+        chip_limit: Optional[int] = None,
     ):
         self.model = model
         self.evaluator = evaluator
@@ -166,6 +210,7 @@ class MonteCarloCampaign:
         self.executor = executor
         self.workers = workers
         self.handle = handle
+        self.chip_limit = chip_limit
 
     def _cells(self, spec: FaultSpec, scenario_index: int) -> List[WorkCell]:
         """Flatten one scenario into work cells (fault-free → one cell)."""
@@ -186,6 +231,7 @@ class MonteCarloCampaign:
             executor=self.executor,
             workers=self.workers,
             on_cell_done=on_cell_done,
+            chip_limit=self.chip_limit,
         )
 
     def _package(self, spec: FaultSpec, values: np.ndarray) -> CampaignResult:

@@ -28,8 +28,9 @@ layers and topologies.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -60,6 +61,38 @@ class WeightFaultModel:
 
     def _apply(self, qw: QuantizedWeight, pattern: np.ndarray) -> np.ndarray:
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Chip-batched path (the campaign engine's ``batched`` executor)
+    # ------------------------------------------------------------------
+    def generate_batch(
+        self, qw: QuantizedWeight, n_chips: int, seeds: Sequence[int]
+    ) -> np.ndarray:
+        """Stacked frozen patterns for ``n_chips`` chips, one per seed.
+
+        Chip ``i``'s slice is generated from ``default_rng(seeds[i])`` with
+        exactly the draws :meth:`_generate` makes serially, so the batched
+        engine reproduces the serial engine's fault realizations bit for
+        bit.  Returns ``(n_chips, *pattern.shape)``.
+        """
+        if len(seeds) != n_chips:
+            raise ValueError(f"need {n_chips} seeds, got {len(seeds)}")
+        patterns = []
+        for seed in seeds:
+            chip = copy.copy(self)
+            chip.rng = np.random.default_rng(seed)
+            chip._cache = {}
+            patterns.append(chip._generate(qw))
+        return np.stack(patterns, axis=0)
+
+    def apply_batch(self, qw: QuantizedWeight, patterns: np.ndarray) -> np.ndarray:
+        """Apply stacked per-chip patterns → ``(n_chips, *codes.shape)``.
+
+        The default implementation reuses :meth:`_apply`, which is a pure
+        broadcast for every noise-style model; subclasses whose apply is
+        not broadcast-safe (bit manipulation) override this.
+        """
+        return self._apply(qw, patterns)
 
 
 class BitFlipFault(WeightFaultModel):
@@ -95,6 +128,26 @@ class BitFlipFault(WeightFaultModel):
         for b in range(qw.bits - 1):
             magnitude ^= pattern[..., b].astype(np.int64) << b
         sign = np.where(pattern[..., qw.bits - 1], -sign, sign)
+        flipped = np.clip(sign * magnitude, -qw.qmax, qw.qmax)
+        return flipped.astype(np.float64)
+
+    def apply_batch(self, qw: QuantizedWeight, patterns: np.ndarray) -> np.ndarray:
+        # The in-place XOR of _apply cannot broadcast codes up to the
+        # stacked (n_chips, ..., bits) pattern, so materialize the chip
+        # axis first; the bit arithmetic is then identical per chip.
+        if self.rate == 0.0 or qw.bits == 1:
+            return self._apply(qw, patterns)
+        lead = patterns.shape[:1]
+        magnitude = np.broadcast_to(
+            np.abs(qw.codes).astype(np.int64), lead + qw.codes.shape
+        ).copy()
+        sign = np.broadcast_to(
+            np.sign(qw.codes).astype(np.int64), lead + qw.codes.shape
+        ).copy()
+        sign[sign == 0] = 1
+        for b in range(qw.bits - 1):
+            magnitude ^= patterns[..., b].astype(np.int64) << b
+        sign = np.where(patterns[..., qw.bits - 1], -sign, sign)
         flipped = np.clip(sign * magnitude, -qw.qmax, qw.qmax)
         return flipped.astype(np.float64)
 
@@ -336,3 +389,64 @@ class RetentionDriftFault(WeightFaultModel):
 
     def _apply(self, qw: QuantizedWeight, pattern: np.ndarray) -> np.ndarray:
         return qw.codes * pattern
+
+
+# ----------------------------------------------------------------------
+# Chip-batched fault hooks (the campaign engine's ``batched`` executor)
+# ----------------------------------------------------------------------
+class ChipBatchedWeightFault:
+    """Weight-fault hook evaluating ``n_chips`` frozen patterns at once.
+
+    Plugs into the same ``layer.weight_fault`` slot as a serial
+    :class:`WeightFaultModel` but returns perturbed codes with a leading
+    chip axis ``(n_chips, *codes.shape)``; the quantized layers broadcast
+    the stack through one vectorized forward.  ``seeds[i]`` must be the
+    layer seed chip ``i``'s serial :meth:`FaultInjector.attach
+    <repro.faults.campaign.FaultInjector.attach>` would draw, which makes
+    each chip's slice bit-identical to the serial engine's weights.
+    """
+
+    def __init__(self, spec: "FaultSpec", seeds: Sequence[int]):
+        self.seeds = [int(s) for s in seeds]
+        prototype = spec.build_weight_model(np.random.default_rng(0))
+        if prototype is None:
+            raise ValueError(f"spec {spec.describe()} has no weight-fault model")
+        self.prototype = prototype
+        self._cache: Dict[Tuple[int, ...], np.ndarray] = {}
+
+    @property
+    def n_chips(self) -> int:
+        return len(self.seeds)
+
+    def __call__(self, qw: QuantizedWeight) -> np.ndarray:
+        key = (qw.bits,) + tuple(qw.codes.shape)
+        if key not in self._cache:
+            self._cache[key] = self.prototype.generate_batch(
+                qw, self.n_chips, self.seeds
+            )
+        return self.prototype.apply_batch(qw, self._cache[key])
+
+
+class ChipBatchedActivationNoise:
+    """Activation-noise hook applying each chip's own noise stream.
+
+    Holds one serial :class:`ActivationNoise` per chip.  An already
+    chip-batched activation ``(n_chips, ...)`` is perturbed slice by slice
+    from each chip's stream; an unbatched activation (no fault has
+    introduced the chip axis yet) is broadcast — every chip perturbs the
+    same clean values, drawing exactly the noise the serial engine would.
+    """
+
+    def __init__(self, models: Sequence[ActivationNoise]):
+        self.models = list(models)
+
+    @property
+    def n_chips(self) -> int:
+        return len(self.models)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim and x.shape[0] == self.n_chips:
+            return np.stack(
+                [model(x[i]) for i, model in enumerate(self.models)], axis=0
+            )
+        return np.stack([model(x) for model in self.models], axis=0)

@@ -12,17 +12,26 @@ Models the full IMC datapath the paper abstracts away:
 4. an ADC digitizes the column currents.
 
 Large matrices are tiled into ``tile_rows``-row sub-arrays whose partial
-sums are accumulated digitally, as real macros do.  The ideal crossbar
-(infinite DAC/ADC resolution, no variation) reproduces the integer
-matmul of :mod:`repro.quant` exactly — a property the test suite checks —
-which justifies running the paper's fault campaigns at the algorithmic
-level.
+sums are accumulated digitally, as real macros do.  The tiling, the DAC,
+and the per-tile ADC are fully vectorized: all full tiles are contracted
+by one stacked GEMM and digitized in one shot (a short remainder tile is
+handled separately so its narrower ADC full-scale is preserved), instead
+of looping tile by tile in Python.  The ideal crossbar (infinite DAC/ADC
+resolution, no variation) reproduces the integer matmul of
+:mod:`repro.quant` exactly — a property the test suite checks — which
+justifies running the paper's fault campaigns at the algorithmic level.
+
+Chip batching: ``chip_batched=True`` programs a stack of per-chip weight
+codes ``(n_chips, out, in)`` — e.g. the per-chip faulty codes a batched
+fault campaign produces — into one array object whose :meth:`matvec`
+returns ``(n_chips, n, cols)`` in a single broadcast pass over the same
+tiled analog datapath.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -89,45 +98,76 @@ class CrossbarArray:
     ----------
     qw:
         Quantized weight record (codes + scale) to program; codes map to
-        differential conductance pairs.
+        differential conductance pairs.  With ``chip_batched=True`` the
+        codes carry a leading chip axis ``(n_chips, out, in)`` — one
+        faulty weight stack per simulated chip — and the whole stack is
+        programmed as a broadcastable conductance tensor.
     config:
         Macro parameters.
     rng:
         Source for programming variation / stuck cells (chip instance).
+        For a chip batch this may be a *sequence* of per-chip generators,
+        in which case each chip's variation/stuck draws come from its own
+        stream — bit-identical to programming the chips one at a time.
+    chip_batched:
+        Interpret a 3-D code tensor as a chip stack instead of rejecting
+        it.
     """
 
     def __init__(
         self,
         qw: QuantizedWeight,
         config: Optional[CrossbarConfig] = None,
-        rng: Optional[np.random.Generator] = None,
+        rng: Union[np.random.Generator, Sequence[np.random.Generator], None] = None,
+        chip_batched: bool = False,
     ):
-        if qw.codes.ndim != 2:
-            raise ValueError(f"crossbar expects a 2-D weight, got {qw.codes.shape}")
+        expected_ndim = 3 if chip_batched else 2
+        if qw.codes.ndim != expected_ndim:
+            kind = "chip-batched 3-D" if chip_batched else "2-D"
+            raise ValueError(f"crossbar expects a {kind} weight, got {qw.codes.shape}")
         self.config = config or CrossbarConfig()
         self.qw = qw
-        self.rows, self.cols = qw.codes.T.shape  # inputs x outputs
-        rng = rng or np.random.default_rng(0)
+        self.chip_batched = chip_batched
+        self.n_chips = qw.codes.shape[0] if chip_batched else 1
+        self.rows, self.cols = qw.codes.shape[-1], qw.codes.shape[-2]  # in x out
+        if rng is None:
+            rng = np.random.default_rng(0)
         self._program(rng)
 
-    def _program(self, rng: np.random.Generator) -> None:
+    def _program(
+        self, rng: Union[np.random.Generator, Sequence[np.random.Generator]]
+    ) -> None:
         """Map codes to differential conductances, with non-idealities."""
         cfg = self.config
-        codes = self.qw.codes.T  # (rows=in, cols=out)
+        codes = np.swapaxes(self.qw.codes, -1, -2)  # (..., rows=in, cols=out)
         qmax = self.qw.qmax
         pos = np.clip(codes, 0, None) / qmax
         neg = np.clip(-codes, 0, None) / qmax
         g_pos = cfg.g_off + pos * (cfg.g_on - cfg.g_off)
         g_neg = cfg.g_off + neg * (cfg.g_on - cfg.g_off)
+
+        def draw(method: str, shape, *args) -> np.ndarray:
+            if isinstance(rng, np.random.Generator):
+                return getattr(rng, method)(*args, shape)
+            # Per-chip generator stack: chip i's slice comes from rng[i],
+            # exactly as if each chip were programmed on its own.
+            return np.stack(
+                [getattr(g, method)(*args, shape[1:]) for g in rng], axis=0
+            )
+
         if cfg.sigma_conductance > 0.0:
-            g_pos = g_pos * (1.0 + rng.normal(0.0, cfg.sigma_conductance, g_pos.shape))
-            g_neg = g_neg * (1.0 + rng.normal(0.0, cfg.sigma_conductance, g_neg.shape))
+            g_pos = g_pos * (
+                1.0 + draw("normal", g_pos.shape, 0.0, cfg.sigma_conductance)
+            )
+            g_neg = g_neg * (
+                1.0 + draw("normal", g_neg.shape, 0.0, cfg.sigma_conductance)
+            )
         if cfg.stuck_rate > 0.0:
             g_pos = np.where(
-                rng.random(g_pos.shape) < cfg.stuck_rate, cfg.g_off, g_pos
+                draw("random", g_pos.shape) < cfg.stuck_rate, cfg.g_off, g_pos
             )
             g_neg = np.where(
-                rng.random(g_neg.shape) < cfg.stuck_rate, cfg.g_off, g_neg
+                draw("random", g_neg.shape) < cfg.stuck_rate, cfg.g_off, g_neg
             )
         self.g_pos = g_pos
         self.g_neg = g_neg
@@ -137,31 +177,49 @@ class CrossbarArray:
         """Analog weighted sum for a batch of input vectors ``(n, rows)``.
 
         Returns the digitized result in *weight units* (dequantized), i.e.
-        directly comparable to ``x @ (codes * scale).T``.
+        directly comparable to ``x @ (codes * scale).T`` — shaped
+        ``(n, cols)``, or ``(n_chips, n, cols)`` for a chip-batched array.
+
+        The tiled datapath is vectorized: all full ``tile_rows``-row tiles
+        are contracted by one stacked GEMM and ADC-digitized together,
+        then accumulated in tile order (matching the digital accumulator);
+        a shorter remainder tile keeps its own narrower ADC full-scale.
         """
         cfg = self.config
         x = np.atleast_2d(np.asarray(x, dtype=np.float64))
         if x.shape[1] != self.rows:
             raise ValueError(f"expected {self.rows} inputs, got {x.shape[1]}")
+        n = x.shape[0]
         x_max = np.abs(x).max()
         v = x
         if cfg.dac_bits is not None:
             v = _uniform_quantize(x, cfg.dac_bits, x_max)
         v = v * cfg.v_read  # volts
-        delta_g = self.g_pos - self.g_neg
-        currents = np.zeros((x.shape[0], self.cols))
-        for start in range(0, self.rows, cfg.tile_rows):
-            stop = min(start + cfg.tile_rows, self.rows)
-            tile_current = v[:, start:stop] @ delta_g[start:stop]
-            if cfg.adc_bits is not None:
-                # Per-tile full-scale: worst-case single-tile current.
-                full_scale = (
-                    cfg.v_read * x_max * (cfg.g_on - cfg.g_off) * (stop - start)
-                )
-                tile_current = _uniform_quantize(
-                    tile_current, cfg.adc_bits, full_scale
-                )
-            currents += tile_current
+        delta_g = self.g_pos - self.g_neg  # (..., rows, cols)
+
+        def digitize(current: np.ndarray, tile_len: int) -> np.ndarray:
+            if cfg.adc_bits is None:
+                return current
+            # Per-tile full-scale: worst-case single-tile current.
+            full_scale = cfg.v_read * x_max * (cfg.g_on - cfg.g_off) * tile_len
+            return _uniform_quantize(current, cfg.adc_bits, full_scale)
+
+        currents = np.zeros(delta_g.shape[:-2] + (n, self.cols))
+        n_full = self.rows // cfg.tile_rows
+        rows_full = n_full * cfg.tile_rows
+        if n_full:
+            v_tiles = v[:, :rows_full].reshape(n, n_full, cfg.tile_rows)
+            v_tiles = v_tiles.transpose(1, 0, 2)  # (tiles, n, tile_rows)
+            dg = delta_g[..., :rows_full, :]
+            dg_tiles = dg.reshape(
+                dg.shape[:-2] + (n_full, cfg.tile_rows, self.cols)
+            )  # (..., tiles, tile_rows, cols)
+            tile_currents = digitize(v_tiles @ dg_tiles, cfg.tile_rows)
+            for tile in range(n_full):  # digital accumulation, in tile order
+                currents += tile_currents[..., tile, :, :]
+        if rows_full < self.rows:
+            tail = v[:, rows_full:] @ delta_g[..., rows_full:, :]
+            currents += digitize(tail, self.rows - rows_full)
         # Convert current back to weight units.
         lsb = (self.config.g_on - self.config.g_off) / self.qw.qmax
         scale = np.asarray(self.qw.scale).reshape(-1)
@@ -169,9 +227,9 @@ class CrossbarArray:
         return currents / (cfg.v_read * lsb) * out_scale
 
     def ideal_result(self, x: np.ndarray) -> np.ndarray:
-        """Digital reference: ``x @ (codes * scale).T``."""
+        """Digital reference: ``x @ (codes * scale).T`` (per chip if batched)."""
         x = np.atleast_2d(np.asarray(x, dtype=np.float64))
-        return x @ self.qw.dequantize().T
+        return x @ np.swapaxes(self.qw.dequantize(), -1, -2)
 
     @property
     def n_tiles(self) -> int:

@@ -67,9 +67,14 @@ class LSTMForecaster(Module):
         set_mask_scope(self, "frozen")
 
     def forward(self, x: Tensor) -> Tensor:
-        """Map ``(n, t, input_size)`` windows to scalar forecasts ``(n,)``."""
+        """Map ``(n, t, input_size)`` windows to scalar forecasts ``(n,)``.
+
+        Chip-batched ``(chips, n, t, input_size)`` inputs map to
+        ``(chips, n)`` forecasts: indexing is time-step-from-the-right, and
+        the zero initial states broadcast against chip-stacked gates.
+        """
         resample_masks(self)
-        n, t = x.shape[0], x.shape[1]
+        n, t = x.shape[-3], x.shape[-2]
         states: List[Tuple[Tensor, Tensor]] = [
             (
                 Tensor(np.zeros((n, self.hidden_size))),
@@ -79,7 +84,7 @@ class LSTMForecaster(Module):
         ]
         last_hidden = None
         for step in range(t):
-            inp = x[:, step, :]
+            inp = x[..., step, :]
             for layer in range(self.num_layers):
                 h, c = self.cells[layer](inp, states[layer])
                 states[layer] = (h, c)
@@ -91,8 +96,9 @@ class LSTMForecaster(Module):
         # The per-instance normalization discards absolute level, so the
         # head models the (stationary) step change and the level is
         # restored from the input window — standard for trend series.
-        delta = self.head(last_hidden).reshape(n)
-        return delta + x[:, t - 1, 0]
+        delta = self.head(last_hidden)
+        delta = delta.reshape(*delta.shape[:-1])
+        return delta + x[..., t - 1, 0]
 
     def forecast(self, window: Tensor, steps: int) -> np.ndarray:
         """Iterated multi-step forecast from a seed window (autoregressive).

@@ -115,7 +115,12 @@ class UNet(Module):
         self.head = Conv2d(widths[0], 1, 1)
 
     def forward(self, x: Tensor) -> Tensor:
-        """Map ``(n, c, h, w)`` images to per-pixel logits ``(n, h, w)``."""
+        """Map ``(n, c, h, w)`` images to per-pixel logits ``(n, h, w)``.
+
+        Chip-batched ``(chips, n, c, h, w)`` inputs map to
+        ``(chips, n, h, w)`` logits: skip concatenation addresses the
+        channel axis from the right, so the extra leading axis is inert.
+        """
         out = self.stem(x)
         skips = []
         for level in range(self.depth):
@@ -125,10 +130,10 @@ class UNet(Module):
         out = self.bottleneck(out)
         for i, level in enumerate(reversed(range(self.depth))):
             out = self.up_convs[i](self.ups[i](out))
-            out = concatenate([out, skips[level]], axis=1)
+            out = concatenate([out, skips[level]], axis=-3)
             out = self.decoders[i](out)
         logits = self.head(out)
-        return logits.reshape(logits.shape[0], logits.shape[2], logits.shape[3])
+        return logits.reshape(*logits.shape[:-3], *logits.shape[-2:])
 
     def extra_repr(self) -> str:
         return f"method={self.method.name!r}"

@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..tensor import Tensor, ops
+from ..tensor.chipbatch import active_chip_count, chip_axes
 from ..tensor.random import get_rng
 from .module import Module
 
@@ -113,8 +114,10 @@ class SpatialDropout2d(StochasticModule):
         if not self.sampling or self.p == 0.0:
             return x
         keep = 1.0 - self.p
-        n, c = x.shape[0], x.shape[1]
-        mask_shape = (n, c) + (1,) * (x.ndim - 2)
+        # Mask over (batch, channels) — plus the leading chip axis when a
+        # chip batch is active, so each simulated chip drops its own maps.
+        lead = 2 + chip_axes()
+        mask_shape = x.shape[:lead] + (1,) * (x.ndim - lead)
         mask = self._scoped_mask(
             lambda: (get_rng().random(mask_shape) < keep).astype(np.float64),
             mask_shape,
@@ -172,9 +175,11 @@ class DropConnect(StochasticModule):
             return self.linear(x)
         weight = self.linear.weight
         keep = 1.0 - self.p
-        mask = (get_rng().random(weight.shape) < keep).astype(np.float64)
+        n_chips = active_chip_count()
+        mask_shape = ((n_chips,) if n_chips else ()) + weight.shape
+        mask = (get_rng().random(mask_shape) < keep).astype(np.float64)
         masked = ops.dropout_mask_apply(weight, mask, scale=1.0 / keep)
-        out = x @ masked.T
+        out = x @ masked.swapaxes(-1, -2)
         if getattr(self.linear, "bias", None) is not None:
             out = out + self.linear.bias
         return out

@@ -9,6 +9,12 @@ L)`` for 1-D): BatchNorm normalizes over ``(N, H, W)`` per channel with
 running statistics; LayerNorm over ``(C, H, W)`` per instance; InstanceNorm
 over ``(H, W)`` per instance and channel; GroupNorm over channel groups per
 instance.
+
+Under an active chip batch (:func:`repro.tensor.chipbatch.chip_batch`, the
+campaign engine's ``batched`` executor) every activation carries a leading
+chip axis, so the channel axis shifts from 1 to 2 and per-instance
+statistics are computed per (chip, instance).  Statistics never mix across
+chips — each chip's slice normalizes exactly as it would serially.
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..tensor import Tensor, ops
+from ..tensor.chipbatch import chip_axes
 from .module import Module, Parameter
 
 
@@ -31,7 +38,7 @@ def normalize(x: Tensor, axes: Tuple[int, ...], eps: float) -> Tensor:
 def _affine_shape(ndim: int, channels: int) -> Tuple[int, ...]:
     """Broadcastable per-channel parameter shape for an ndim input."""
     shape = [1] * ndim
-    shape[1] = channels
+    shape[chip_axes(1)] = channels
     return tuple(shape)
 
 
@@ -115,7 +122,7 @@ class LayerNorm(_AffineNormBase):
         super().__init__(num_features, eps, affine)
 
     def forward(self, x: Tensor) -> Tensor:
-        axes = tuple(range(1, x.ndim))
+        axes = tuple(range(chip_axes(1), x.ndim))
         x_hat = normalize(x, axes, self.eps)
         return self._apply_affine(x_hat)
 
@@ -127,7 +134,7 @@ class InstanceNorm2d(_AffineNormBase):
         super().__init__(num_features, eps, affine)
 
     def forward(self, x: Tensor) -> Tensor:
-        axes = tuple(range(2, x.ndim))
+        axes = tuple(range(chip_axes(2), x.ndim))
         x_hat = normalize(x, axes, self.eps)
         return self._apply_affine(x_hat)
 
@@ -157,11 +164,12 @@ class GroupNorm(_AffineNormBase):
         self.num_groups = num_groups
 
     def forward(self, x: Tensor) -> Tensor:
-        n, c = x.shape[0], x.shape[1]
-        spatial = x.shape[2:]
-        grouped = x.reshape(n, self.num_groups, c // self.num_groups, *spatial)
-        axes = tuple(range(2, grouped.ndim))
-        x_hat = normalize(grouped, axes, self.eps).reshape(n, c, *spatial)
+        c_axis = chip_axes(1)
+        lead, c = x.shape[:c_axis], x.shape[c_axis]
+        spatial = x.shape[c_axis + 1 :]
+        grouped = x.reshape(*lead, self.num_groups, c // self.num_groups, *spatial)
+        axes = tuple(range(c_axis + 1, grouped.ndim))
+        x_hat = normalize(grouped, axes, self.eps).reshape(*lead, c, *spatial)
         return self._apply_affine(x_hat)
 
     def extra_repr(self) -> str:

@@ -66,17 +66,25 @@ class AvgPool1d(Module):
 
 
 class GlobalAvgPool2d(Module):
-    """Average over the spatial dimensions → ``(n, c)``."""
+    """Average over the spatial dimensions → ``(n, c)``.
+
+    Reduces the trailing two axes, so chip-batched ``(C, n, c, h, w)``
+    activations map to ``(C, n, c)``.
+    """
 
     def forward(self, x: Tensor) -> Tensor:
-        return x.mean(axis=(2, 3))
+        return x.mean(axis=(-2, -1))
 
 
 class GlobalAvgPool1d(Module):
-    """Average over the length dimension → ``(n, c)``."""
+    """Average over the length dimension → ``(n, c)``.
+
+    Reduces the trailing axis, so chip-batched ``(C, n, c, l)``
+    activations map to ``(C, n, c)``.
+    """
 
     def forward(self, x: Tensor) -> Tensor:
-        return x.mean(axis=2)
+        return x.mean(axis=-1)
 
 
 class UpsampleNearest2d(Module):

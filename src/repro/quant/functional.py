@@ -9,6 +9,14 @@ the layer wrappers live in :mod:`repro.quant.layers`.
 Every function exposes the integer *codes* actually stored in NVM cells via
 the :class:`QuantizedWeight` record so fault models
 (:mod:`repro.faults`) can flip the very bits a crossbar would hold.
+
+A fault hook may be *chip-batched* (one frozen pattern per simulated chip,
+see :class:`repro.faults.models.ChipBatchedWeightFault`): it then returns
+perturbed codes with a leading chip axis, and the dequantized result is a
+``(n_chips, *weight.shape)`` stack — scales broadcast against it
+unchanged, and the layer forwards contract it with batched matmuls.  That
+path is inference-only; campaigns never backpropagate through faulty
+chips.
 """
 
 from __future__ import annotations

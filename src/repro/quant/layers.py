@@ -46,6 +46,13 @@ class QuantizedComputeLayer(Module):
         self.last_quantized: Optional[QuantizedWeight] = None
 
     def _quantize(self, weight: Tensor) -> Tensor:
+        """Quantize (or binarize) the live weight, applying fault hooks.
+
+        A chip-batched fault hook (one frozen pattern per simulated chip)
+        returns perturbed codes with a leading chip axis, so the result is
+        a ``(n_chips, *weight.shape)`` stack of per-chip faulty weights;
+        the forward methods below broadcast against it transparently.
+        """
         if self.weight_bits == 1:
             q, record = binarize_weight(weight, fault=self.weight_fault)
         else:
@@ -146,7 +153,9 @@ class QuantLinear(QuantizedComputeLayer):
 
     def forward(self, x: Tensor) -> Tensor:
         wq = self._quantize(self.weight)
-        out = x @ wq.T
+        # swapaxes (not .T) so chip-batched (n_chips, out, in) weights
+        # contract correctly; identical to .T for the 2-D serial case.
+        out = x @ wq.swapaxes(-1, -2)
         if self.bias is not None:
             out = out + self.bias
         return out
@@ -200,12 +209,17 @@ class QuantLSTMCell(QuantizedComputeLayer):
         )
         self.last_quantized = rec_ih
         self.last_quantized_hh = rec_hh
-        gates = x @ w_ih.T + self.bias_ih + h @ w_hh.T + self.bias_hh
+        gates = (
+            x @ w_ih.swapaxes(-1, -2)
+            + self.bias_ih
+            + h @ w_hh.swapaxes(-1, -2)
+            + self.bias_hh
+        )
         hs = self.hidden_size
-        i = ops.sigmoid(gates[:, 0 * hs : 1 * hs])
-        f = ops.sigmoid(gates[:, 1 * hs : 2 * hs])
-        g = ops.tanh(gates[:, 2 * hs : 3 * hs])
-        o = ops.sigmoid(gates[:, 3 * hs : 4 * hs])
+        i = ops.sigmoid(gates[..., 0 * hs : 1 * hs])
+        f = ops.sigmoid(gates[..., 1 * hs : 2 * hs])
+        g = ops.tanh(gates[..., 2 * hs : 3 * hs])
+        o = ops.sigmoid(gates[..., 3 * hs : 4 * hs])
         c_new = f * c + i * g
         h_new = o * ops.tanh(c_new)
         return h_new, c_new

@@ -6,6 +6,7 @@ structural / convolutional operations, gradient checking, and seedable
 randomness.
 """
 
+from .chipbatch import ChipBatchRng, active_chip_count, chip_axes, chip_batch
 from .grad_mode import enable_grad, is_grad_enabled, no_grad, set_grad_enabled
 from .gradcheck import check_gradients, numeric_gradient
 from .random import get_rng, manual_seed, scoped_rng, spawn_rng
@@ -65,6 +66,10 @@ __all__ = [
     "get_rng",
     "scoped_rng",
     "spawn_rng",
+    "ChipBatchRng",
+    "active_chip_count",
+    "chip_axes",
+    "chip_batch",
     "check_gradients",
     "numeric_gradient",
     "conv",

@@ -1,0 +1,125 @@
+"""Chip-batch context: evaluate C simulated chips in one tensor pass.
+
+Monte Carlo fault campaigns simulate ``R`` independent chip instances per
+fault scenario.  The serial engine evaluates them one at a time; the
+``batched`` executor backend instead stacks all chips of a scenario along a
+leading *chip axis* and runs a single vectorized forward, so every numpy
+kernel amortizes its dispatch overhead over ``C`` chips.
+
+This module provides the two pieces of thread-local state that make the
+batched pass *bit-identical per chip* to the serial reference:
+
+* :func:`chip_batch` — a context manager announcing that activations carry
+  a leading chip axis of size ``C``.  Layers with shape-dependent logic
+  (normalization feature axes, spatial-dropout mask shapes, the inverted
+  norm's affine reshape) consult :func:`active_chip_count` to shift their
+  channel axis from 1 to 2.  The invariant maintained by the batched
+  evaluators is that **every activation inside the context has a leading
+  chip axis** (inputs are broadcast up front), so a single flag suffices —
+  no per-tensor rank guessing.
+* :class:`ChipBatchRng` — a stack of per-chip generators that satisfies
+  leading-chip-axis draws by drawing each chip's slice from its own
+  generator.  A serial cell draws its dropout masks / affine-dropout
+  coin flips / activation noise from the cell's own
+  ``SeedSequence``-derived stream; the batched pass installs a
+  ``ChipBatchRng`` over exactly those per-cell streams via
+  :func:`~repro.tensor.random.scoped_rng`, so chip ``i``'s slice of every
+  mask is the very array the serial engine would have drawn.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+_STATE = threading.local()
+
+
+def active_chip_count() -> Optional[int]:
+    """Number of chips in the active batch on this thread, or ``None``."""
+    return getattr(_STATE, "n_chips", None)
+
+
+def chip_axes(extra: int = 0) -> int:
+    """Index offset added by the chip axis (0 outside a batch, 1 inside).
+
+    ``extra`` is added for convenience: ``chip_axes(1)`` is the channel
+    axis of an NCHW activation in either mode.
+    """
+    return extra + (1 if active_chip_count() is not None else 0)
+
+
+@contextlib.contextmanager
+def chip_batch(n_chips: int) -> Iterator[int]:
+    """Mark this thread as evaluating ``n_chips`` stacked chip instances.
+
+    Nestable and exception-safe.  While active, chip-aware layers treat
+    axis 0 of every activation as the chip axis.
+    """
+    n_chips = int(n_chips)
+    if n_chips < 1:
+        raise ValueError(f"chip batch needs >= 1 chip, got {n_chips}")
+    previous = getattr(_STATE, "n_chips", None)
+    _STATE.n_chips = n_chips
+    try:
+        yield n_chips
+    finally:
+        _STATE.n_chips = previous
+
+
+class ChipBatchRng:
+    """Per-chip generator stack behind a ``np.random.Generator``-like API.
+
+    Every draw must request a shape whose leading dimension equals the
+    chip count; the result is the per-chip draws stacked along axis 0.
+    Chip ``i``'s slice is therefore bit-identical to what the serial
+    engine draws from ``generators[i]`` for the same call sequence.
+
+    Components that sample *per parameter vector* rather than per
+    activation (e.g. the affine-dropout sampler's scalar coin flips) can
+    reach the underlying streams through :attr:`generators`.
+    """
+
+    def __init__(self, generators: Sequence[np.random.Generator]):
+        self.generators = list(generators)
+        if not self.generators:
+            raise ValueError("ChipBatchRng needs at least one generator")
+
+    @property
+    def n_chips(self) -> int:
+        return len(self.generators)
+
+    def _stacked(self, draw, size) -> np.ndarray:
+        if size is None:
+            raise RuntimeError(
+                "scalar draws are ambiguous under a chip batch; draw from "
+                "ChipBatchRng.generators[i] explicitly instead"
+            )
+        shape = (size,) if isinstance(size, int) else tuple(size)
+        if not shape or shape[0] != self.n_chips:
+            raise RuntimeError(
+                f"chip-batched draws must lead with the chip axis "
+                f"({self.n_chips}); got shape {shape}"
+            )
+        inner = shape[1:]
+        return np.stack([draw(g, inner) for g in self.generators], axis=0)
+
+    # The Generator subset the evaluation path uses (dropout masks,
+    # Gaussian dropout noise, DropConnect weight masks).
+    def random(self, size=None) -> np.ndarray:
+        return self._stacked(lambda g, s: g.random(s), size)
+
+    def standard_normal(self, size=None) -> np.ndarray:
+        return self._stacked(lambda g, s: g.standard_normal(s), size)
+
+    def normal(self, loc=0.0, scale=1.0, size=None) -> np.ndarray:
+        return self._stacked(lambda g, s: g.normal(loc, scale, s), size)
+
+    def uniform(self, low=0.0, high=1.0, size=None) -> np.ndarray:
+        return self._stacked(lambda g, s: g.uniform(low, high, s), size)
+
+    def integers(self, low, high=None, size=None) -> np.ndarray:
+        return self._stacked(lambda g, s: g.integers(low, high, size=s), size)

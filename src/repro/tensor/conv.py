@@ -10,6 +10,21 @@ orders of magnitude slower).
 
 These functions are the computational kernels behind
 :class:`repro.nn.conv.Conv2d` and friends.
+
+Chip-batched evaluation
+-----------------------
+The Monte Carlo campaign engine's ``batched`` backend evaluates ``C``
+simulated chips in one pass (see :mod:`repro.tensor.chipbatch`), which
+shows up here as an extra leading *chip axis*:
+
+* a 5-D activation ``(C, n, c, h, w)`` against a shared 4-D weight is
+  folded into the batch dimension (fully differentiable, exact);
+* a 5-D *per-chip* weight ``(C, c_out, c_in, kh, kw)`` — produced by
+  chip-batched fault injection — selects a batched-GEMM path that
+  contracts each chip's columns with its own kernel.  This path is
+  inference-only: campaigns never backpropagate through faulty chips.
+
+Pooling and up-sampling accept the extra leading axis transparently.
 """
 
 from __future__ import annotations
@@ -79,6 +94,84 @@ def _col2im2d(
     return dxp
 
 
+def _im2col2d_chips(
+    xp: np.ndarray, kh: int, kw: int, stride_h: int, stride_w: int
+) -> Tuple[np.ndarray, int, int]:
+    """Chip-batched :func:`_im2col2d` for a padded ``(C, n, c, hp, wp)`` array.
+
+    Returns ``(cols, oh, ow)`` with ``cols`` of shape
+    ``(C, n * oh * ow, c * kh * kw)`` — one column matrix per chip, ready
+    for a batched GEMM against per-chip kernels.  Columns are gathered
+    chip by chip into one preallocated stack: the per-chip 6-D window
+    copy is cache-friendly, whereas a single 7-D strided copy of the
+    whole stack measures several times slower.
+    """
+    n_chips, n, c, hp, wp = xp.shape
+    oh = (hp - kh) // stride_h + 1
+    ow = (wp - kw) // stride_w + 1
+    cols = np.empty((n_chips, n * oh * ow, c * kh * kw), dtype=xp.dtype)
+    _, s1, s2, s3, s4 = xp.strides
+    for chip in range(n_chips):
+        windows = as_strided(
+            xp[chip],
+            shape=(n, c, kh, kw, oh, ow),
+            strides=(s1, s2, s3, s4, s3 * stride_h, s4 * stride_w),
+        )
+        np.copyto(
+            cols[chip].reshape(n, oh, ow, c, kh, kw),
+            windows.transpose(0, 4, 5, 1, 2, 3),
+        )
+    return cols, oh, ow
+
+
+def _conv2d_chipbatched(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> Tensor:
+    """Batched-GEMM convolution of per-chip kernels (inference-only).
+
+    ``weight`` is ``(C, c_out, c_in, kh, kw)`` — one faulty kernel per
+    simulated chip.  ``x`` is either a shared ``(n, c_in, h, w)`` input
+    (broadcast across chips by the GEMM) or an already chip-batched
+    ``(C, n, c_in, h, w)`` activation.  Output: ``(C, n, c_out, oh, ow)``.
+    """
+    sh, sw = stride
+    ph, pw = padding
+    n_chips, c_out, c_in, kh, kw = weight.shape
+    if x.shape[-3] != c_in:
+        raise ValueError(
+            f"conv2d channel mismatch: input {x.shape[-3]} vs weight {c_in}"
+        )
+    if x.ndim == 5 and x.shape[0] != n_chips:
+        raise ValueError(
+            f"conv2d chip mismatch: input {x.shape[0]} vs weight {n_chips}"
+        )
+    pad_spec = ((0, 0),) * (x.ndim - 2) + ((ph, ph), (pw, pw))
+    xp = np.pad(x.data, pad_spec) if (ph or pw) else x.data
+    if x.ndim == 4:
+        cols, oh, ow = _im2col2d(xp, kh, kw, sh, sw)  # (n*oh*ow, k)
+    else:
+        cols, oh, ow = _im2col2d_chips(xp, kh, kw, sh, sw)  # (C, n*oh*ow, k)
+    n = x.shape[-4]
+    w_mat = weight.data.reshape(n_chips, c_out, c_in * kh * kw)
+    out_mat = cols @ w_mat.transpose(0, 2, 1)  # (C, n*oh*ow, c_out)
+    if bias is not None:
+        out_mat = out_mat + bias.data
+    out = np.moveaxis(out_mat.reshape(n_chips, n, oh, ow, c_out), -1, 2)
+    parents = [x, weight] + ([bias] if bias is not None else [])
+
+    def backward(grad: np.ndarray) -> None:
+        raise RuntimeError(
+            "chip-batched conv2d is inference-only; campaigns never "
+            "backpropagate through per-chip faulty kernels"
+        )
+
+    return Tensor._make(out, parents, backward, "conv2d_chips")
+
+
 def conv2d(
     x: Tensor,
     weight: Tensor,
@@ -90,11 +183,25 @@ def conv2d(
 
     Parameters
     ----------
-    x: ``(n, c_in, h, w)``
-    weight: ``(c_out, c_in, kh, kw)``
+    x: ``(n, c_in, h, w)``, or ``(C, n, c_in, h, w)`` under a chip batch
+    weight: ``(c_out, c_in, kh, kw)``, or ``(C, c_out, c_in, kh, kw)``
     bias: ``(c_out,)`` or None
     """
     x, weight = as_tensor(x), as_tensor(weight)
+    if weight.ndim == 5:
+        return _conv2d_chipbatched(x, weight, bias, _pair(stride), _pair(padding))
+    if x.ndim == 5:
+        # Shared weight across chips: fold the chip axis into the batch.
+        # Composed from differentiable reshapes, so gradients stay exact.
+        n_chips, n = x.shape[0], x.shape[1]
+        folded = conv2d(
+            x.reshape(n_chips * n, *x.shape[2:]),
+            weight,
+            bias,
+            stride=stride,
+            padding=padding,
+        )
+        return folded.reshape(n_chips, n, *folded.shape[1:])
     sh, sw = _pair(stride)
     ph, pw = _pair(padding)
     n, c, h, w = x.shape
@@ -136,13 +243,14 @@ def conv1d(
     """1-D cross-correlation over an NCL tensor.
 
     Implemented by viewing the signal as an NC1L image and reusing
-    :func:`conv2d`.
+    :func:`conv2d`.  Leading chip axes on ``x`` and/or ``weight`` pass
+    straight through.
     """
     x, weight = as_tensor(x), as_tensor(weight)
-    x4 = x.reshape(x.shape[0], x.shape[1], 1, x.shape[2])
-    w4 = weight.reshape(weight.shape[0], weight.shape[1], 1, weight.shape[2])
+    x4 = x.reshape(*x.shape[:-1], 1, x.shape[-1])
+    w4 = weight.reshape(*weight.shape[:-1], 1, weight.shape[-1])
     out = conv2d(x4, w4, bias=bias, stride=(1, stride), padding=(0, padding))
-    return out.reshape(out.shape[0], out.shape[1], out.shape[3])
+    return out.reshape(*out.shape[:-2], out.shape[-1])
 
 
 def conv_transpose2d(
@@ -197,8 +305,16 @@ def conv_transpose2d(
 def max_pool2d(
     x: Tensor, kernel_size: int | Tuple[int, int], stride: Optional[int] = None
 ) -> Tensor:
-    """Max pooling over an NCHW tensor (no padding)."""
+    """Max pooling over an NCHW tensor (no padding).
+
+    A 5-D ``(C, n, c, h, w)`` chip batch is folded into the batch axis.
+    """
     x = as_tensor(x)
+    if x.ndim == 5:
+        folded = max_pool2d(
+            x.reshape(x.shape[0] * x.shape[1], *x.shape[2:]), kernel_size, stride
+        )
+        return folded.reshape(x.shape[0], x.shape[1], *folded.shape[1:])
     kh, kw = _pair(kernel_size)
     sh, sw = _pair(stride if stride is not None else kernel_size)
     n, c, h, w = x.shape
@@ -228,8 +344,16 @@ def max_pool2d(
 def avg_pool2d(
     x: Tensor, kernel_size: int | Tuple[int, int], stride: Optional[int] = None
 ) -> Tensor:
-    """Average pooling over an NCHW tensor (no padding)."""
+    """Average pooling over an NCHW tensor (no padding).
+
+    A 5-D ``(C, n, c, h, w)`` chip batch is folded into the batch axis.
+    """
     x = as_tensor(x)
+    if x.ndim == 5:
+        folded = avg_pool2d(
+            x.reshape(x.shape[0] * x.shape[1], *x.shape[2:]), kernel_size, stride
+        )
+        return folded.reshape(x.shape[0], x.shape[1], *folded.shape[1:])
     kh, kw = _pair(kernel_size)
     sh, sw = _pair(stride if stride is not None else kernel_size)
     n, c, h, w = x.shape
@@ -256,29 +380,33 @@ def avg_pool2d(
 
 
 def max_pool1d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Tensor:
-    """Max pooling over an NCL tensor."""
+    """Max pooling over an NCL tensor (chip batches pass through)."""
     x = as_tensor(x)
-    x4 = x.reshape(x.shape[0], x.shape[1], 1, x.shape[2])
+    x4 = x.reshape(*x.shape[:-1], 1, x.shape[-1])
     out = max_pool2d(x4, (1, kernel_size), (1, stride if stride else kernel_size))
-    return out.reshape(out.shape[0], out.shape[1], out.shape[3])
+    return out.reshape(*out.shape[:-2], out.shape[-1])
 
 
 def avg_pool1d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Tensor:
-    """Average pooling over an NCL tensor."""
+    """Average pooling over an NCL tensor (chip batches pass through)."""
     x = as_tensor(x)
-    x4 = x.reshape(x.shape[0], x.shape[1], 1, x.shape[2])
+    x4 = x.reshape(*x.shape[:-1], 1, x.shape[-1])
     out = avg_pool2d(x4, (1, kernel_size), (1, stride if stride else kernel_size))
-    return out.reshape(out.shape[0], out.shape[1], out.shape[3])
+    return out.reshape(*out.shape[:-2], out.shape[-1])
 
 
 def upsample_nearest2d(x: Tensor, scale: int = 2) -> Tensor:
-    """Nearest-neighbour up-sampling of an NCHW tensor by an integer factor."""
+    """Nearest-neighbour up-sampling of an NCHW tensor by an integer factor.
+
+    Operates on the trailing two (spatial) axes, so chip-batched 5-D
+    activations up-sample transparently.
+    """
     x = as_tensor(x)
-    data = x.data.repeat(scale, axis=2).repeat(scale, axis=3)
-    n, c, h, w = x.shape
+    data = x.data.repeat(scale, axis=-2).repeat(scale, axis=-1)
+    h, w = x.shape[-2], x.shape[-1]
 
     def backward(grad: np.ndarray) -> None:
-        g = grad.reshape(n, c, h, scale, w, scale).sum(axis=(3, 5))
+        g = grad.reshape(*x.shape[:-2], h, scale, w, scale).sum(axis=(-3, -1))
         x._accumulate(g)
 
     return Tensor._make(data, [x], backward, "upsample_nearest2d")

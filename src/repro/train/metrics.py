@@ -14,10 +14,21 @@ def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
     return float((predictions == labels).mean())
 
 
-def rmse(predictions: np.ndarray, targets: np.ndarray) -> float:
-    """Root mean squared error."""
-    predictions = np.asarray(predictions).reshape(-1)
+def rmse(predictions: np.ndarray, targets: np.ndarray) -> float | np.ndarray:
+    """Root mean squared error.
+
+    ``predictions`` may carry a leading chip/batch axis that ``targets``
+    lacks (chip-batched campaign evaluation); the error is then reduced
+    per leading slice and an array is returned.
+    """
+    predictions = np.asarray(predictions)
     targets = np.asarray(targets).reshape(-1)
+    if predictions.ndim > 1:
+        lead = predictions.shape[0]
+        flat = predictions.reshape(lead, -1)
+        if flat.shape[1] == targets.size:
+            return np.sqrt(((flat - targets) ** 2).mean(axis=-1))
+    predictions = predictions.reshape(-1)
     return float(np.sqrt(((predictions - targets) ** 2).mean()))
 
 

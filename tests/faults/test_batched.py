@@ -1,0 +1,283 @@
+"""Tests for the chip-batched campaign backend.
+
+The ``batched`` executor's contract is the serial contract plus one word:
+stacking a scenario's chip instances along a leading chip axis and
+evaluating them in one vectorized pass must produce **bit-identical
+per-chip metrics** to evaluating the cells one at a time.  These tests
+check that contract across fault models (multi-bit bit flips, binary bit
+flips, additive/uniform variation), topologies (conv nets, the LSTM
+forecaster, a binary net with sign-activation injection sites), chip-axis
+edge cases (C=1, chip_limit sub-batching), and the campaign-result cache
+(batched runs produce and consume the same keys as serial runs).
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.bayesian import mc_forward
+from repro.eval import (
+    build_task,
+    campaign_key,
+    clear_memory_cache,
+    load_campaign_values,
+    make_evaluator,
+    run_robustness_sweep,
+    trained_model,
+)
+from repro.faults import (
+    ChipBatchedWeightFault,
+    FaultSpec,
+    MonteCarloCampaign,
+    WorkCell,
+    additive_sweep,
+    bitflip_sweep,
+    cell_rngs,
+    evaluate_cell,
+    evaluate_cells_batched,
+    uniform_sweep,
+)
+from repro.models import conventional, proposed, spindrop
+from repro.quant import QuantConv2d, QuantLinear, SignActivation
+from repro.quant.functional import QuantizedWeight
+from repro.tensor import Tensor, chip_batch, manual_seed
+from repro.tensor.chipbatch import ChipBatchRng, active_chip_count
+
+
+def build_pair(seed=0):
+    """Small mixed binary/multi-bit model with a chip-aware evaluator."""
+    from repro.tensor.chipbatch import active_chip_count as chips
+
+    manual_seed(seed)
+    model = nn.Sequential(
+        QuantConv2d(1, 3, 3, padding=1, weight_bits=1),
+        SignActivation(),
+        nn.GlobalAvgPool2d(),
+        nn.Dropout(0.25),
+        QuantLinear(3, 2, weight_bits=8),
+    )
+    data_rng = np.random.default_rng(7)
+    x = data_rng.normal(size=(10, 1, 6, 6))
+    y = data_rng.integers(0, 2, 10)
+
+    def evaluator(m):
+        n_chips = chips()
+        inp = x if n_chips is None else np.broadcast_to(x[None], (n_chips,) + x.shape)
+        logits = mc_forward(m, Tensor(inp.copy()), num_samples=3)
+        pred = logits.mean(axis=0).argmax(axis=-1)
+        return (pred == y).mean(axis=-1)
+
+    return model, evaluator
+
+
+def _serial_reference(model, evaluator, cells, base_seed):
+    return np.array(
+        [evaluate_cell(model, evaluator, cell, base_seed) for cell in cells]
+    )
+
+
+class TestEvaluateCellsBatched:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            FaultSpec(kind="bitflip", level=0.1),  # binary + 8-bit sites
+            FaultSpec(kind="additive", level=0.3),  # routed to activations
+            FaultSpec(kind="stuck", level=0.2, stuck_to="high"),
+            FaultSpec(kind="drift", level=24.0),
+        ],
+    )
+    def test_bit_identical_to_serial(self, spec):
+        model, evaluator = build_pair()
+        cells = [WorkCell(2, run, spec) for run in range(6)]
+        serial = _serial_reference(model, evaluator, cells, base_seed=5)
+        batched = evaluate_cells_batched(model, evaluator, cells, base_seed=5)
+        np.testing.assert_array_equal(serial, batched)
+
+    def test_single_chip_batch(self):
+        model, evaluator = build_pair()
+        cells = [WorkCell(0, 3, FaultSpec(kind="bitflip", level=0.2))]
+        serial = _serial_reference(model, evaluator, cells, base_seed=1)
+        batched = evaluate_cells_batched(model, evaluator, cells, base_seed=1)
+        np.testing.assert_array_equal(serial, batched)
+
+    def test_rejects_mixed_scenarios(self):
+        model, evaluator = build_pair()
+        spec = FaultSpec(kind="bitflip", level=0.1)
+        cells = [WorkCell(0, 0, spec), WorkCell(1, 0, spec)]
+        with pytest.raises(ValueError, match="single-scenario"):
+            evaluate_cells_batched(model, evaluator, cells, base_seed=0)
+
+    def test_detaches_hooks_and_restores_context(self):
+        model, evaluator = build_pair()
+        cells = [WorkCell(0, r, FaultSpec(kind="bitflip", level=0.1)) for r in range(2)]
+        evaluate_cells_batched(model, evaluator, cells, base_seed=0)
+        assert active_chip_count() is None
+        assert all(
+            m.weight_fault is None
+            for m in model.modules()
+            if hasattr(m, "weight_fault")
+        )
+
+
+class TestBackendEquivalence:
+    def _campaign(self, executor, **kwargs):
+        model, evaluator = build_pair()
+        return MonteCarloCampaign(
+            model, evaluator, n_runs=5, base_seed=3, executor=executor, **kwargs
+        )
+
+    @pytest.mark.parametrize("sweep_builder", [bitflip_sweep, additive_sweep])
+    def test_batched_matches_serial_sweep(self, sweep_builder):
+        specs = sweep_builder([0.0, 0.1, 0.2])
+        serial = self._campaign("serial").sweep(specs)
+        batched = self._campaign("batched").sweep(specs)
+        for s, b in zip(serial, batched):
+            np.testing.assert_array_equal(s.values, b.values)
+
+    @pytest.mark.parametrize("chip_limit", [1, 2, 4])
+    def test_chip_limit_subbatching_is_invisible(self, chip_limit):
+        specs = bitflip_sweep([0.0, 0.15])
+        serial = self._campaign("serial").sweep(specs)
+        limited = self._campaign("batched", chip_limit=chip_limit).sweep(specs)
+        for s, b in zip(serial, limited):
+            np.testing.assert_array_equal(s.values, b.values)
+
+
+class TestTaskIdentity:
+    """Batched == serial on the real tiny tasks (trained-model cache warm)."""
+
+    def _compare(self, task_name, method, specs, samples=3, n_runs=3):
+        task = build_task(task_name, preset="tiny")
+        model = trained_model(task, method, "tiny", seed=0)
+        evaluator = make_evaluator(task.name, task.test_set, method, mc_samples=samples)
+        results = {}
+        for executor in ("serial", "batched"):
+            campaign = MonteCarloCampaign(
+                model, evaluator, n_runs=n_runs, base_seed=0, executor=executor
+            )
+            results[executor] = campaign.sweep(specs)
+        for s, b in zip(results["serial"], results["batched"]):
+            np.testing.assert_array_equal(s.values, b.values)
+
+    def test_audio_conv_multibit_bitflip(self):
+        self._compare("audio", proposed(), bitflip_sweep([0.0, 0.1]))
+
+    def test_audio_conv_additive_conventional(self):
+        self._compare("audio", conventional(), additive_sweep([0.0, 0.2]))
+
+    def test_lstm_uniform_noise(self):
+        self._compare("co2", proposed(), uniform_sweep([0.0, 0.2]))
+
+    def test_lstm_bitflip_spindrop(self):
+        self._compare("co2", spindrop(), bitflip_sweep([0.0, 0.1]))
+
+    def test_binary_resnet_activation_variation(self):
+        # Additive variation on a binary net routes to the pre-sign
+        # activations; exercises ChipBatchedActivationNoise.
+        self._compare("image", proposed(), additive_sweep([0.0, 0.3]), n_runs=2)
+
+    def test_unet_groupwise_bitflip(self):
+        self._compare("vessels", proposed(), bitflip_sweep([0.0, 0.1]), n_runs=2)
+
+
+class TestCacheEquivalence:
+    @pytest.fixture
+    def isolated_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_memory_cache()
+        yield tmp_path
+        clear_memory_cache()
+
+    def test_batched_hits_serial_cache_keys(self, isolated_cache):
+        task = build_task("audio", preset="tiny")
+        methods = [proposed()]
+        specs = bitflip_sweep([0.0, 0.1])
+        serial = run_robustness_sweep(
+            task, methods, specs, preset="tiny", n_runs=3, executor="serial"
+        )
+        keys = [
+            campaign_key(task, methods[0], spec, 3, 4, 0, None) for spec in specs
+        ]
+        cached = [load_campaign_values(key) for key in keys]
+        assert all(values is not None for values in cached)
+        # A batched re-run is served entirely from the serial run's cache
+        # (same keys), and reproduces the same curves.
+        files_before = sorted(p.name for p in (isolated_cache / "campaigns").iterdir())
+        batched = run_robustness_sweep(
+            task, methods, specs, preset="tiny", n_runs=3, executor="batched"
+        )
+        files_after = sorted(p.name for p in (isolated_cache / "campaigns").iterdir())
+        assert files_before == files_after
+        np.testing.assert_array_equal(
+            serial.curves["proposed"].means, batched.curves["proposed"].means
+        )
+
+    def test_batched_populates_cache_for_serial(self, isolated_cache):
+        task = build_task("audio", preset="tiny")
+        methods = [proposed()]
+        specs = bitflip_sweep([0.0, 0.1])
+        batched = run_robustness_sweep(
+            task, methods, specs, preset="tiny", n_runs=3, executor="batched"
+        )
+        serial = run_robustness_sweep(
+            task, methods, specs, preset="tiny", n_runs=3, executor="serial"
+        )
+        np.testing.assert_array_equal(
+            batched.curves["proposed"].means, serial.curves["proposed"].means
+        )
+
+
+class TestChipBatchPrimitives:
+    def test_chip_batch_rng_slices_match_generators(self):
+        seeds = [11, 22, 33]
+        stacked = ChipBatchRng([np.random.default_rng(s) for s in seeds])
+        draws = stacked.random((3, 4, 2))
+        for i, seed in enumerate(seeds):
+            np.testing.assert_array_equal(
+                draws[i], np.random.default_rng(seed).random((4, 2))
+            )
+
+    def test_chip_batch_rng_rejects_wrong_lead(self):
+        stacked = ChipBatchRng([np.random.default_rng(0)] * 2)
+        with pytest.raises(RuntimeError, match="chip axis"):
+            stacked.normal(0.0, 1.0, size=(3, 4))
+
+    def test_chip_batch_context_restores(self):
+        assert active_chip_count() is None
+        with chip_batch(4):
+            assert active_chip_count() == 4
+            with chip_batch(2):
+                assert active_chip_count() == 2
+            assert active_chip_count() == 4
+        assert active_chip_count() is None
+
+    def test_generate_batch_matches_per_chip_generation(self):
+        spec = FaultSpec(kind="bitflip", level=0.25)
+        rng = np.random.default_rng(0)
+        qw = QuantizedWeight(
+            codes=rng.integers(-127, 128, size=(6, 5)).astype(np.float64),
+            scale=np.asarray(0.01),
+            bits=8,
+        )
+        seeds = [101, 202, 303]
+        fault = ChipBatchedWeightFault(spec, seeds)
+        stacked = fault(qw)
+        for i, seed in enumerate(seeds):
+            serial_model = spec.build_weight_model(np.random.default_rng(seed))
+            np.testing.assert_array_equal(stacked[i], serial_model(qw))
+
+    def test_chip_batched_quant_linear_broadcasts(self):
+        manual_seed(0)
+        layer = QuantLinear(4, 3, weight_bits=8)
+        spec = FaultSpec(kind="bitflip", level=0.3)
+        layer.weight_fault = ChipBatchedWeightFault(spec, [1, 2])
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 5, 4)))
+        out = layer(x)
+        assert out.shape == (2, 5, 3)
+        # Chip i's slice equals a serial pass with chip i's fault model.
+        for i, seed in enumerate([1, 2]):
+            layer.weight_fault = spec.build_weight_model(
+                np.random.default_rng(seed)
+            )
+            serial = layer(Tensor(x.data[i]))
+            np.testing.assert_array_equal(out.data[i], serial.data)

@@ -163,3 +163,84 @@ def test_property_ideal_crossbar_linearity(bits, rows):
     combined = arr.matvec(2.0 * x1 - 3.0 * x2)
     separate = 2.0 * arr.matvec(x1) - 3.0 * arr.matvec(x2)
     np.testing.assert_allclose(combined, separate, rtol=1e-8, atol=1e-10)
+
+
+class TestChipBatchedCrossbar:
+    def _stacked_qw(self, rng, n_chips=3, bits=8, shape=(6, 40)):
+        qmax = 2 ** (bits - 1) - 1
+        codes = rng.integers(-qmax, qmax + 1, size=(n_chips,) + shape)
+        return QuantizedWeight(
+            codes=codes.astype(np.float64), scale=np.asarray(0.01), bits=bits
+        )
+
+    def test_matches_per_chip_arrays(self, rng):
+        """One chip-batched array == programming each chip separately."""
+        qw = self._stacked_qw(rng)
+        cfg = CrossbarConfig(
+            dac_bits=6, adc_bits=8, tile_rows=16,
+            sigma_conductance=0.03, stuck_rate=0.05,
+        )
+        seeds = [5, 6, 7]
+        batched = CrossbarArray(
+            qw, cfg,
+            rng=[np.random.default_rng(s) for s in seeds],
+            chip_batched=True,
+        )
+        x = rng.normal(size=(4, 40))
+        out = batched.matvec(x)
+        assert out.shape == (3, 4, 6)
+        for i, seed in enumerate(seeds):
+            chip_qw = QuantizedWeight(
+                codes=qw.codes[i], scale=qw.scale, bits=qw.bits
+            )
+            chip = CrossbarArray(chip_qw, cfg, rng=np.random.default_rng(seed))
+            np.testing.assert_array_equal(out[i], chip.matvec(x))
+
+    def test_single_chip_stack(self, rng):
+        qw = self._stacked_qw(rng, n_chips=1)
+        arr = CrossbarArray(qw, CrossbarConfig.ideal(), rng, chip_batched=True)
+        x = rng.normal(size=(2, 40))
+        np.testing.assert_allclose(
+            arr.matvec(x), arr.ideal_result(x), rtol=1e-9, atol=1e-12
+        )
+
+    def test_chip_batched_rejects_2d(self, rng):
+        with pytest.raises(ValueError):
+            CrossbarArray(
+                make_qw(rng), CrossbarConfig.ideal(), rng, chip_batched=True
+            )
+
+
+class TestVectorizedTiling:
+    def test_odd_tile_split_matches_reference_loop(self, rng):
+        """Vectorized tiling reproduces the per-tile loop, including the
+        narrower ADC full-scale of the short remainder tile."""
+        qw = make_qw(rng, 8, shape=(5, 100))
+        cfg = CrossbarConfig(dac_bits=None, adc_bits=6, tile_rows=16)
+        arr = CrossbarArray(qw, cfg, rng)
+        assert arr.n_tiles == 7  # 6 full tiles + a 4-row remainder
+        x = rng.normal(size=(3, 100))
+        # Reference: the straightforward per-tile loop.
+        from repro.imc.crossbar import _uniform_quantize
+
+        v = x * cfg.v_read
+        delta_g = arr.g_pos - arr.g_neg
+        x_max = np.abs(x).max()
+        expected = np.zeros((3, 5))
+        for start in range(0, 100, cfg.tile_rows):
+            stop = min(start + cfg.tile_rows, 100)
+            tile = v[:, start:stop] @ delta_g[start:stop]
+            full_scale = cfg.v_read * x_max * (cfg.g_on - cfg.g_off) * (stop - start)
+            expected += _uniform_quantize(tile, cfg.adc_bits, full_scale)
+        lsb = (cfg.g_on - cfg.g_off) / qw.qmax
+        expected = expected / (cfg.v_read * lsb) * float(np.asarray(qw.scale))
+        np.testing.assert_array_equal(arr.matvec(x), expected)
+
+    def test_tile_rows_larger_than_rows(self, rng):
+        qw = make_qw(rng, 8, shape=(4, 10))
+        arr = CrossbarArray(qw, CrossbarConfig.ideal(tile_rows=64), rng)
+        assert arr.n_tiles == 1
+        x = rng.normal(size=(2, 10))
+        np.testing.assert_allclose(
+            arr.matvec(x), arr.ideal_result(x), rtol=1e-9, atol=1e-12
+        )
