@@ -1,0 +1,58 @@
+"""Machine-readable benchmark recorder.
+
+Speedup benchmarks append one row per measured configuration to
+``BENCH_pr3.json`` at the repo root, so the performance trajectory across
+PRs is diffable and scriptable instead of buried in pytest stdout::
+
+    [{"task": "co2", "backend": "mc-batched", "cells_per_sec": 195.7,
+      "ratio": 2.83}, ...]
+
+``ratio`` is the speedup of the row's backend over the benchmark's own
+baseline backend (1.0 for the baseline row itself).  Rows are appended —
+never rewritten — keyed by nothing: every benchmark run adds its fresh
+measurements, and consumers take the latest row per (task, backend).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List, Optional
+
+#: Repo-root default target (benchmarks run from the repo root).
+BENCH_FILE = os.path.join(os.path.dirname(__file__), "..", "BENCH_pr3.json")
+
+
+def record_bench(
+    task: str,
+    backend: str,
+    cells_per_sec: float,
+    ratio: float,
+    bench_file: Optional[str] = None,
+) -> List[dict]:
+    """Append one ``{task, backend, cells_per_sec, ratio}`` row.
+
+    Returns the full row list after the append.  A missing or corrupt
+    file starts fresh — the recorder must never fail a benchmark.
+    """
+    path = bench_file or BENCH_FILE
+    rows: List[dict] = []
+    try:
+        with open(path) as fh:
+            loaded = json.load(fh)
+        if isinstance(loaded, list):
+            rows = loaded
+    except (OSError, ValueError):
+        rows = []
+    rows.append(
+        {
+            "task": str(task),
+            "backend": str(backend),
+            "cells_per_sec": round(float(cells_per_sec), 2),
+            "ratio": round(float(ratio), 3),
+        }
+    )
+    with open(path, "w") as fh:
+        json.dump(rows, fh, indent=2)
+        fh.write("\n")
+    return rows

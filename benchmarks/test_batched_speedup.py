@@ -26,6 +26,7 @@ from repro.faults import MonteCarloCampaign, uniform_sweep
 from repro.models import proposed
 
 from conftest import print_banner
+from recorder import record_bench
 
 N_RUNS = 32
 LEVELS = [0.0, 0.1, 0.2]
@@ -64,6 +65,8 @@ def test_batched_campaign_speedup():
         np.testing.assert_array_equal(serial_result.values, batched_result.values)
     speedup = timings["serial"] / timings["batched"]
     print(f" speedup: {speedup:.2f}x (threshold {MIN_SPEEDUP:.1f}x)")
+    record_bench("co2", "serial", cells / timings["serial"], 1.0)
+    record_bench("co2", "batched", cells / timings["batched"], speedup)
     assert speedup >= MIN_SPEEDUP, (
         f"expected the chip-batched backend to be >={MIN_SPEEDUP}x faster "
         f"than serial on the tiny LSTM campaign, got {speedup:.2f}x"

@@ -1,0 +1,112 @@
+"""Campaign-engine benchmark: MC-sample batching vs the PR 2 chip-batched
+backend.
+
+Runs one Monte Carlo uniform-noise campaign (tiny CO2/LSTM task, the tiny
+preset's native ``n_runs=3`` chips with 8 Bayesian passes — between the
+tiny smoke setting of 4 and the paper's 20) in two configurations:
+
+* **baseline** — the PR 2 ``batched`` backend: chips stacked, Monte Carlo
+  samples looped, weights requantized on every forward
+  (``mc_batched=False`` under ``deploy_cache_disabled()``);
+* **mc-batched** — this PR's engine: one forward per scenario carrying the
+  full ``chips x mc_samples`` instance axis, quantized codes served from
+  the deployment-frozen cache.
+
+Per-chip values are asserted bit-identical, throughput is recorded to
+``BENCH_pr3.json`` (machine-readable perf trajectory), and the ≥2x
+assertion is unconditional — like the chip-batching benchmark it needs no
+parallel hardware, because the win is Python-dispatch amortization plus
+skipped requantization on a single core.
+
+Run explicitly (benchmarks are excluded from tier-1)::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_mc_batched_speedup.py -s
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.eval import build_task, clear_memory_cache, make_evaluator, trained_model
+from repro.faults import MonteCarloCampaign, uniform_sweep
+from repro.models import proposed
+from repro.quant.layers import deploy_cache_disabled
+
+from conftest import print_banner
+from recorder import record_bench
+
+N_RUNS = 3  # the tiny preset's native chip count (mc_runs("tiny"))
+MC_SAMPLES = 8  # Bayesian passes (tiny smoke default: 4; paper: 20)
+LEVELS = [0.0, 0.1, 0.2, 0.3, 0.4]
+REPEATS = 8  # timed sweeps per configuration; min-of-repeats kills noise
+MIN_SPEEDUP = 2.0
+
+
+def _campaign(mc_batched: bool) -> MonteCarloCampaign:
+    task = build_task("co2", preset="tiny")
+    method = proposed()
+    model = trained_model(task, method, "tiny", seed=0)
+    evaluator = make_evaluator(
+        task.name, task.test_set, method, mc_samples=MC_SAMPLES
+    )
+    return MonteCarloCampaign(
+        model,
+        evaluator,
+        n_runs=N_RUNS,
+        base_seed=0,
+        executor="batched",
+        mc_batched=mc_batched,
+    )
+
+
+@pytest.mark.paper_artifact("campaign-engine")
+def test_mc_batched_campaign_speedup():
+    print_banner(
+        f"Campaign engine: PR2 chip-batched vs MC-batched "
+        f"(co2/LSTM, n_runs={N_RUNS}, mc_samples={MC_SAMPLES})"
+    )
+    specs = uniform_sweep(LEVELS)
+    cells = 1 + (len(LEVELS) - 1) * N_RUNS
+    timings = {}
+    results = {}
+
+    def _timed(label, campaign):
+        campaign.sweep(specs)  # warmup (warms data/model/index caches)
+        best = float("inf")
+        for _ in range(REPEATS):
+            start = time.perf_counter()
+            results[label] = campaign.sweep(specs)
+            best = min(best, time.perf_counter() - start)
+        timings[label] = best
+
+    # Baseline: the PR 2 batched backend — MC samples looped, quantization
+    # recomputed every forward (no deployment cache).
+    clear_memory_cache()
+    with deploy_cache_disabled():
+        _timed("pr2-batched", _campaign(mc_batched=False))
+
+    # This PR: chips x samples in one pass + deployment-frozen quantization.
+    clear_memory_cache()
+    _timed("mc-batched", _campaign(mc_batched=True))
+
+    for label in ("pr2-batched", "mc-batched"):
+        print(
+            f"{label:>12}: {timings[label] * 1000:7.1f}ms/sweep "
+            f"({cells / timings[label]:7.1f} cells/s)"
+        )
+
+    for baseline_result, mc_result in zip(
+        results["pr2-batched"], results["mc-batched"]
+    ):
+        np.testing.assert_array_equal(baseline_result.values, mc_result.values)
+
+    speedup = timings["pr2-batched"] / timings["mc-batched"]
+    print(f" speedup: {speedup:.2f}x (threshold {MIN_SPEEDUP:.1f}x)")
+    record_bench("co2", "pr2-batched", cells / timings["pr2-batched"], 1.0)
+    record_bench("co2", "mc-batched", cells / timings["mc-batched"], speedup)
+    assert speedup >= MIN_SPEEDUP, (
+        f"expected the MC-batched engine to be >={MIN_SPEEDUP}x faster than "
+        f"the PR 2 chip-batched backend on the tiny LSTM campaign, got "
+        f"{speedup:.2f}x"
+    )

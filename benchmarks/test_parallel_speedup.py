@@ -23,6 +23,7 @@ from repro.faults import MonteCarloCampaign, bitflip_sweep
 from repro.eval.campaigns import TaskEvalHandle
 
 from conftest import print_banner
+from recorder import record_bench
 
 N_RUNS = 32
 WORKERS = 4
@@ -76,6 +77,9 @@ def test_parallel_campaign_speedup():
         np.testing.assert_array_equal(serial_result.values, process_result.values)
     speedup = timings["serial"] / timings["process"]
     print(f" speedup: {speedup:.2f}x")
+    cells = 1 + (len(LEVELS) - 1) * N_RUNS
+    record_bench("image", "serial", cells / timings["serial"], 1.0)
+    record_bench("image", "process", cells / timings["process"], speedup)
     if _usable_cpus() >= WORKERS:
         assert speedup >= 2.0, (
             f"expected >=2x speedup with {WORKERS} workers on "

@@ -8,6 +8,18 @@ dropout plugs into this machinery exactly like conventional dropout: every
 :class:`~repro.nn.dropout.StochasticModule` (which includes
 :class:`~repro.core.inverted_norm.InvertedNorm`) re-samples per pass when
 ``stochastic_inference`` is enabled.
+
+Sample streams and batching
+---------------------------
+Each of the ``num_samples`` passes draws its stochasticity from its own
+``SeedSequence`` child of the active generator (one ``Generator.spawn``
+per :func:`mc_forward` call), so sample ``s`` is a pure function of
+``(parent stream, s)`` rather than of how many draws earlier samples made.
+That indexing is what allows the *MC-batched* path — enabled via
+:func:`repro.tensor.chipbatch.mc_batching`, the campaign engine's
+``--mc-batched`` switch — to stack all samples (times any active chip
+batch) along one leading instance axis and run a single vectorized
+forward whose per-sample slices are bit-identical to the looped passes.
 """
 
 from __future__ import annotations
@@ -20,6 +32,15 @@ import numpy as np
 from ..nn.dropout import StochasticModule
 from ..nn.module import Module
 from ..tensor import Tensor, no_grad, ops
+from ..tensor.chipbatch import (
+    ChipBatchRng,
+    active_chip_count,
+    mc_batching_active,
+    mc_sample_axis,
+    mc_sample_scope,
+    spawn_sample_streams,
+)
+from ..tensor.random import get_rng, scoped_rng
 
 
 def enable_stochastic_inference(model: Module, enabled: bool = True) -> Module:
@@ -48,15 +69,56 @@ def mc_forward(
     The model is put in ``eval()`` mode (deterministic normalization
     statistics, where applicable) with ``stochastic_inference`` enabled, so
     only the Bayesian noise sources re-sample between passes.
+
+    Pass ``s`` draws from the ``s``-th ``SeedSequence`` child of the active
+    generator (see :func:`~repro.tensor.chipbatch.spawn_sample_streams`).
+    Under :func:`~repro.tensor.chipbatch.mc_batching` the loop is replaced
+    by ONE forward over a leading instance axis of ``chips * num_samples``
+    stacked instances, reduced back to the looped layout — the returned
+    array is bit-identical either way.
     """
+    if num_samples < 1:
+        raise ValueError(f"num_samples must be >= 1, got {num_samples}")
     model.eval()
     forward = forward or (lambda inp: model(inp))
-    outputs = []
     with no_grad(), stochastic_inference(model):
-        for _ in range(num_samples):
-            out = forward(x)
-            outputs.append(out.data if isinstance(out, Tensor) else np.asarray(out))
+        if mc_batching_active() and num_samples > 1:
+            return _mc_forward_batched(forward, x, num_samples)
+        per_sample, _ = spawn_sample_streams(get_rng(), num_samples)
+        outputs = []
+        for s, stream in enumerate(per_sample):
+            with scoped_rng(stream), mc_sample_scope(s, num_samples):
+                out = forward(x)
+                outputs.append(
+                    out.data if isinstance(out, Tensor) else np.asarray(out)
+                )
     return np.stack(outputs, axis=0)
+
+
+def _mc_forward_batched(forward, x: Tensor, num_samples: int) -> np.ndarray:
+    """One stacked forward over the ``chips x samples`` instance axis.
+
+    The input — already chip-stacked if a chip batch is active — is
+    repeated per MC sample in chip-major order, each instance draws from
+    its own per-sample ``SeedSequence`` child, and the stacked output is
+    reshaped back to the looped layout ``(samples, [chips,] *out)``.
+    """
+    n_chips = active_chip_count()  # instance count BEFORE the sample axis
+    _, per_instance = spawn_sample_streams(get_rng(), num_samples)
+    data = x.data if isinstance(x, Tensor) else np.asarray(x)
+    if n_chips is None:
+        stacked_in = np.broadcast_to(data[None], (num_samples,) + data.shape).copy()
+    else:
+        stacked_in = np.repeat(data, num_samples, axis=0)
+    with mc_sample_axis(num_samples), scoped_rng(ChipBatchRng(per_instance)):
+        out = forward(Tensor(stacked_in))
+    arr = out.data if isinstance(out, Tensor) else np.asarray(out)
+    if n_chips is None:
+        return arr
+    # (chips * samples, ...) chip-major → (samples, chips, ...)
+    return np.moveaxis(
+        arr.reshape(n_chips, num_samples, *arr.shape[1:]), 1, 0
+    )
 
 
 def _softmax_np(logits: np.ndarray, axis: int = -1) -> np.ndarray:
@@ -73,6 +135,11 @@ class BayesianClassifier:
 
     * predictive NLL — the paper's uncertainty score for OOD detection,
     * predictive entropy and mutual information (BALD) for completeness.
+
+    Under an active chip batch every result gains a leading chip axis, and
+    under :func:`~repro.tensor.chipbatch.mc_batching` the Monte Carlo loop
+    inside :func:`mc_forward` collapses into one stacked forward with
+    bit-identical results.
 
     Parameters
     ----------
@@ -138,7 +205,10 @@ class BayesianRegressor:
     """Monte Carlo regression wrapper (LSTM forecasting task).
 
     The prediction is the MC mean; predictive variance decomposes into the
-    epistemic part (variance of MC means) reported here.
+    epistemic part (variance of MC means) reported here.  Like the
+    classifier, it rides :func:`mc_forward` and therefore inherits the
+    MC-batched single-pass path under
+    :func:`~repro.tensor.chipbatch.mc_batching`.
     """
 
     def __init__(self, model: Module, num_samples: int = 8, forward=None):

@@ -91,6 +91,13 @@ def clear_memory_cache() -> None:
 # ----------------------------------------------------------------------
 # Campaign-result cache
 # ----------------------------------------------------------------------
+#: Version tag of the engine's seed→stream derivation.  ``mc2`` = per-cell
+#: hermetic SeedSequence streams with per-MC-sample spawned children (the
+#: MC-batched engine); the unversioned keys before it used sequential
+#: per-cell draws across samples.
+RNG_CONTRACT = "mc2"
+
+
 def campaign_key(
     task: Task,
     method: MethodConfig,
@@ -105,9 +112,15 @@ def campaign_key(
     Every knob that changes the simulated values is part of the key: the
     task geometry (``cache_tag``), the method hyper-parameters, the fault
     spec, the Monte Carlo settings, the seed, and the evaluation-set cap —
-    so changing any of them is a cache miss, never a stale hit.
+    so changing any of them is a cache miss, never a stale hit.  The key
+    also carries the engine's RNG-contract version (:data:`RNG_CONTRACT`):
+    when a PR redefines how streams are derived from the seeds (e.g. the
+    per-MC-sample ``SeedSequence`` children introduced with MC batching),
+    bumping the version retires every cached value computed under the old
+    contract instead of silently mixing the two.
     """
     parts = [
+        RNG_CONTRACT,
         task.name,
         task.cache_tag,
         f"ds{task.seed}",

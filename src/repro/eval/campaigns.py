@@ -146,6 +146,7 @@ def run_robustness_sweep(
     use_cache: bool = True,
     on_cell_done: Optional[Callable[[int, int], None]] = None,
     chip_limit: Optional[int] = None,
+    mc_batched: Optional[bool] = None,
 ) -> RobustnessSweep:
     """Train/fetch each method's model and sweep the fault levels.
 
@@ -154,10 +155,18 @@ def run_robustness_sweep(
 
     ``executor``/``workers`` select the campaign backend (results are
     bit-identical to serial); ``chip_limit`` caps the chips stacked per
-    pass by the ``batched`` backend; ``use_cache=False`` bypasses the
+    pass by the ``batched`` backend and ``mc_batched`` toggles its
+    MC-sample stacking (default on); ``use_cache=False`` bypasses the
     campaign-result cache (it is still written); ``on_cell_done(done,
     total)`` observes per-method cell completion for throughput reporting.
     """
+    if mc_batched and executor != "batched":
+        # Fail before the (potentially long) training phase — and even on a
+        # fully cache-served sweep, where run_cells would never see the flag.
+        raise ValueError(
+            "mc_batched requires executor='batched' (the other backends "
+            "evaluate Monte Carlo samples with the looped reference path)"
+        )
     n_runs = n_runs if n_runs is not None else mc_runs(preset)
     samples = samples if samples is not None else mc_samples(preset)
     if max_eval_samples == -1:
@@ -206,6 +215,7 @@ def run_robustness_sweep(
                 workers=workers,
                 handle=handle,
                 chip_limit=chip_limit,
+                mc_batched=mc_batched,
             )
             fresh = campaign.sweep(
                 [specs[i] for i in pending],

@@ -13,9 +13,10 @@ Monte Carlo campaigns run on the parallel engine: ``--executor
 {serial,thread,process,batched}`` selects the backend and ``--workers N``
 the worker count — results are bit-identical to serial in any
 configuration.  ``batched`` evaluates all chips of a scenario in one
-vectorized forward and is the fastest backend on a single core.  A live
-throughput line (cells/s, ETA) is printed to stderr while a sweep is
-running.
+vectorized forward — by default including the Monte Carlo sample axis of
+Bayesian methods (``--mc-batched``, disable with ``--no-mc-batched``) —
+and is the fastest backend on a single core.  A live throughput line
+(cells/s, ETA) is printed to stderr while a sweep is running.
 
 Trained models and completed campaign scenarios are cached under
 ``.repro_cache`` exactly as the benchmarks do, so repeated and resumed
@@ -106,6 +107,7 @@ def cmd_sweep(args) -> None:
         use_cache=not args.no_cache,
         on_cell_done=meter,
         chip_limit=args.chip_limit,
+        mc_batched=args.mc_batched,
     )
     if meter.total:
         meter.finish()
@@ -186,6 +188,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="max chips stacked per pass for --executor batched "
                  "(default: all chips of a scenario; smaller caps bound "
                  "memory without changing results)",
+        )
+        p.add_argument(
+            "--mc-batched", action=argparse.BooleanOptionalAction, default=None,
+            help="stack the Monte Carlo sample axis into the vectorized "
+                 "pass (--executor batched only; on by default there, "
+                 "bit-identical to the looped reference either way; "
+                 "--no-mc-batched falls back to looping MC samples)",
         )
         p.add_argument(
             "--no-cache", action="store_true",

@@ -12,7 +12,12 @@ engine's ``batched`` executor) the test inputs are broadcast to a leading
 chip axis, predictions come back chip-stacked, and the metric is computed
 **per chip** in exactly the arithmetic order of the serial path — so the
 evaluator returns a ``(n_chips,)`` vector whose entry ``i`` is bit-identical
-to the float a serial evaluation of chip ``i`` would produce.
+to the float a serial evaluation of chip ``i`` would produce.  When the
+engine additionally enables MC batching
+(:func:`repro.tensor.chipbatch.mc_batching`), the Monte Carlo loop inside
+these evaluators collapses into one stacked ``chips x samples`` forward —
+invisibly, because :func:`~repro.core.bayesian.mc_forward` restores the
+looped ``(samples, chips, ...)`` layout before any metric arithmetic runs.
 """
 
 from __future__ import annotations
@@ -27,7 +32,7 @@ from ..models import MethodConfig
 from ..nn.module import Module
 from ..tensor import Tensor, no_grad
 from ..tensor.chipbatch import active_chip_count
-from ..train.metrics import accuracy, binary_miou, rmse
+from ..train.metrics import accuracy, binary_miou, binary_miou_stack, rmse
 
 
 def _as_input(x: np.ndarray) -> Tensor:
@@ -93,11 +98,9 @@ def segmentation_miou(
         batched = pred_mask.ndim == y.ndim + 1
         for i in range(len(y)):
             if batched:
-                per_image.append(
-                    np.array(
-                        [binary_miou(chip_mask, y[i] > 0.5) for chip_mask in pred_mask[:, i]]
-                    )
-                )
+                # One array op over the chip/instance axis — bit-identical
+                # to looping binary_miou over the per-chip masks.
+                per_image.append(binary_miou_stack(pred_mask[:, i], y[i] > 0.5))
             else:
                 per_image.append(binary_miou(pred_mask[i], y[i] > 0.5))
     if per_image and isinstance(per_image[0], np.ndarray):

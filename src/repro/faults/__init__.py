@@ -2,10 +2,11 @@
 
 Campaigns execute on the pluggable engine in :mod:`repro.faults.executor`
 (:data:`EXECUTORS` = ``serial`` / ``thread`` / ``process`` / ``batched``).
-The ``batched`` backend evaluates all chip instances of a scenario in one
-vectorized forward — :func:`evaluate_cells_batched` stacks per-chip frozen
-fault patterns (:class:`ChipBatchedWeightFault`,
-:class:`ChipBatchedActivationNoise`) along a leading chip axis while
+The ``batched`` backend evaluates all chip instances of a scenario — and,
+with MC batching (default), all Monte Carlo samples of a Bayesian
+evaluator — in one vectorized forward: :func:`evaluate_cells_batched`
+stacks per-chip frozen fault patterns (:class:`ChipBatchedWeightFault`,
+:class:`ChipBatchedActivationNoise`) along a leading instance axis while
 staying bit-identical per chip to the serial reference.
 """
 

@@ -190,6 +190,10 @@ class MonteCarloCampaign:
         ``"batched"`` only: maximum chips stacked per vectorized pass
         (None = a scenario's full chip count); caps the activation
         working set without changing results.
+    mc_batched:
+        ``"batched"`` only: also stack the Monte Carlo sample axis of
+        Bayesian evaluators into the same pass (None = on).  Bit-identical
+        to the looped reference either way.
     """
 
     def __init__(
@@ -202,6 +206,7 @@ class MonteCarloCampaign:
         workers: Optional[int] = None,
         handle: Optional[EvalHandle] = None,
         chip_limit: Optional[int] = None,
+        mc_batched: Optional[bool] = None,
     ):
         self.model = model
         self.evaluator = evaluator
@@ -211,6 +216,7 @@ class MonteCarloCampaign:
         self.workers = workers
         self.handle = handle
         self.chip_limit = chip_limit
+        self.mc_batched = mc_batched
 
     def _cells(self, spec: FaultSpec, scenario_index: int) -> List[WorkCell]:
         """Flatten one scenario into work cells (fault-free → one cell)."""
@@ -232,6 +238,7 @@ class MonteCarloCampaign:
             workers=self.workers,
             on_cell_done=on_cell_done,
             chip_limit=self.chip_limit,
+            mc_batched=self.mc_batched,
         )
 
     def _package(self, spec: FaultSpec, values: np.ndarray) -> CampaignResult:

@@ -18,8 +18,11 @@ flattens that grid and executes it on a pluggable backend:
   axis (:meth:`~repro.faults.campaign.FaultInjector.attach_batched`), and
   evaluation randomness is routed through a
   :class:`~repro.tensor.chipbatch.ChipBatchRng` over the per-cell
-  evaluation streams.  This is the backend that actually wins on a single
-  core — one vectorized forward replaces ``C`` Python-dispatched ones.
+  evaluation streams.  With ``mc_batched`` (the default) the Monte Carlo
+  sample loop of Bayesian evaluators folds into the same pass, so one
+  forward carries a ``chips x mc_samples`` instance axis.  This is the
+  backend that actually wins on a single core — one vectorized forward
+  replaces ``C x S`` Python-dispatched ones.
   It requires a *chip-aware* evaluator (everything built by
   :func:`repro.eval.evaluators.make_evaluator` qualifies): under an
   active chip batch the evaluator must return a ``(n_chips,)`` metric
@@ -55,7 +58,7 @@ import numpy as np
 
 from ..nn.dropout import resample_masks
 from ..nn.module import Module
-from ..tensor.chipbatch import ChipBatchRng, chip_batch
+from ..tensor.chipbatch import ChipBatchRng, chip_batch, mc_batching
 from ..tensor.random import scoped_rng
 from .models import FaultSpec
 
@@ -117,6 +120,7 @@ def evaluate_cells_batched(
     evaluator: Evaluator,
     cells: Sequence[WorkCell],
     base_seed: int,
+    mc_batched: bool = True,
 ) -> np.ndarray:
     """Evaluate one scenario's chip instances as a single stacked pass.
 
@@ -128,6 +132,12 @@ def evaluate_cells_batched(
     :class:`~repro.tensor.chipbatch.ChipBatchRng`, so chip ``i``'s slice
     of every mask, noise draw, and fault pattern is bit-identical to a
     serial evaluation of ``cells[i]``.
+
+    ``mc_batched`` (default on) additionally folds the Monte Carlo sample
+    loop of Bayesian evaluators into the same stacked pass: one forward
+    carries a ``chips x mc_samples`` instance axis (see
+    :func:`repro.core.bayesian.mc_forward`), with per-chip metrics still
+    bit-identical to the looped reference.
 
     ``evaluator`` must be chip-aware: under the active chip batch it
     receives chip-stacked activations and returns a ``(n_chips,)`` metric
@@ -150,7 +160,9 @@ def evaluate_cells_batched(
     fault_rngs = [fault for fault, _ in pairs]
     eval_rngs = [ev for _, ev in pairs]
     injector = FaultInjector(model)
-    with chip_batch(len(cells)), scoped_rng(ChipBatchRng(eval_rngs)):
+    with chip_batch(len(cells)), scoped_rng(ChipBatchRng(eval_rngs)), mc_batching(
+        mc_batched
+    ):
         resample_masks(model)
         injector.attach_batched(spec, fault_rngs)
         try:
@@ -186,6 +198,7 @@ def _run_batched(
     evaluator: Evaluator,
     on_cell_done: Optional[Callable[[int, int], None]],
     chip_limit: Optional[int] = None,
+    mc_batched: bool = True,
 ) -> np.ndarray:
     """Chip-batched backend: one vectorized pass per scenario group.
 
@@ -214,7 +227,11 @@ def _run_batched(
             for sub in range(start, stop, step):
                 sub_stop = min(sub + step, stop)
                 values[sub:sub_stop] = evaluate_cells_batched(
-                    model, evaluator, cells[sub:sub_stop], base_seed
+                    model,
+                    evaluator,
+                    cells[sub:sub_stop],
+                    base_seed,
+                    mc_batched=mc_batched,
                 )
         done += stop - start
         if on_cell_done is not None:
@@ -292,6 +309,7 @@ def run_cells(
     workers: Optional[int] = None,
     on_cell_done: Optional[Callable[[int, int], None]] = None,
     chip_limit: Optional[int] = None,
+    mc_batched: Optional[bool] = None,
 ) -> np.ndarray:
     """Execute a flat cell grid and return values aligned with ``cells``.
 
@@ -320,11 +338,20 @@ def run_cells(
         ``"batched"`` only: maximum chips stacked per vectorized pass
         (default: a scenario's full chip count).  Smaller caps bound the
         activation working set without changing results.
+    mc_batched:
+        ``"batched"`` only: stack the Monte Carlo sample axis of Bayesian
+        evaluators into the same pass (default on; results are
+        bit-identical to the looped reference either way).
     """
     if executor not in EXECUTORS:
         raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
     if handle is None and (model is None or evaluator is None):
         raise ValueError("run_cells needs either (model, evaluator) or a handle")
+    if mc_batched and executor != "batched":
+        raise ValueError(
+            "mc_batched requires the 'batched' executor (the other backends "
+            "evaluate Monte Carlo samples with the looped reference path)"
+        )
     total = len(cells)
     if total == 0:
         return np.empty(0)
@@ -334,7 +361,13 @@ def run_cells(
         if model is None or evaluator is None:
             model, evaluator = handle.build()
         return _run_batched(
-            cells, base_seed, model, evaluator, on_cell_done, chip_limit
+            cells,
+            base_seed,
+            model,
+            evaluator,
+            on_cell_done,
+            chip_limit,
+            mc_batched=True if mc_batched is None else bool(mc_batched),
         )
 
     if executor == "serial" or workers == 1 or total == 1:
@@ -373,11 +406,23 @@ def _run_threaded(
     workers = min(workers, len(cells))
     pairs: List[Tuple[Module, Evaluator]] = []
     seen_models: set = set()
+
+    def _replica(source: Module) -> Module:
+        replica = copy.deepcopy(source)
+        # Warmed quantization caches (codes + dequantized weight stacks)
+        # would otherwise be duplicated per worker; each replica rebuilds
+        # its own on first gradient-free forward for the cost of one
+        # requantization.
+        for module in replica.modules():
+            if hasattr(module, "invalidate_quant_cache"):
+                module.invalidate_quant_cache()
+        return replica
+
     for _ in range(workers):
         if model is not None and evaluator is not None:
             # Deep-copying the live pair is strictly cheaper than
             # handle.build() (which may re-synthesize datasets).
-            pairs.append((copy.deepcopy(model), evaluator))
+            pairs.append((_replica(model), evaluator))
             continue
         worker_model, worker_evaluator = handle.build()
         # Handles backed by an in-process cache (e.g. TaskEvalHandle →
@@ -385,7 +430,7 @@ def _run_threaded(
         # every build; fault hooks are per-model state, so aliased
         # replicas would race.  Copy any repeat.
         if id(worker_model) in seen_models:
-            worker_model = copy.deepcopy(worker_model)
+            worker_model = _replica(worker_model)
         seen_models.add(id(worker_model))
         pairs.append((worker_model, worker_evaluator))
 

@@ -29,12 +29,20 @@ layers and topologies.
 from __future__ import annotations
 
 import copy
+import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..quant.functional import QuantizedWeight
+from ..tensor.chipbatch import active_sample_count, current_mc_sample
+
+# Process-wide monotonic tokens identifying fault-hook instances.  The
+# deployment-frozen quantization cache keys faulty weights on this token:
+# unlike ``id()`` a token is never recycled, so a detached hook can never be
+# confused with a freshly attached one.
+_FAULT_TOKENS = itertools.count(1)
 
 
 class WeightFaultModel:
@@ -42,6 +50,7 @@ class WeightFaultModel:
 
     def __init__(self, rng: np.random.Generator):
         self.rng = rng
+        self.fault_token = next(_FAULT_TOKENS)
         self._cache: Dict[Tuple[int, ...], np.ndarray] = {}
 
     def __call__(self, qw: QuantizedWeight) -> np.ndarray:
@@ -246,6 +255,18 @@ class ActivationNoise:
     ``sigma`` is directly in units of activation standard deviations.
     Noise realizations depend on the live activations and are therefore
     drawn per forward pass from the chip's RNG stream.
+
+    Monte Carlo sample streams
+    --------------------------
+    Inside Bayesian inference, pass ``s`` of ``S`` draws its noise from the
+    ``s``-th ``SeedSequence`` child of the chip stream (spawned once,
+    lazily) rather than from the raw stream — mirroring how evaluation
+    randomness is indexed per sample (see
+    :func:`repro.tensor.chipbatch.spawn_sample_streams`).  Sample ``s``'s
+    noise is then a pure function of ``(chip stream, s)``, which is what
+    lets the MC-batched engine draw all samples in one stacked pass with
+    bit-identical slices.  Outside an MC pass (training, conventional
+    single-pass evaluation) the raw stream is used directly.
     """
 
     def __init__(
@@ -259,15 +280,47 @@ class ActivationNoise:
         self.additive_sigma = additive_sigma
         self.multiplicative_sigma = multiplicative_sigma
         self.uniform_strength = uniform_strength
+        self._children: Optional[List[np.random.Generator]] = None
+
+    def _sample_children(self, total: int) -> List[np.random.Generator]:
+        """Per-MC-sample child streams, spawned once from the chip stream."""
+        if self._children is None or len(self._children) != total:
+            self._children = list(self.rng.spawn(total))
+        return self._children
+
+    def _stream(self) -> np.random.Generator:
+        scope = current_mc_sample()
+        if scope is None:
+            return self.rng
+        index, total = scope
+        return self._sample_children(total)[index]
+
+    def spawn_instances(self, num_samples: int) -> List["ActivationNoise"]:
+        """One noise model per MC sample, sharing this chip's child streams.
+
+        Used by :class:`ChipBatchedActivationNoise` to expand a per-chip
+        model across the MC-sample sub-axis: instance ``s`` draws from the
+        very child stream the looped path's pass ``s`` would use.
+        """
+        return [
+            ActivationNoise(
+                child,
+                additive_sigma=self.additive_sigma,
+                multiplicative_sigma=self.multiplicative_sigma,
+                uniform_strength=self.uniform_strength,
+            )
+            for child in self._sample_children(num_samples)
+        ]
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         out = x
+        rng = self._stream()
         if self.multiplicative_sigma > 0.0:
-            out = out * (1.0 + self.rng.normal(0.0, self.multiplicative_sigma, x.shape))
+            out = out * (1.0 + rng.normal(0.0, self.multiplicative_sigma, x.shape))
         if self.additive_sigma > 0.0:
-            out = out + self.rng.normal(0.0, self.additive_sigma, x.shape)
+            out = out + rng.normal(0.0, self.additive_sigma, x.shape)
         if self.uniform_strength > 0.0:
-            out = out + self.rng.uniform(
+            out = out + rng.uniform(
                 -self.uniform_strength, self.uniform_strength, x.shape
             )
         return out
@@ -412,6 +465,7 @@ class ChipBatchedWeightFault:
         if prototype is None:
             raise ValueError(f"spec {spec.describe()} has no weight-fault model")
         self.prototype = prototype
+        self.fault_token = next(_FAULT_TOKENS)
         self._cache: Dict[Tuple[int, ...], np.ndarray] = {}
 
     @property
@@ -424,29 +478,59 @@ class ChipBatchedWeightFault:
             self._cache[key] = self.prototype.generate_batch(
                 qw, self.n_chips, self.seeds
             )
-        return self.prototype.apply_batch(qw, self._cache[key])
+        codes = self.prototype.apply_batch(qw, self._cache[key])
+        # Under an MC-sample sub-axis the instance axis is chips x samples
+        # (chip-major); the frozen per-chip pattern is what a programmed
+        # chip holds across all its stochastic passes, so each chip's
+        # faulty codes repeat along the sample sub-axis.
+        samples = active_sample_count() or 1
+        if samples > 1:
+            codes = np.repeat(codes, samples, axis=0)
+        return codes
 
 
 class ChipBatchedActivationNoise:
     """Activation-noise hook applying each chip's own noise stream.
 
     Holds one serial :class:`ActivationNoise` per chip.  An already
-    chip-batched activation ``(n_chips, ...)`` is perturbed slice by slice
-    from each chip's stream; an unbatched activation (no fault has
-    introduced the chip axis yet) is broadcast — every chip perturbs the
-    same clean values, drawing exactly the noise the serial engine would.
+    instance-batched activation ``(n_instances, ...)`` is perturbed slice
+    by slice from each instance's stream; an unbatched activation (no fault
+    has introduced the instance axis yet) is broadcast — every instance
+    perturbs the same clean values, drawing exactly the noise the serial
+    engine would.
+
+    Under an MC-sample sub-axis of ``S`` the per-chip models expand
+    (chip-major, cached) into ``chips x S`` per-instance models via
+    :meth:`ActivationNoise.spawn_instances`, so instance ``(c, s)`` draws
+    from chip ``c``'s ``s``-th ``SeedSequence`` child — the stream the
+    looped path's pass ``s`` uses.  The expansion persists across
+    evaluation batches, matching the serial streams' continuation.
     """
 
     def __init__(self, models: Sequence[ActivationNoise]):
         self.models = list(models)
+        self._expanded: Optional[List[ActivationNoise]] = None
+        self._expanded_samples: Optional[int] = None
 
     @property
     def n_chips(self) -> int:
         return len(self.models)
 
+    def _active_models(self) -> List[ActivationNoise]:
+        samples = active_sample_count() or 1
+        if samples == 1:
+            return self.models
+        if self._expanded is None or self._expanded_samples != samples:
+            self._expanded = [
+                instance
+                for model in self.models
+                for instance in model.spawn_instances(samples)
+            ]
+            self._expanded_samples = samples
+        return self._expanded
+
     def __call__(self, x: np.ndarray) -> np.ndarray:
-        if x.ndim and x.shape[0] == self.n_chips:
-            return np.stack(
-                [model(x[i]) for i, model in enumerate(self.models)], axis=0
-            )
-        return np.stack([model(x) for model in self.models], axis=0)
+        models = self._active_models()
+        if x.ndim and x.shape[0] == len(models):
+            return np.stack([model(x[i]) for i, model in enumerate(models)], axis=0)
+        return np.stack([model(x) for model in models], axis=0)

@@ -14,6 +14,14 @@ from ..tensor import Tensor
 from ..tensor.random import get_rng
 
 
+def _mark(param: Tensor) -> Tensor:
+    """Bump the parameter's version counter after an in-place rewrite."""
+    mark = getattr(param, "mark_updated", None)
+    if mark is not None:
+        mark()
+    return param
+
+
 def _fan_in_out(shape) -> tuple[int, int]:
     if len(shape) == 1:
         return shape[0], shape[0]
@@ -30,7 +38,7 @@ def kaiming_normal_(param: Tensor, gain: float = math.sqrt(2.0)) -> Tensor:
     fan_in, _ = _fan_in_out(param.shape)
     std = gain / math.sqrt(fan_in)
     param.data[...] = get_rng().normal(0.0, std, size=param.shape)
-    return param
+    return _mark(param)
 
 
 def kaiming_uniform_(param: Tensor, gain: float = math.sqrt(2.0)) -> Tensor:
@@ -38,7 +46,7 @@ def kaiming_uniform_(param: Tensor, gain: float = math.sqrt(2.0)) -> Tensor:
     fan_in, _ = _fan_in_out(param.shape)
     bound = gain * math.sqrt(3.0 / fan_in)
     param.data[...] = get_rng().uniform(-bound, bound, size=param.shape)
-    return param
+    return _mark(param)
 
 
 def xavier_normal_(param: Tensor, gain: float = 1.0) -> Tensor:
@@ -46,7 +54,7 @@ def xavier_normal_(param: Tensor, gain: float = 1.0) -> Tensor:
     fan_in, fan_out = _fan_in_out(param.shape)
     std = gain * math.sqrt(2.0 / (fan_in + fan_out))
     param.data[...] = get_rng().normal(0.0, std, size=param.shape)
-    return param
+    return _mark(param)
 
 
 def xavier_uniform_(param: Tensor, gain: float = 1.0) -> Tensor:
@@ -54,22 +62,22 @@ def xavier_uniform_(param: Tensor, gain: float = 1.0) -> Tensor:
     fan_in, fan_out = _fan_in_out(param.shape)
     bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
     param.data[...] = get_rng().uniform(-bound, bound, size=param.shape)
-    return param
+    return _mark(param)
 
 
 def normal_(param: Tensor, mean: float = 0.0, std: float = 1.0) -> Tensor:
     param.data[...] = get_rng().normal(mean, std, size=param.shape)
-    return param
+    return _mark(param)
 
 
 def uniform_(param: Tensor, low: float = 0.0, high: float = 1.0) -> Tensor:
     param.data[...] = get_rng().uniform(low, high, size=param.shape)
-    return param
+    return _mark(param)
 
 
 def constant_(param: Tensor, value: float) -> Tensor:
     param.data[...] = value
-    return param
+    return _mark(param)
 
 
 def zeros_(param: Tensor) -> Tensor:

@@ -8,6 +8,7 @@ serialization (plain numpy arrays, so checkpoints are ``np.savez``-able).
 
 from __future__ import annotations
 
+import itertools
 from collections import OrderedDict
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
@@ -15,12 +16,36 @@ import numpy as np
 
 from ..tensor import Tensor
 
+# Process-wide monotonic ids for Parameter identity in deployment caches.
+# Never recycled (unlike ``id()``), so a (uid, version) pair uniquely names
+# one state of one parameter for the lifetime of the process.
+_PARAM_UIDS = itertools.count(1)
+
 
 class Parameter(Tensor):
-    """A :class:`Tensor` that is a trainable leaf of a :class:`Module`."""
+    """A :class:`Tensor` that is a trainable leaf of a :class:`Module`.
+
+    Every parameter carries a *version counter* (``_version``) bumped by
+    :meth:`mark_updated` whenever its values change — optimizer steps,
+    ``load_state_dict``, initializers.  Deployment-time consumers (the
+    quantization cache of :class:`repro.quant.layers.QuantizedComputeLayer`)
+    key derived state on ``(uid, version)``: unchanged weights serve cached
+    codes, a training step transparently invalidates them.
+    """
 
     def __init__(self, data):
         super().__init__(data, requires_grad=True)
+        self._uid = next(_PARAM_UIDS)
+        self._version = 0
+
+    def mark_updated(self) -> None:
+        """Record that the parameter's values changed (invalidates caches)."""
+        self._version += 1
+
+    @property
+    def version_key(self) -> Tuple[int, int]:
+        """Hashable fingerprint of this parameter's current state."""
+        return (self._uid, self._version)
 
 
 class Module:
@@ -142,6 +167,7 @@ class Module:
                     f"{params[name].shape} vs {value.shape}"
                 )
             params[name].data[...] = value
+            params[name].mark_updated()
             loaded.add(name)
         missing = set(params) - loaded
         if missing:

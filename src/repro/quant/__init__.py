@@ -5,14 +5,22 @@ LSTM) and 1/4 (U-Net) — through the layer wrappers here, which also expose
 the NVM fault-injection hooks consumed by :mod:`repro.faults`.
 """
 
+from .deploy import (
+    freeze_deployment,
+    invalidate_quantization,
+    quantized_layers,
+    warm_quantization,
+)
 from .functional import (
     ActivationFault,
     QuantizedWeight,
     WeightFault,
     binarize_activation,
     binarize_weight,
+    binarize_weight_record,
     fake_quantize_activation,
     fake_quantize_weight,
+    fake_quantize_weight_record,
     pact_quantize,
     sign_with_zero_to_one,
 )
@@ -32,11 +40,17 @@ __all__ = [
     "WeightFault",
     "ActivationFault",
     "binarize_weight",
+    "binarize_weight_record",
     "binarize_activation",
     "fake_quantize_weight",
+    "fake_quantize_weight_record",
     "fake_quantize_activation",
     "pact_quantize",
     "sign_with_zero_to_one",
+    "freeze_deployment",
+    "invalidate_quantization",
+    "quantized_layers",
+    "warm_quantization",
     "QuantizedComputeLayer",
     "QuantConv2d",
     "QuantConv1d",

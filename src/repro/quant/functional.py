@@ -73,21 +73,43 @@ def sign_with_zero_to_one(x: np.ndarray) -> np.ndarray:
     return s
 
 
+def binarize_weight_record(data: np.ndarray) -> QuantizedWeight:
+    """Pure-numpy IR-Net binarization snapshot: ``sign(w)`` codes + alpha.
+
+    ``alpha = mean(|w|)`` over each output filter.  This is the
+    deployment-frozen part of :func:`binarize_weight` — for weights that do
+    not change between forwards (an inference campaign) the record can be
+    computed once and cached (see
+    :class:`repro.quant.layers.QuantizedComputeLayer`).
+    """
+    data = np.asarray(data)
+    axes = tuple(range(1, data.ndim))
+    alpha = (
+        np.abs(data).mean(axis=axes, keepdims=True)
+        if axes
+        else np.abs(data).mean(keepdims=True)
+    )
+    return QuantizedWeight(codes=sign_with_zero_to_one(data), scale=alpha, bits=1)
+
+
 def binarize_weight(
-    weight: Tensor, fault: Optional[WeightFault] = None
+    weight: Tensor,
+    fault: Optional[WeightFault] = None,
+    record: Optional[QuantizedWeight] = None,
 ) -> Tuple[Tensor, QuantizedWeight]:
     """IR-Net-style weight binarization with per-output-channel scaling.
 
     ``w_b = sign(w) * alpha`` with ``alpha = mean(|w|)`` over each output
     filter.  The backward pass is a clipped straight-through estimator:
     gradients pass (scaled by ``alpha``) where ``|w| <= 1``.
+
+    ``record`` may carry a precomputed (cached) snapshot of the *current*
+    weight values; passing a stale record is undefined behaviour.
     """
-    axes = tuple(range(1, weight.ndim))
-    alpha = np.abs(weight.data).mean(axis=axes, keepdims=True) if axes else np.abs(
-        weight.data
-    ).mean(keepdims=True)
-    codes = sign_with_zero_to_one(weight.data)
-    record = QuantizedWeight(codes=codes, scale=alpha, bits=1)
+    if record is None:
+        record = binarize_weight_record(weight.data)
+    alpha = record.scale
+    codes = record.codes
     if fault is not None:
         codes = fault(record)
     data = codes * alpha
@@ -121,21 +143,40 @@ def binarize_activation(
     return Tensor._make(data, [x], backward, "binarize_a")
 
 
+def fake_quantize_weight_record(data: np.ndarray, bits: int) -> QuantizedWeight:
+    """Pure-numpy symmetric k-bit quantization snapshot (codes + scale).
+
+    The deployment-frozen part of :func:`fake_quantize_weight`, cacheable
+    for weights that stay fixed across inference forwards.
+    """
+    if bits < 2:
+        raise ValueError("use binarize_weight for 1-bit weights")
+    data = np.asarray(data)
+    qmax = 2 ** (bits - 1) - 1
+    max_abs = np.abs(data).max()
+    scale = np.asarray(max_abs / qmax if max_abs > 0 else 1.0)
+    codes = np.clip(np.round(data / scale), -qmax, qmax)
+    return QuantizedWeight(codes=codes, scale=scale, bits=bits)
+
+
 def fake_quantize_weight(
-    weight: Tensor, bits: int, fault: Optional[WeightFault] = None
+    weight: Tensor,
+    bits: int,
+    fault: Optional[WeightFault] = None,
+    record: Optional[QuantizedWeight] = None,
 ) -> Tuple[Tensor, QuantizedWeight]:
     """Symmetric per-tensor k-bit fake quantization with STE gradient.
 
     The scale maps ``max(|w|)`` to the largest code, matching how weights
     are programmed into multi-level NVM cells before deployment.
+
+    ``record`` may carry a precomputed (cached) snapshot of the *current*
+    weight values; passing a stale record is undefined behaviour.
     """
-    if bits < 2:
-        raise ValueError("use binarize_weight for 1-bit weights")
-    qmax = 2 ** (bits - 1) - 1
-    max_abs = np.abs(weight.data).max()
-    scale = np.asarray(max_abs / qmax if max_abs > 0 else 1.0)
-    codes = np.clip(np.round(weight.data / scale), -qmax, qmax)
-    record = QuantizedWeight(codes=codes, scale=scale, bits=bits)
+    if record is None:
+        record = fake_quantize_weight_record(weight.data, bits)
+    scale = record.scale
+    codes = record.codes
     if fault is not None:
         codes = fault(record)
     data = codes * scale

@@ -4,8 +4,8 @@ These layers model the part of the network whose weights physically live in
 NVM crossbar cells.  Each exposes two fault-injection hooks used by
 :mod:`repro.faults`:
 
-* ``weight_fault`` — applied to the quantized integer weight codes on every
-  forward pass (bit flips, stuck-at faults, conductance variation on
+* ``weight_fault`` — applied to the quantized integer weight codes at
+  forward time (bit flips, stuck-at faults, conductance variation on
   multi-bit weights);
 * ``last_quantized`` — the most recent :class:`~repro.quant.functional.QuantizedWeight`
   record, letting campaigns and the IMC simulator inspect what would be
@@ -14,16 +14,41 @@ NVM crossbar cells.  Each exposes two fault-injection hooks used by
 Binary activation faults are injected through
 :class:`SignActivation.pre_fault` (noise on normalized activations before
 the sign, per Section IV-A-2 of the paper).
+
+Deployment-frozen quantization cache
+------------------------------------
+Physically, weights are quantized **once** — when the chip is programmed —
+not on every inference.  The layers model that: during gradient-free
+forwards (campaign evaluation, Bayesian sampling) each layer caches
+
+* its clean :class:`~repro.quant.functional.QuantizedWeight` record, keyed
+  by the parameter's ``(uid, version)`` counter
+  (:meth:`repro.nn.module.Parameter.mark_updated`), and
+* the faulty dequantized weight produced by the attached fault hook, keyed
+  additionally by the hook's unique ``fault_token`` and the active
+  instance-axis layout,
+
+so campaign forwards — every MC sample, every evaluation batch, every LSTM
+timestep — reuse the programmed codes, and fault hooks perturb the cached
+record instead of re-deriving it per pass.  Training invalidates
+transparently: gradient-recording forwards always requantize (the STE
+backward needs the live weight), and optimizer steps bump the version
+counter so the next deployed forward reprograms.  Hooks without a
+``fault_token`` (ad-hoc callables) are never value-cached and keep the
+legacy applied-every-forward semantics.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+import contextlib
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from ..tensor import Tensor, ops
 from ..tensor import conv as F
+from ..tensor.chipbatch import active_chip_count, active_sample_count
+from ..tensor.grad_mode import is_grad_enabled
 from ..nn import init
 from ..nn.module import Module, Parameter
 from .functional import (
@@ -32,8 +57,30 @@ from .functional import (
     WeightFault,
     binarize_activation,
     binarize_weight,
+    binarize_weight_record,
     fake_quantize_weight,
+    fake_quantize_weight_record,
 )
+
+#: Token used for the fault-free ("clean chip") cache entry.
+_CLEAN = "clean"
+
+# Global switch for the deployment cache — disabled, every gradient-free
+# forward requantizes like the pre-cache engine.  Used by identity tests
+# and benchmarks to compare cached against recomputed codes.
+_DEPLOY_CACHE_ENABLED = True
+
+
+@contextlib.contextmanager
+def deploy_cache_disabled():
+    """Force requantization on every forward for the duration of the block."""
+    global _DEPLOY_CACHE_ENABLED
+    previous = _DEPLOY_CACHE_ENABLED
+    _DEPLOY_CACHE_ENABLED = False
+    try:
+        yield
+    finally:
+        _DEPLOY_CACHE_ENABLED = previous
 
 
 class QuantizedComputeLayer(Module):
@@ -44,27 +91,107 @@ class QuantizedComputeLayer(Module):
         self.weight_bits = int(weight_bits)
         self.weight_fault: Optional[WeightFault] = None
         self.last_quantized: Optional[QuantizedWeight] = None
+        # Deployment-frozen caches (see module docstring).  One entry per
+        # weight slot: the programmed record, and the last faulty
+        # dequantized weight for the currently attached hook.
+        self._record_cache: Dict[str, Tuple[Tuple[int, int], QuantizedWeight]] = {}
+        self._deploy_cache: Dict[str, Tuple[tuple, np.ndarray, QuantizedWeight]] = {}
 
-    def _quantize(self, weight: Tensor) -> Tensor:
-        """Quantize (or binarize) the live weight, applying fault hooks.
+    def invalidate_quant_cache(self) -> None:
+        """Drop all deployment-frozen state (force requantization)."""
+        self._record_cache.clear()
+        self._deploy_cache.clear()
 
-        A chip-batched fault hook (one frozen pattern per simulated chip)
-        returns perturbed codes with a leading chip axis, so the result is
-        a ``(n_chips, *weight.shape)`` stack of per-chip faulty weights;
-        the forward methods below broadcast against it transparently.
+    def weight_slots(self) -> Tuple[Tuple[str, Parameter], ...]:
+        """The (slot, parameter) pairs this layer quantizes at forward time.
+
+        Subclasses with several independently-programmed weight tensors
+        (e.g. :class:`QuantLSTMCell`) override this; deployment helpers
+        (:func:`repro.quant.deploy.warm_quantization`) iterate it.
         """
+        return (("weight", self.weight),)
+
+    def _frozen_record(
+        self, weight: Tensor, slot: str
+    ) -> Optional[QuantizedWeight]:
+        """Cached quantization record for ``weight``, or ``None`` if
+        caching is unavailable (cache disabled, gradients recording, or an
+        unversioned weight tensor)."""
+        if not _DEPLOY_CACHE_ENABLED or is_grad_enabled():
+            return None
+        key = getattr(weight, "version_key", None)
+        if key is None:
+            return None
+        hit = self._record_cache.get(slot)
+        if hit is None or hit[0] != key:
+            record = (
+                binarize_weight_record(weight.data)
+                if self.weight_bits == 1
+                else fake_quantize_weight_record(weight.data, self.weight_bits)
+            )
+            self._record_cache[slot] = (key, record)
+            return record
+        return hit[1]
+
+    def _quantize_slot(
+        self,
+        weight: Tensor,
+        fault: Optional[WeightFault],
+        slot: str,
+        record_attr: str,
+    ) -> Tensor:
+        """Quantize (or binarize) one weight slot, applying fault hooks.
+
+        A chip-batched fault hook (one frozen pattern per simulated chip,
+        repeated along any MC-sample sub-axis) returns perturbed codes with
+        a leading instance axis, so the result is a
+        ``(n_instances, *weight.shape)`` stack of per-instance faulty
+        weights; the forward methods below broadcast against it
+        transparently.  Gradient-free forwards are served from the
+        deployment cache when possible.
+        """
+        # record is non-None only when caching is available (cache enabled,
+        # gradients off, versioned weight) — deploy_key inherits that gate.
+        record = self._frozen_record(weight, slot)
+        deploy_key = None
+        if record is not None:
+            token = _CLEAN if fault is None else getattr(fault, "fault_token", None)
+            if token is not None:
+                deploy_key = (
+                    self._record_cache[slot][0],
+                    token,
+                    active_chip_count(),
+                    active_sample_count(),
+                )
+                hit = self._deploy_cache.get(slot)
+                if hit is not None and hit[0] == deploy_key:
+                    setattr(self, record_attr, hit[2])
+                    return Tensor(hit[1])
         if self.weight_bits == 1:
-            q, record = binarize_weight(weight, fault=self.weight_fault)
+            q, record = binarize_weight(weight, fault=fault, record=record)
         else:
             q, record = fake_quantize_weight(
-                weight, self.weight_bits, fault=self.weight_fault
+                weight, self.weight_bits, fault=fault, record=record
             )
-        self.last_quantized = record
+        setattr(self, record_attr, record)
+        if deploy_key is not None:
+            self._deploy_cache[slot] = (deploy_key, q.data, record)
         return q
+
+    def _quantize(self, weight: Tensor) -> Tensor:
+        """Quantize the primary weight slot with ``weight_fault`` applied."""
+        return self._quantize_slot(
+            weight, self.weight_fault, "weight", "last_quantized"
+        )
 
 
 class QuantConv2d(QuantizedComputeLayer):
-    """Conv2d whose weights are quantized (or binarized) every forward."""
+    """Conv2d whose weights are quantized (or binarized) at forward time.
+
+    Training forwards requantize the live weight (STE gradients); deployed
+    gradient-free forwards reuse the cached programmed codes until the
+    weight's version counter changes.
+    """
 
     def __init__(
         self,
@@ -100,7 +227,11 @@ class QuantConv2d(QuantizedComputeLayer):
 
 
 class QuantConv1d(QuantizedComputeLayer):
-    """Conv1d with quantized weights (M5 audio model, 8-bit)."""
+    """Conv1d with quantized weights (M5 audio model, 8-bit).
+
+    Shares the deployment-frozen quantization cache of
+    :class:`QuantizedComputeLayer`.
+    """
 
     def __init__(
         self,
@@ -171,7 +302,10 @@ class QuantLSTMCell(QuantizedComputeLayer):
     """LSTM cell whose input/hidden weight matrices are quantized.
 
     Used by the 8-bit LSTM forecaster; the two gate matrices are quantized
-    independently (they occupy separate crossbar tiles).
+    independently (they occupy separate crossbar tiles).  The deployment
+    cache matters most here: a sequence of ``T`` timesteps makes ``2T``
+    quantization calls per forward, all served from the two cached slots
+    once the chip is programmed.
     """
 
     def __init__(self, input_size: int, hidden_size: int, weight_bits: int = 8):
@@ -199,16 +333,17 @@ class QuantLSTMCell(QuantizedComputeLayer):
         self.weight_fault_hh: Optional[WeightFault] = None
         self.last_quantized_hh: Optional[QuantizedWeight] = None
 
+    def weight_slots(self) -> Tuple[Tuple[str, Parameter], ...]:
+        return (("weight_ih", self.weight_ih), ("weight_hh", self.weight_hh))
+
     def forward(self, x: Tensor, state):
         h, c = state
-        w_ih, rec_ih = fake_quantize_weight(
-            self.weight_ih, self.weight_bits, fault=self.weight_fault
+        w_ih = self._quantize_slot(
+            self.weight_ih, self.weight_fault, "weight_ih", "last_quantized"
         )
-        w_hh, rec_hh = fake_quantize_weight(
-            self.weight_hh, self.weight_bits, fault=self.weight_fault_hh
+        w_hh = self._quantize_slot(
+            self.weight_hh, self.weight_fault_hh, "weight_hh", "last_quantized_hh"
         )
-        self.last_quantized = rec_ih
-        self.last_quantized_hh = rec_hh
         gates = (
             x @ w_ih.swapaxes(-1, -2)
             + self.bias_ih

@@ -6,7 +6,17 @@ structural / convolutional operations, gradient checking, and seedable
 randomness.
 """
 
-from .chipbatch import ChipBatchRng, active_chip_count, chip_axes, chip_batch
+from .chipbatch import (
+    ChipBatchRng,
+    active_chip_count,
+    active_sample_count,
+    chip_axes,
+    chip_batch,
+    mc_batching,
+    mc_batching_active,
+    mc_sample_axis,
+    spawn_sample_streams,
+)
 from .grad_mode import enable_grad, is_grad_enabled, no_grad, set_grad_enabled
 from .gradcheck import check_gradients, numeric_gradient
 from .random import get_rng, manual_seed, scoped_rng, spawn_rng
@@ -68,8 +78,13 @@ __all__ = [
     "spawn_rng",
     "ChipBatchRng",
     "active_chip_count",
+    "active_sample_count",
     "chip_axes",
     "chip_batch",
+    "mc_batching",
+    "mc_batching_active",
+    "mc_sample_axis",
+    "spawn_sample_streams",
     "check_gradients",
     "numeric_gradient",
     "conv",

@@ -50,6 +50,30 @@ def binary_miou(pred_mask: np.ndarray, true_mask: np.ndarray) -> float:
     return float(np.mean(ious))
 
 
+def binary_miou_stack(pred_masks: np.ndarray, true_mask: np.ndarray) -> np.ndarray:
+    """Per-slice :func:`binary_miou` over a leading chip/instance axis.
+
+    ``pred_masks`` carries one predicted mask per slice (shape
+    ``(stack, *mask)``), scored against the shared ``true_mask``.  Pure
+    array ops over the stack axis, bit-identical to looping
+    ``binary_miou(pred_masks[i], true_mask)``: integer intersection/union
+    sums are exact, the float division and the final two-class average
+    ``(fg + bg) / 2`` match the loop's arithmetic operation for operation.
+    """
+    pred = np.asarray(pred_masks).astype(bool)
+    true = np.asarray(true_mask).astype(bool)
+    stack = pred.shape[0]
+    pred = pred.reshape(stack, -1)
+    true = true.reshape(-1)
+    ious = []
+    for cls_pred, cls_true in ((pred, true), (~pred, ~true)):
+        inter = (cls_pred & cls_true).sum(axis=1)
+        union = (cls_pred | cls_true).sum(axis=1)
+        # union == 0 → empty class in both masks → IoU defined as 1.0
+        ious.append(np.where(union == 0, 1.0, inter / np.maximum(union, 1)))
+    return (ious[0] + ious[1]) / 2.0
+
+
 def nll_from_probs(probs: np.ndarray, labels: np.ndarray, eps: float = 1e-12) -> float:
     """Mean negative log-likelihood of integer labels under ``probs``."""
     probs = np.asarray(probs)

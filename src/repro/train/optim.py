@@ -55,6 +55,7 @@ class SGD(Optimizer):
                 v += grad
                 grad = v
             p.data -= self.lr * grad
+            p.mark_updated()
 
 
 class Adam(Optimizer):
@@ -91,6 +92,7 @@ class Adam(Optimizer):
             v *= self.beta2
             v += (1.0 - self.beta2) * grad**2
             p.data -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+            p.mark_updated()
 
 
 class CosineSchedule:

@@ -239,7 +239,7 @@ class TestChipBatchPrimitives:
 
     def test_chip_batch_rng_rejects_wrong_lead(self):
         stacked = ChipBatchRng([np.random.default_rng(0)] * 2)
-        with pytest.raises(RuntimeError, match="chip axis"):
+        with pytest.raises(RuntimeError, match="instance axis"):
             stacked.normal(0.0, 1.0, size=(3, 4))
 
     def test_chip_batch_context_restores(self):

@@ -1,0 +1,344 @@
+"""Tests for MC-sample-batched Bayesian evaluation (the instance axis).
+
+The ``batched`` executor's MC mode stacks the Monte Carlo sample loop of a
+Bayesian evaluator into the chip-batched pass, so one forward carries a
+``chips x mc_samples`` instance axis.  Its contract is the chip-batched
+contract extended one axis: per-chip metrics must be **bit-identical** to
+the serial looped reference (same ``SeedSequence``-derived per-sample
+streams, drawn in the serial order).  These tests pin that contract across
+all four task topologies, the Bayesian methods, and every fault kind, plus
+the instance-axis primitives and edge cases (no chip batch, ``chip_limit``
+sub-batching, single sample).
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import InvertedNorm
+from repro.core.bayesian import BayesianClassifier, mc_forward
+from repro.eval import build_task, make_evaluator, run_robustness_sweep, trained_model
+from repro.faults import (
+    FaultSpec,
+    MonteCarloCampaign,
+    WorkCell,
+    additive_sweep,
+    bitflip_sweep,
+    evaluate_cell,
+    evaluate_cells_batched,
+    multiplicative_sweep,
+    uniform_sweep,
+)
+from repro.models import proposed, spatial_spindrop, spindrop
+from repro.quant import QuantConv2d, QuantLinear, SignActivation
+from repro.quant.layers import deploy_cache_disabled
+from repro.tensor import Tensor, manual_seed
+from repro.tensor.chipbatch import (
+    ChipBatchRng,
+    active_chip_count,
+    active_sample_count,
+    chip_batch,
+    mc_batching,
+    mc_batching_active,
+    mc_sample_axis,
+    spawn_sample_streams,
+)
+from repro.tensor.random import scoped_rng
+
+
+def build_pair(seed=0, mc_samples=3):
+    """Small mixed binary/multi-bit model with a chip-aware MC evaluator."""
+    manual_seed(seed)
+    model = nn.Sequential(
+        QuantConv2d(1, 3, 3, padding=1, weight_bits=1),
+        SignActivation(),
+        nn.GlobalAvgPool2d(),
+        nn.Dropout(0.25),
+        QuantLinear(3, 2, weight_bits=8),
+    )
+    data_rng = np.random.default_rng(7)
+    x = data_rng.normal(size=(10, 1, 6, 6))
+    y = data_rng.integers(0, 2, 10)
+
+    def evaluator(m):
+        n_chips = active_chip_count()
+        inp = x if n_chips is None else np.broadcast_to(x[None], (n_chips,) + x.shape)
+        logits = mc_forward(m, Tensor(inp.copy()), num_samples=mc_samples)
+        pred = logits.mean(axis=0).argmax(axis=-1)
+        return (pred == y).mean(axis=-1)
+
+    return model, evaluator
+
+
+ALL_FAULT_KINDS = [
+    FaultSpec(kind="bitflip", level=0.1),
+    FaultSpec(kind="additive", level=0.3),
+    FaultSpec(kind="multiplicative", level=0.4),
+    FaultSpec(kind="uniform", level=0.2),
+    FaultSpec(kind="stuck", level=0.2, stuck_to="high"),
+    FaultSpec(kind="drift", level=24.0),
+]
+
+
+class TestInstanceAxisPrimitives:
+    def test_sample_axis_composes_with_chip_batch(self):
+        assert active_chip_count() is None and active_sample_count() is None
+        with chip_batch(5):
+            assert active_chip_count() == 5
+            with mc_sample_axis(3):
+                assert active_chip_count() == 15
+                assert active_sample_count() == 3
+            assert active_chip_count() == 5
+            assert active_sample_count() is None
+        assert active_chip_count() is None
+
+    def test_sample_axis_alone(self):
+        with mc_sample_axis(4):
+            assert active_chip_count() == 4
+            assert active_sample_count() == 4
+
+    def test_sample_axis_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            with mc_sample_axis(0):
+                pass
+
+    def test_mc_batching_flag_scopes(self):
+        assert not mc_batching_active()
+        with mc_batching(True):
+            assert mc_batching_active()
+            with mc_batching(False):
+                assert not mc_batching_active()
+            assert mc_batching_active()
+        assert not mc_batching_active()
+
+    def test_spawn_sample_streams_plain_generator(self):
+        a = np.random.default_rng(3)
+        b = np.random.default_rng(3)
+        per_sample, per_instance = spawn_sample_streams(a, 4)
+        expected = b.spawn(4)
+        assert len(per_sample) == 4 and len(per_instance) == 4
+        for got, ref in zip(per_sample, expected):
+            np.testing.assert_array_equal(got.random(5), ref.random(5))
+        assert per_instance == per_sample
+
+    def test_spawn_sample_streams_chip_batch_is_chip_major(self):
+        seeds = [11, 22]
+        stacked = ChipBatchRng([np.random.default_rng(s) for s in seeds])
+        per_sample, per_instance = spawn_sample_streams(stacked, 3)
+        assert all(isinstance(ps, ChipBatchRng) for ps in per_sample)
+        # per_sample[s] holds chip c's s-th child; per_instance flattens
+        # the same generator objects chip-major: [c0s0, c0s1, c0s2, c1s0, ...]
+        for c in range(2):
+            for s in range(3):
+                assert per_instance[c * 3 + s] is per_sample[s].generators[c]
+        # and the children are the chips' SeedSequence children
+        refs = [np.random.default_rng(s).spawn(3) for s in seeds]
+        flat_refs = [child for chip in refs for child in chip]
+        for got, ref in zip(per_instance, flat_refs):
+            np.testing.assert_array_equal(got.random(4), ref.random(4))
+
+
+class TestMcForwardBatched:
+    def _model(self, seed=0):
+        manual_seed(seed)
+        return nn.Sequential(
+            nn.Linear(6, 16),
+            InvertedNorm(16, p=0.4, granularity="element"),
+            nn.ReLU(),
+            nn.Dropout(0.3),
+            nn.Linear(16, 3),
+        )
+
+    def test_batched_matches_looped_under_chip_batch(self):
+        model = self._model()
+        x = np.random.default_rng(1).normal(size=(5, 6))
+        outs = {}
+        for flag in (False, True):
+            gens = [np.random.default_rng((c + 1) * 13) for c in range(3)]
+            xb = np.broadcast_to(x[None], (3,) + x.shape).copy()
+            with chip_batch(3), scoped_rng(ChipBatchRng(gens)), mc_batching(flag):
+                outs[flag] = mc_forward(model, Tensor(xb), 4)
+        assert outs[True].shape == (4, 3, 5, 3)
+        np.testing.assert_array_equal(outs[False], outs[True])
+
+    def test_batched_matches_looped_without_chip_batch(self):
+        model = self._model()
+        x = np.random.default_rng(2).normal(size=(5, 6))
+        outs = {}
+        for flag in (False, True):
+            with scoped_rng(np.random.default_rng(5)), mc_batching(flag):
+                outs[flag] = mc_forward(model, Tensor(x.copy()), 4)
+        assert outs[True].shape == (4, 5, 3)
+        np.testing.assert_array_equal(outs[False], outs[True])
+
+    def test_single_sample_uses_looped_path(self):
+        model = self._model()
+        x = np.random.default_rng(3).normal(size=(2, 6))
+        outs = {}
+        for flag in (False, True):
+            with scoped_rng(np.random.default_rng(9)), mc_batching(flag):
+                outs[flag] = mc_forward(model, Tensor(x.copy()), 1)
+        np.testing.assert_array_equal(outs[False], outs[True])
+
+    def test_rejects_nonpositive_samples(self):
+        model = self._model()
+        with pytest.raises(ValueError, match="num_samples"):
+            mc_forward(model, Tensor(np.zeros((1, 6))), 0)
+
+    def test_classifier_rides_batched_path(self):
+        model = self._model()
+        x = Tensor(np.random.default_rng(4).normal(size=(6, 6)))
+        probs = {}
+        for flag in (False, True):
+            with scoped_rng(np.random.default_rng(21)), mc_batching(flag):
+                probs[flag] = BayesianClassifier(model, num_samples=5).predict_proba(x)
+        np.testing.assert_array_equal(probs[False], probs[True])
+
+    def test_context_restored_after_batched_forward(self):
+        model = self._model()
+        with scoped_rng(np.random.default_rng(0)), mc_batching(True):
+            mc_forward(model, Tensor(np.zeros((2, 6))), 3)
+            assert active_chip_count() is None
+            assert active_sample_count() is None
+
+
+class TestEvaluateCellsMcBatched:
+    @pytest.mark.parametrize("spec", ALL_FAULT_KINDS, ids=lambda s: s.describe())
+    def test_bit_identical_to_serial_looped(self, spec):
+        model, evaluator = build_pair()
+        cells = [WorkCell(2, run, spec) for run in range(5)]
+        serial = np.array(
+            [evaluate_cell(model, evaluator, cell, base_seed=5) for cell in cells]
+        )
+        mc = evaluate_cells_batched(
+            model, evaluator, cells, base_seed=5, mc_batched=True
+        )
+        looped = evaluate_cells_batched(
+            model, evaluator, cells, base_seed=5, mc_batched=False
+        )
+        np.testing.assert_array_equal(serial, mc)
+        np.testing.assert_array_equal(serial, looped)
+
+    def test_identical_with_cache_disabled(self):
+        # Cached-code forwards must be bit-identical to recomputation.
+        spec = FaultSpec(kind="bitflip", level=0.15)
+        model, evaluator = build_pair()
+        cells = [WorkCell(1, run, spec) for run in range(4)]
+        cached = evaluate_cells_batched(model, evaluator, cells, base_seed=3)
+        with deploy_cache_disabled():
+            recomputed = evaluate_cells_batched(
+                model, evaluator, cells, base_seed=3
+            )
+        np.testing.assert_array_equal(cached, recomputed)
+
+    def test_mc_batched_requires_batched_executor(self):
+        model, evaluator = build_pair()
+        campaign = MonteCarloCampaign(
+            model, evaluator, n_runs=2, executor="serial", mc_batched=True
+        )
+        with pytest.raises(ValueError, match="batched"):
+            campaign.run(FaultSpec(kind="bitflip", level=0.1))
+
+    @pytest.mark.parametrize("chip_limit", [1, 2, 3])
+    def test_chip_limit_subbatching_is_invisible(self, chip_limit):
+        model, evaluator = build_pair()
+        specs = bitflip_sweep([0.0, 0.15])
+        serial = MonteCarloCampaign(
+            model, evaluator, n_runs=5, base_seed=3, executor="serial"
+        ).sweep(specs)
+        limited = MonteCarloCampaign(
+            model,
+            evaluator,
+            n_runs=5,
+            base_seed=3,
+            executor="batched",
+            chip_limit=chip_limit,
+            mc_batched=True,
+        ).sweep(specs)
+        for s, b in zip(serial, limited):
+            np.testing.assert_array_equal(s.values, b.values)
+
+
+class TestTaskTopologyIdentity:
+    """MC-batched == serial looped on all four real tiny-task topologies."""
+
+    def _compare(self, task_name, method, specs, samples=3, n_runs=3):
+        task = build_task(task_name, preset="tiny")
+        model = trained_model(task, method, "tiny", seed=0)
+        evaluator = make_evaluator(
+            task.name, task.test_set, method, mc_samples=samples
+        )
+        results = {}
+        for label, kwargs in (
+            ("serial", dict(executor="serial")),
+            ("mc", dict(executor="batched", mc_batched=True)),
+            ("looped", dict(executor="batched", mc_batched=False)),
+        ):
+            campaign = MonteCarloCampaign(
+                model, evaluator, n_runs=n_runs, base_seed=0, **kwargs
+            )
+            results[label] = campaign.sweep(specs)
+        for s, m, l in zip(results["serial"], results["mc"], results["looped"]):
+            np.testing.assert_array_equal(s.values, m.values)
+            np.testing.assert_array_equal(s.values, l.values)
+
+    # image / ResNet-18: binary weights, variation routes to activations
+    def test_image_binary_bitflip_proposed(self):
+        self._compare("image", proposed(), bitflip_sweep([0.0, 0.1]), n_runs=2)
+
+    def test_image_activation_variation_spindrop(self):
+        self._compare("image", spindrop(), additive_sweep([0.0, 0.3]), n_runs=2)
+
+    # audio / M5: 8-bit conv1d
+    def test_audio_multibit_bitflip_proposed(self):
+        self._compare("audio", proposed(), bitflip_sweep([0.0, 0.1]))
+
+    def test_audio_additive_spatial_spindrop(self):
+        self._compare("audio", spatial_spindrop(), additive_sweep([0.0, 0.2]))
+
+    def test_audio_stuck_at_proposed(self):
+        self._compare(
+            "audio", proposed(), [FaultSpec(kind="none", level=0.0),
+                                  FaultSpec(kind="stuck", level=0.2)]
+        )
+
+    # co2 / LSTM: 8-bit recurrent cells, frozen (variational) masks
+    def test_lstm_uniform_proposed(self):
+        self._compare("co2", proposed(), uniform_sweep([0.0, 0.2]))
+
+    def test_lstm_multiplicative_spindrop(self):
+        self._compare("co2", spindrop(), multiplicative_sweep([0.0, 0.4]))
+
+    def test_lstm_drift_proposed(self):
+        self._compare(
+            "co2", proposed(), [FaultSpec(kind="none", level=0.0),
+                                FaultSpec(kind="drift", level=24.0)]
+        )
+
+    # vessels / U-Net: binary weights + PACT activations, group norm
+    def test_unet_bitflip_proposed(self):
+        self._compare("vessels", proposed(), bitflip_sweep([0.0, 0.1]), n_runs=2)
+
+    def test_unet_additive_proposed(self):
+        self._compare("vessels", proposed(), additive_sweep([0.0, 0.3]), n_runs=2)
+
+
+class TestSweepPlumbing:
+    def test_run_robustness_sweep_accepts_mc_flag(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        from repro.eval import clear_memory_cache
+
+        clear_memory_cache()
+        task = build_task("audio", preset="tiny")
+        specs = bitflip_sweep([0.0, 0.1])
+        kwargs = dict(preset="tiny", n_runs=3, use_cache=False)
+        serial = run_robustness_sweep(
+            task, [proposed()], specs, executor="serial", **kwargs
+        )
+        mc = run_robustness_sweep(
+            task, [proposed()], specs, executor="batched", mc_batched=True, **kwargs
+        )
+        np.testing.assert_array_equal(
+            serial.curves["proposed"].means, mc.curves["proposed"].means
+        )
+        clear_memory_cache()

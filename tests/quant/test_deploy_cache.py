@@ -1,0 +1,206 @@
+"""Tests for the deployment-frozen quantization cache.
+
+Physically a chip is programmed once; the quantized layers model that by
+caching codes + scale per weight slot, keyed by the parameter's
+``(uid, version)`` counter, during gradient-free forwards.  The contract:
+
+* cached forwards are bit-identical to recomputation,
+* a training step (optimizer bump / ``load_state_dict``) after deployment
+  invalidates transparently — verified via ``last_quantized``,
+* gradient-recording forwards never cache (STE training unchanged),
+* ad-hoc callable hooks without a ``fault_token`` keep the legacy
+  applied-every-forward semantics.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.faults import FaultSpec
+from repro.models import LSTMForecaster, proposed
+from repro.quant import (
+    QuantConv2d,
+    QuantLinear,
+    QuantLSTMCell,
+    freeze_deployment,
+    invalidate_quantization,
+    quantized_layers,
+    warm_quantization,
+)
+from repro.quant.layers import deploy_cache_disabled
+from repro.tensor import Tensor, manual_seed, no_grad
+from repro.train import SGD
+
+
+def _loss_step(layer, x):
+    """One tiny SGD step through the layer (bumps the weight version)."""
+    out = layer(x)
+    loss = (out * out).sum()
+    layer.zero_grad()
+    loss.backward()
+    SGD(layer.parameters(), lr=0.05).step()
+
+
+class TestCachedForwardIdentity:
+    @pytest.mark.parametrize("bits", [1, 8])
+    def test_cached_equals_recomputed(self, bits):
+        manual_seed(0)
+        layer = QuantLinear(6, 4, weight_bits=bits)
+        x = Tensor(np.random.default_rng(1).normal(size=(5, 6)))
+        with no_grad():
+            first = layer(x).data  # miss: programs the cache
+            cached = layer(x).data  # hit
+            with deploy_cache_disabled():
+                recomputed = layer(x).data
+        np.testing.assert_array_equal(first, cached)
+        np.testing.assert_array_equal(cached, recomputed)
+
+    def test_cache_hit_reuses_record_object(self):
+        manual_seed(0)
+        layer = QuantConv2d(2, 3, 3, weight_bits=1)
+        x = Tensor(np.random.default_rng(2).normal(size=(2, 2, 5, 5)))
+        with no_grad():
+            layer(x)
+            record = layer.last_quantized
+            layer(x)
+            assert layer.last_quantized is record  # served from cache
+
+    def test_faulty_codes_cached_per_hook(self):
+        manual_seed(0)
+        layer = QuantLinear(6, 4, weight_bits=8)
+        spec = FaultSpec(kind="bitflip", level=0.3)
+        layer.weight_fault = spec.build_weight_model(np.random.default_rng(3))
+        x = Tensor(np.random.default_rng(4).normal(size=(5, 6)))
+        with no_grad():
+            faulty = layer(x).data
+            again = layer(x).data
+            with deploy_cache_disabled():
+                recomputed = layer(x).data
+        np.testing.assert_array_equal(faulty, again)
+        np.testing.assert_array_equal(faulty, recomputed)
+
+    def test_new_hook_invalidates_faulty_codes(self):
+        manual_seed(0)
+        layer = QuantLinear(6, 4, weight_bits=8)
+        spec = FaultSpec(kind="bitflip", level=0.5)
+        x = Tensor(np.random.default_rng(5).normal(size=(5, 6)))
+        with no_grad():
+            layer.weight_fault = spec.build_weight_model(np.random.default_rng(1))
+            a = layer(x).data
+            layer.weight_fault = spec.build_weight_model(np.random.default_rng(2))
+            b = layer(x).data
+            layer.weight_fault = None
+            clean = layer(x).data
+        assert not np.array_equal(a, b)
+        assert not np.array_equal(a, clean)
+
+
+class TestTrainingInvalidation:
+    @pytest.mark.parametrize("bits", [1, 8])
+    def test_training_step_after_deploy_recomputes_codes(self, bits):
+        manual_seed(0)
+        layer = QuantLinear(6, 4, weight_bits=bits)
+        x = Tensor(np.random.default_rng(6).normal(size=(5, 6)))
+        freeze_deployment(layer)
+        with no_grad():
+            layer(x)
+        deployed = layer.last_quantized
+        deployed_scale = np.copy(deployed.scale)
+        layer.train()
+        _loss_step(layer, x)
+        layer.eval()
+        with no_grad():
+            layer(x)
+        assert layer.last_quantized is not deployed
+        # The reprogrammed snapshot reflects the updated weights: the scale
+        # (max|w| / qmax, or per-filter mean|w| for binary) tracks any
+        # weight change even when no integer code happens to flip.
+        assert not np.array_equal(layer.last_quantized.scale, deployed_scale)
+
+    def test_grad_enabled_forward_never_serves_cache(self):
+        manual_seed(0)
+        layer = QuantLinear(6, 4, weight_bits=8)
+        x = Tensor(np.random.default_rng(7).normal(size=(5, 6)))
+        with no_grad():
+            layer(x)
+        cached = layer.last_quantized
+        out = layer(x)  # gradient-recording: fresh record, backward intact
+        assert layer.last_quantized is not cached
+        assert out.requires_grad
+
+    def test_load_state_dict_invalidates(self):
+        manual_seed(0)
+        layer = QuantLinear(6, 4, weight_bits=8)
+        x = Tensor(np.random.default_rng(8).normal(size=(5, 6)))
+        with no_grad():
+            layer(x)
+        before = layer.last_quantized
+        state = layer.state_dict()
+        state["weight"] = state["weight"] + 0.1
+        layer.load_state_dict(state)
+        with no_grad():
+            layer(x)
+        assert layer.last_quantized is not before
+        assert not np.array_equal(layer.last_quantized.codes, before.codes)
+
+    def test_lstm_cell_slots_invalidate_independently(self):
+        manual_seed(0)
+        cell = QuantLSTMCell(3, 5, weight_bits=8)
+        x = Tensor(np.random.default_rng(9).normal(size=(2, 3)))
+        state = (Tensor(np.zeros((2, 5))), Tensor(np.zeros((2, 5))))
+        with no_grad():
+            cell(x, state)
+        rec_ih, rec_hh = cell.last_quantized, cell.last_quantized_hh
+        cell.weight_ih.data[...] += 0.05
+        cell.weight_ih.mark_updated()
+        with no_grad():
+            cell(x, state)
+        assert cell.last_quantized is not rec_ih
+        assert cell.last_quantized_hh is rec_hh  # untouched slot stays warm
+
+
+class TestAdHocHooks:
+    def test_callable_hook_applied_every_forward(self):
+        manual_seed(0)
+        layer = QuantLinear(4, 2, weight_bits=8)
+        calls = []
+
+        def hook(qw):
+            calls.append(1)
+            return qw.codes
+
+        layer.weight_fault = hook
+        x = Tensor(np.random.default_rng(0).normal(size=(3, 4)))
+        with no_grad():
+            layer(x)
+            layer(x)
+            layer(x)
+        assert len(calls) == 3  # no fault_token → never value-cached
+
+
+class TestDeployHelpers:
+    def test_warm_quantization_counts_slots(self):
+        manual_seed(0)
+        model = LSTMForecaster(proposed(), hidden_size=8, num_layers=2)
+        # 2 LSTM cells x 2 slots + 1 head = 5 weight slots
+        assert warm_quantization(model) == 5
+
+    def test_freeze_then_forward_serves_cache(self):
+        manual_seed(0)
+        model = nn.Sequential(QuantLinear(4, 4, weight_bits=8), nn.ReLU())
+        freeze_deployment(model)
+        layer = next(quantized_layers(model))
+        warmed = layer._record_cache["weight"][1]
+        with no_grad():
+            model(Tensor(np.zeros((2, 4))))
+        assert layer.last_quantized is warmed
+
+    def test_invalidate_clears_all_layers(self):
+        manual_seed(0)
+        model = nn.Sequential(
+            QuantLinear(4, 4, weight_bits=8), QuantLinear(4, 2, weight_bits=8)
+        )
+        warm_quantization(model)
+        assert invalidate_quantization(model) == 2
+        for layer in quantized_layers(model):
+            assert not layer._record_cache and not layer._deploy_cache

@@ -1,0 +1,47 @@
+"""Tests for task metrics, focused on the vectorized per-chip mIoU.
+
+``binary_miou_stack`` replaces the per-chip Python loop in
+``segmentation_miou`` with array ops over the chip/instance axis; its
+contract is bit-identity with looping ``binary_miou`` over the slices.
+"""
+
+import numpy as np
+import pytest
+
+from repro.train.metrics import binary_miou, binary_miou_stack
+
+
+class TestBinaryMiouStack:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_per_slice_loop(self, seed):
+        rng = np.random.default_rng(seed)
+        preds = rng.random((7, 12, 12)) > 0.5
+        true = rng.random((12, 12)) > 0.4
+        stacked = binary_miou_stack(preds, true)
+        looped = np.array([binary_miou(p, true) for p in preds])
+        assert stacked.shape == (7,)
+        np.testing.assert_array_equal(stacked, looped)
+
+    def test_empty_class_defines_iou_one(self):
+        # All-background prediction and truth: foreground union is empty.
+        preds = np.zeros((3, 4, 4), dtype=bool)
+        true = np.zeros((4, 4), dtype=bool)
+        stacked = binary_miou_stack(preds, true)
+        looped = np.array([binary_miou(p, true) for p in preds])
+        np.testing.assert_array_equal(stacked, looped)
+        np.testing.assert_array_equal(stacked, np.ones(3))
+
+    def test_mixed_perfect_and_inverted(self):
+        true = np.array([[1, 0], [0, 1]], dtype=bool)
+        preds = np.stack([true, ~true])
+        stacked = binary_miou_stack(preds, true)
+        np.testing.assert_array_equal(stacked, [1.0, 0.0])
+
+    def test_float_masks_thresholdlike_cast(self):
+        # Non-bool inputs are cast exactly like the scalar metric casts.
+        rng = np.random.default_rng(5)
+        preds = rng.integers(0, 2, size=(4, 6, 6)).astype(float)
+        true = rng.integers(0, 2, size=(6, 6)).astype(float)
+        stacked = binary_miou_stack(preds, true)
+        looped = np.array([binary_miou(p, true) for p in preds])
+        np.testing.assert_array_equal(stacked, looped)
