@@ -1,16 +1,20 @@
 """Machine-readable benchmark recorder.
 
-Speedup benchmarks append one row per measured configuration to
-``BENCH_pr3.json`` at the repo root, so the performance trajectory across
-PRs is diffable and scriptable instead of buried in pytest stdout::
+Speedup benchmarks append one row per measured configuration to a
+``BENCH_<pr>.json`` file at the repo root (one file per PR that added a
+speedup benchmark, so the performance trajectory across PRs is diffable
+and scriptable instead of buried in pytest stdout)::
 
-    [{"task": "co2", "backend": "mc-batched", "cells_per_sec": 195.7,
-      "ratio": 2.83}, ...]
+    [{"schema_version": 2, "task": "co2", "backend": "mc-batched",
+      "cells_per_sec": 195.7, "ratio": 2.83}, ...]
 
 ``ratio`` is the speedup of the row's backend over the benchmark's own
 baseline backend (1.0 for the baseline row itself).  Rows are appended —
 never rewritten — keyed by nothing: every benchmark run adds its fresh
 measurements, and consumers take the latest row per (task, backend).
+The row schema is documented in ``docs/benchmarks.md``; bump
+:data:`SCHEMA_VERSION` when a field is added, renamed, or reinterpreted
+(rows without the field predate version 2).
 """
 
 from __future__ import annotations
@@ -19,8 +23,19 @@ import json
 import os
 from typing import List, Optional
 
-#: Repo-root default target (benchmarks run from the repo root).
-BENCH_FILE = os.path.join(os.path.dirname(__file__), "..", "BENCH_pr3.json")
+#: Version of the row schema written by :func:`record_bench`.  ``2`` added
+#: the ``schema_version`` field itself; ``1`` rows (``BENCH_pr3.json``
+#: before this field existed) carry no version marker.
+SCHEMA_VERSION = 2
+
+def bench_path(tag: str) -> str:
+    """Repo-root path of the ``BENCH_<tag>.json`` trajectory file."""
+    return os.path.join(os.path.dirname(__file__), "..", f"BENCH_{tag}.json")
+
+
+#: Default target (the PR 3 benchmarks, which predate per-PR bench files
+#: taking a tag).
+BENCH_FILE = bench_path("pr3")
 
 
 def record_bench(
@@ -30,7 +45,8 @@ def record_bench(
     ratio: float,
     bench_file: Optional[str] = None,
 ) -> List[dict]:
-    """Append one ``{task, backend, cells_per_sec, ratio}`` row.
+    """Append one ``{schema_version, task, backend, cells_per_sec, ratio}``
+    row.
 
     Returns the full row list after the append.  A missing or corrupt
     file starts fresh — the recorder must never fail a benchmark.
@@ -46,6 +62,7 @@ def record_bench(
         rows = []
     rows.append(
         {
+            "schema_version": SCHEMA_VERSION,
             "task": str(task),
             "backend": str(backend),
             "cells_per_sec": round(float(cells_per_sec), 2),

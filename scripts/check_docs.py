@@ -1,4 +1,4 @@
-"""Documentation checker: every link and referenced path must resolve.
+"""Documentation checker: links, paths, CLI invocations, docstrings.
 
 Run from the repository root (CI runs it in the docs job)::
 
@@ -14,19 +14,30 @@ Checks, over ``README.md`` and every ``docs/*.md``:
    exist;
 3. documented CLI entry points parse: every ``python -m repro.eval ...``
    invocation found in the documents is validated against the real
-   argument parser (no network, no training — parse only).
+   argument parser (no network, no training — parse only);
+
+and, over the public API:
+
+4. every public symbol exported from the ``repro.faults``, ``repro.eval``
+   and ``repro.tensor`` package ``__init__`` (their ``__all__``) that is
+   a class, function, or module carries a docstring — the docs suite
+   links into these namespaces, so an undocumented export is a
+   documentation failure, not just a style nit.  Plain data constants
+   (tuples like ``EXECUTORS``, dicts like ``PRESETS``) are exempt:
+   they cannot carry their own ``__doc__``.
 
 Exits non-zero listing every failure, so CI catches stale docs the moment
-a file moves or a flag is renamed.
+a file moves, a flag is renamed, or an export loses its docstring.
 """
 
 from __future__ import annotations
 
+import inspect
 import pathlib
 import re
 import shlex
 import sys
-from typing import List, Tuple
+from typing import List
 
 ROOT = pathlib.Path(__file__).resolve().parents[1]
 
@@ -35,6 +46,17 @@ PATH_RE = re.compile(
     r"\b((?:benchmarks|examples|tests|docs|scripts)/[\w./-]+?\.(?:py|md))\b"
 )
 CLI_RE = re.compile(r"python -m repro\.eval[^\n`|]*")
+
+#: Public namespaces whose exports must be documented (check 4).
+AUDITED_MODULES = ("repro.faults", "repro.eval", "repro.tensor")
+
+
+def _rel(doc: pathlib.Path) -> str:
+    """Repo-relative label for failure messages (plain path outside ROOT)."""
+    try:
+        return str(doc.relative_to(ROOT))
+    except ValueError:
+        return str(doc)
 
 
 def _doc_files() -> List[pathlib.Path]:
@@ -53,7 +75,7 @@ def _check_links(doc: pathlib.Path, text: str) -> List[str]:
             continue
         resolved = (doc.parent / relative).resolve()
         if not resolved.exists():
-            errors.append(f"{doc.relative_to(ROOT)}: broken link -> {target}")
+            errors.append(f"{_rel(doc)}: broken link -> {target}")
     return errors
 
 
@@ -63,7 +85,7 @@ def _check_paths(doc: pathlib.Path, text: str) -> List[str]:
         if "*" in path or "<" in path:
             continue
         if not (ROOT / path).exists():
-            errors.append(f"{doc.relative_to(ROOT)}: missing path -> {path}")
+            errors.append(f"{_rel(doc)}: missing path -> {path}")
     return errors
 
 
@@ -86,10 +108,52 @@ def _check_cli_commands(doc: pathlib.Path, text: str) -> List[str]:
             parser.parse_args(argv)
         except SystemExit:
             errors.append(
-                f"{doc.relative_to(ROOT)}: CLI invocation does not parse -> "
+                f"{_rel(doc)}: CLI invocation does not parse -> "
                 f"{command.strip()}"
             )
     return errors
+
+
+def _module_docstring_errors(module) -> List[str]:
+    """Missing-docstring failures for one imported package namespace."""
+    errors = []
+    name = module.__name__
+    exported = getattr(module, "__all__", None)
+    if exported is None:
+        return [f"{name}: public namespace has no __all__ to audit"]
+    for symbol in exported:
+        obj = getattr(module, symbol, None)
+        if obj is None and symbol not in vars(module):
+            errors.append(f"{name}.{symbol}: listed in __all__ but missing")
+            continue
+        if not (
+            inspect.isclass(obj)
+            or inspect.isroutine(obj)
+            or inspect.ismodule(obj)
+        ):
+            continue  # data constants cannot carry their own __doc__
+        doc = inspect.getdoc(obj)
+        if not doc or not doc.strip():
+            kind = (
+                "class" if inspect.isclass(obj)
+                else "module" if inspect.ismodule(obj)
+                else "function"
+            )
+            errors.append(f"{name}.{symbol}: public {kind} has no docstring")
+    return errors
+
+
+def _check_docstrings(module_names=AUDITED_MODULES) -> List[str]:
+    import importlib
+
+    sys.path.insert(0, str(ROOT / "src"))
+    try:
+        errors: List[str] = []
+        for name in module_names:
+            errors += _module_docstring_errors(importlib.import_module(name))
+        return errors
+    finally:
+        sys.path.pop(0)
 
 
 def main() -> int:
@@ -99,12 +163,16 @@ def main() -> int:
         failures += _check_links(doc, text)
         failures += _check_paths(doc, text)
         failures += _check_cli_commands(doc, text)
+    failures += _check_docstrings()
     if failures:
         print(f"check_docs: {len(failures)} failure(s)")
         for failure in failures:
             print(f"  {failure}")
         return 1
-    print(f"check_docs: {len(_doc_files())} documents OK")
+    print(
+        f"check_docs: {len(_doc_files())} documents OK, "
+        f"{len(AUDITED_MODULES)} public namespaces documented"
+    )
     return 0
 
 

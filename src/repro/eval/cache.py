@@ -32,6 +32,7 @@ _CAMPAIGN_MEMORY: Dict[str, np.ndarray] = {}
 
 
 def cache_dir() -> pathlib.Path:
+    """The result-cache root (``REPRO_CACHE_DIR``), created on demand."""
     path = pathlib.Path(
         os.environ.get(
             "REPRO_CACHE_DIR",
@@ -94,7 +95,11 @@ def clear_memory_cache() -> None:
 #: Version tag of the engine's seed→stream derivation.  ``mc2`` = per-cell
 #: hermetic SeedSequence streams with per-MC-sample spawned children (the
 #: MC-batched engine); the unversioned keys before it used sequential
-#: per-cell draws across samples.
+#: per-cell draws across samples.  Scenario batching (PR 4) deliberately
+#: did NOT bump this: stacking severity levels re-derives exactly the same
+#: per-cell streams and consumes each in the serial draw order, so values
+#: computed under ``mc2`` stay valid.  The next change to the draw order
+#: itself must bump to ``mc3`` (see docs/architecture.md).
 RNG_CONTRACT = "mc2"
 
 

@@ -19,8 +19,9 @@ engine (:mod:`repro.faults.executor`):
    (``serial`` / ``thread`` / ``process`` / ``batched``, see
    ``executor=``/``workers=``); process workers rebuild the (model,
    evaluator) pair from a pickled :class:`TaskEvalHandle`, while the
-   ``batched`` backend evaluates each scenario's chips in one vectorized
-   forward (the evaluators built here are chip-aware);
+   ``batched`` backend evaluates each scenario's chips — and, with
+   scenario batching (default), every same-kind severity level at once —
+   in one vectorized forward (the evaluators built here are chip-aware);
 4. fresh results are written back to the cache.
 
 Results are bit-identical for every backend, worker count, and cache state.
@@ -147,6 +148,8 @@ def run_robustness_sweep(
     on_cell_done: Optional[Callable[[int, int], None]] = None,
     chip_limit: Optional[int] = None,
     mc_batched: Optional[bool] = None,
+    scenario_batched: Optional[bool] = None,
+    scenario_limit: Optional[int] = None,
 ) -> RobustnessSweep:
     """Train/fetch each method's model and sweep the fault levels.
 
@@ -155,9 +158,11 @@ def run_robustness_sweep(
 
     ``executor``/``workers`` select the campaign backend (results are
     bit-identical to serial); ``chip_limit`` caps the chips stacked per
-    pass by the ``batched`` backend and ``mc_batched`` toggles its
-    MC-sample stacking (default on); ``use_cache=False`` bypasses the
-    campaign-result cache (it is still written); ``on_cell_done(done,
+    pass by the ``batched`` backend, ``mc_batched`` toggles its MC-sample
+    stacking and ``scenario_batched`` its cross-severity stacking (both
+    default on — a sweep's same-kind levels run as ONE stacked pass per
+    method, capped by ``scenario_limit``); ``use_cache=False`` bypasses
+    the campaign-result cache (it is still written); ``on_cell_done(done,
     total)`` observes per-method cell completion for throughput reporting.
     """
     if mc_batched and executor != "batched":
@@ -166,6 +171,11 @@ def run_robustness_sweep(
         raise ValueError(
             "mc_batched requires executor='batched' (the other backends "
             "evaluate Monte Carlo samples with the looped reference path)"
+        )
+    if scenario_batched and executor != "batched":
+        raise ValueError(
+            "scenario_batched requires executor='batched' (the other "
+            "backends evaluate scenarios cell by cell)"
         )
     n_runs = n_runs if n_runs is not None else mc_runs(preset)
     samples = samples if samples is not None else mc_samples(preset)
@@ -216,6 +226,8 @@ def run_robustness_sweep(
                 handle=handle,
                 chip_limit=chip_limit,
                 mc_batched=mc_batched,
+                scenario_batched=scenario_batched,
+                scenario_limit=scenario_limit,
             )
             fresh = campaign.sweep(
                 [specs[i] for i in pending],

@@ -14,7 +14,9 @@ Monte Carlo campaigns run on the parallel engine: ``--executor
 the worker count — results are bit-identical to serial in any
 configuration.  ``batched`` evaluates all chips of a scenario in one
 vectorized forward — by default including the Monte Carlo sample axis of
-Bayesian methods (``--mc-batched``, disable with ``--no-mc-batched``) —
+Bayesian methods (``--mc-batched``, disable with ``--no-mc-batched``)
+and all same-kind severity levels of the sweep (``--scenario-batched``,
+disable with ``--no-scenario-batched``; cap with ``--scenario-limit``) —
 and is the fastest backend on a single core.  A live throughput line
 (cells/s, ETA) is printed to stderr while a sweep is running.
 
@@ -108,6 +110,8 @@ def cmd_sweep(args) -> None:
         on_cell_done=meter,
         chip_limit=args.chip_limit,
         mc_batched=args.mc_batched,
+        scenario_batched=args.scenario_batched,
+        scenario_limit=args.scenario_limit,
     )
     if meter.total:
         meter.finish()
@@ -195,6 +199,21 @@ def build_parser() -> argparse.ArgumentParser:
                  "pass (--executor batched only; on by default there, "
                  "bit-identical to the looped reference either way; "
                  "--no-mc-batched falls back to looping MC samples)",
+        )
+        p.add_argument(
+            "--scenario-batched", action=argparse.BooleanOptionalAction,
+            default=None,
+            help="stack all same-kind severity levels of the sweep into "
+                 "one vectorized pass (--executor batched only; on by "
+                 "default there, bit-identical to the looped reference "
+                 "either way; --no-scenario-batched falls back to one "
+                 "pass per scenario)",
+        )
+        p.add_argument(
+            "--scenario-limit", type=int, default=None,
+            help="max severity levels stacked per pass for "
+                 "--scenario-batched (default: the whole same-kind group; "
+                 "smaller caps bound memory without changing results)",
         )
         p.add_argument(
             "--no-cache", action="store_true",

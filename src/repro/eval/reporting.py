@@ -108,6 +108,7 @@ def format_table_row(
 def table_header(
     order: Sequence[str] = ("conventional", "spindrop", "spatial-spindrop", "proposed"),
 ) -> str:
+    """Header line of the Table-I layout (one column per method)."""
     cells = [f"{'Topology':<10}", f"{'Dataset':<18}", f"{'Metric':<9}", f"{'W/A':<5}"]
     cells += [f"{METHOD_LABELS[n]:>8}" for n in order]
     line = " | ".join(cells)

@@ -4,10 +4,13 @@ Campaigns execute on the pluggable engine in :mod:`repro.faults.executor`
 (:data:`EXECUTORS` = ``serial`` / ``thread`` / ``process`` / ``batched``).
 The ``batched`` backend evaluates all chip instances of a scenario — and,
 with MC batching (default), all Monte Carlo samples of a Bayesian
-evaluator — in one vectorized forward: :func:`evaluate_cells_batched`
-stacks per-chip frozen fault patterns (:class:`ChipBatchedWeightFault`,
-:class:`ChipBatchedActivationNoise`) along a leading instance axis while
-staying bit-identical per chip to the serial reference.
+evaluator, and, with scenario batching (also default), all same-kind
+fault-severity levels of a sweep — in one vectorized forward:
+:func:`evaluate_cells_batched` / :func:`evaluate_cells_scenario_batched`
+stack per-chip frozen fault patterns (:class:`ChipBatchedWeightFault`,
+:class:`ScenarioBatchedWeightFault`, :class:`ChipBatchedActivationNoise`)
+along a leading instance axis (scenario-major, then chip, then MC sample)
+while staying bit-identical per (scenario, chip) to the serial reference.
 """
 
 from .campaign import (
@@ -27,6 +30,7 @@ from .executor import (
     cell_rngs,
     evaluate_cell,
     evaluate_cells_batched,
+    evaluate_cells_scenario_batched,
     run_cells,
 )
 from .models import (
@@ -38,6 +42,7 @@ from .models import (
     FaultSpec,
     MultiplicativeVariation,
     RetentionDriftFault,
+    ScenarioBatchedWeightFault,
     StuckAtFault,
     UniformNoiseFault,
     WeightFaultModel,
@@ -54,6 +59,7 @@ __all__ = [
     "RetentionDriftFault",
     "ActivationNoise",
     "ChipBatchedWeightFault",
+    "ScenarioBatchedWeightFault",
     "ChipBatchedActivationNoise",
     "FaultInjector",
     "MonteCarloCampaign",
@@ -65,6 +71,7 @@ __all__ = [
     "cell_rngs",
     "evaluate_cell",
     "evaluate_cells_batched",
+    "evaluate_cells_scenario_batched",
     "run_cells",
     "bitflip_sweep",
     "additive_sweep",

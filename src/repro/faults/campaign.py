@@ -23,8 +23,10 @@ campaign results are bit-identical across backends, worker counts, and
 scheduling orders.  :meth:`MonteCarloCampaign.sweep` submits *all*
 scenarios' cells as one grid, so parallel workers stay busy across
 scenario boundaries and the ``batched`` backend can vectorize each
-scenario's chips into a single stacked forward
-(:meth:`FaultInjector.attach_batched`).
+scenario's chips — and, with scenario batching (default), all severity
+levels of the same fault kind at once — into a single stacked forward
+(:meth:`FaultInjector.attach_batched`,
+:meth:`FaultInjector.attach_scenario_batched`).
 """
 
 from __future__ import annotations
@@ -37,7 +39,12 @@ import numpy as np
 from ..nn.module import Module
 from ..quant.layers import QuantLSTMCell, QuantizedComputeLayer, SignActivation
 from .executor import EvalHandle, WorkCell, run_cells
-from .models import ChipBatchedActivationNoise, ChipBatchedWeightFault, FaultSpec
+from .models import (
+    ChipBatchedActivationNoise,
+    ChipBatchedWeightFault,
+    FaultSpec,
+    ScenarioBatchedWeightFault,
+)
 
 
 class FaultInjector:
@@ -118,6 +125,72 @@ class FaultInjector:
                     ]
                 )
 
+    def attach_scenario_batched(
+        self,
+        specs: Sequence[FaultSpec],
+        rng_groups: Sequence[Sequence[np.random.Generator]],
+    ) -> None:
+        """Install stacked hooks for several severity levels of one kind.
+
+        The scenario-batched counterpart of :meth:`attach_batched`:
+        ``specs[k]`` is scenario ``k``'s fault spec (all the same kind,
+        all non-degenerate) and ``rng_groups[k]`` its chips' cell-derived
+        fault generators.  Per-layer seeds are drawn from each generator
+        in exactly the order :meth:`attach` draws them serially — every
+        generator is only ever consumed for its own cell, so stacking
+        scenarios changes nothing about any individual stream — and the
+        hooks hold one frozen pattern per (scenario, chip), stacked
+        scenario-major along the instance axis.
+        """
+        self.detach()
+        if len(specs) != len(rng_groups):
+            raise ValueError(
+                f"need one rng group per spec, got {len(specs)} specs and "
+                f"{len(rng_groups)} groups"
+            )
+        kinds = {spec.kind for spec in specs}
+        if len(kinds) > 1:
+            raise ValueError(
+                f"scenario batching stacks one fault kind, got {sorted(kinds)}"
+            )
+        if any(spec.kind == "none" or spec.level == 0.0 for spec in specs):
+            raise ValueError(
+                "scenario batching needs non-degenerate scenarios "
+                "(fault-free cells evaluate serially)"
+            )
+        is_variation = specs[0].is_variation
+        has_sign_sites = bool(self._activation_sites())
+        for layer in self._weight_sites():
+            seed_groups = [
+                [int(rng.integers(0, 2**63)) for rng in rngs]
+                for rngs in rng_groups
+            ]
+            if is_variation and layer.weight_bits == 1 and has_sign_sites:
+                continue  # binary layers receive variation at activations
+            layer.weight_fault = ScenarioBatchedWeightFault(specs, seed_groups)
+            if isinstance(layer, QuantLSTMCell):
+                hh_groups = [
+                    [int(rng.integers(0, 2**63)) for rng in rngs]
+                    for rngs in rng_groups
+                ]
+                layer.weight_fault_hh = ScenarioBatchedWeightFault(
+                    specs, hh_groups
+                )
+        if is_variation:
+            for act in self._activation_sites():
+                # ChipBatchedActivationNoise is already per-instance: each
+                # (scenario, chip) gets its own serial model carrying that
+                # scenario's severity, flattened scenario-major.
+                act.pre_fault = ChipBatchedActivationNoise(
+                    [
+                        spec.build_activation_model(
+                            np.random.default_rng(int(rng.integers(0, 2**63)))
+                        )
+                        for spec, rngs in zip(specs, rng_groups)
+                        for rng in rngs
+                    ]
+                )
+
     def detach(self) -> None:
         """Remove all fault hooks (restore the ideal chip)."""
         for layer in self._weight_sites():
@@ -194,6 +267,16 @@ class MonteCarloCampaign:
         ``"batched"`` only: also stack the Monte Carlo sample axis of
         Bayesian evaluators into the same pass (None = on).  Bit-identical
         to the looped reference either way.
+    scenario_batched:
+        ``"batched"`` only: also stack consecutive same-kind fault-severity
+        scenarios of a sweep along a scenario-major sub-axis, so the whole
+        severity sweep runs in one pass per (task, fault-kind) group
+        (None = on).  Bit-identical to the looped reference either way.
+    scenario_limit:
+        ``"batched"`` only: maximum scenarios stacked per vectorized pass
+        (None = the whole same-kind group); the scenario-axis counterpart
+        of ``chip_limit``, capping the working set without changing
+        results.
     """
 
     def __init__(
@@ -207,6 +290,8 @@ class MonteCarloCampaign:
         handle: Optional[EvalHandle] = None,
         chip_limit: Optional[int] = None,
         mc_batched: Optional[bool] = None,
+        scenario_batched: Optional[bool] = None,
+        scenario_limit: Optional[int] = None,
     ):
         self.model = model
         self.evaluator = evaluator
@@ -217,6 +302,8 @@ class MonteCarloCampaign:
         self.handle = handle
         self.chip_limit = chip_limit
         self.mc_batched = mc_batched
+        self.scenario_batched = scenario_batched
+        self.scenario_limit = scenario_limit
 
     def _cells(self, spec: FaultSpec, scenario_index: int) -> List[WorkCell]:
         """Flatten one scenario into work cells (fault-free → one cell)."""
@@ -239,6 +326,8 @@ class MonteCarloCampaign:
             on_cell_done=on_cell_done,
             chip_limit=self.chip_limit,
             mc_batched=self.mc_batched,
+            scenario_batched=self.scenario_batched,
+            scenario_limit=self.scenario_limit,
         )
 
     def _package(self, spec: FaultSpec, values: np.ndarray) -> CampaignResult:

@@ -19,10 +19,13 @@ flattens that grid and executes it on a pluggable backend:
   evaluation randomness is routed through a
   :class:`~repro.tensor.chipbatch.ChipBatchRng` over the per-cell
   evaluation streams.  With ``mc_batched`` (the default) the Monte Carlo
-  sample loop of Bayesian evaluators folds into the same pass, so one
-  forward carries a ``chips x mc_samples`` instance axis.  This is the
-  backend that actually wins on a single core — one vectorized forward
-  replaces ``C x S`` Python-dispatched ones.
+  sample loop of Bayesian evaluators folds into the same pass, and with
+  ``scenario_batched`` (also the default) consecutive same-kind severity
+  levels fold into it too, so one forward carries a
+  ``scenarios x chips x mc_samples`` instance axis (scenario-major; see
+  :func:`evaluate_cells_scenario_batched`).  This is the backend that
+  actually wins on a single core — one vectorized forward replaces
+  ``K x C x S`` Python-dispatched ones.
   It requires a *chip-aware* evaluator (everything built by
   :func:`repro.eval.evaluators.make_evaluator` qualifies): under an
   active chip batch the evaluator must return a ``(n_chips,)`` metric
@@ -58,7 +61,7 @@ import numpy as np
 
 from ..nn.dropout import resample_masks
 from ..nn.module import Module
-from ..tensor.chipbatch import ChipBatchRng, chip_batch, mc_batching
+from ..tensor.chipbatch import ChipBatchRng, chip_batch, mc_batching, scenario_axis
 from ..tensor.random import scoped_rng
 from .models import FaultSpec
 
@@ -178,6 +181,90 @@ def evaluate_cells_batched(
     return values
 
 
+def evaluate_cells_scenario_batched(
+    model: Module,
+    evaluator: Evaluator,
+    cell_groups: Sequence[Sequence[WorkCell]],
+    base_seed: int,
+    mc_batched: bool = True,
+) -> np.ndarray:
+    """Evaluate several scenarios' chip instances as ONE stacked pass.
+
+    ``cell_groups[k]`` holds scenario ``k``'s cells (one spec per group,
+    every group the same fault kind and the same chip count), and the
+    stacked pass carries a scenario-major instance axis of
+    ``n_scenarios * n_chips`` — times ``mc_samples`` under ``mc_batched``.
+    Per-cell (fault, evaluation) streams are derived exactly as
+    :func:`evaluate_cell` derives them, fault patterns are generated per
+    (scenario, chip) from each cell's own fault stream
+    (:meth:`~repro.faults.campaign.FaultInjector.attach_scenario_batched`,
+    heterogeneous severities stacked by
+    :class:`~repro.faults.models.ScenarioBatchedWeightFault`), and
+    evaluation randomness goes through a
+    :class:`~repro.tensor.chipbatch.ChipBatchRng` over the flattened
+    per-cell streams — so every (scenario, chip) slice is bit-identical to
+    a serial evaluation of that cell.
+
+    Returns the metric values flattened scenario-major, aligned with
+    ``[cell for group in cell_groups for cell in group]``.
+    """
+    from .campaign import FaultInjector  # local import breaks the cycle
+
+    if not cell_groups:
+        return np.empty(0)
+    chip_counts = {len(group) for group in cell_groups}
+    if 0 in chip_counts:
+        raise ValueError("scenario batching needs non-empty scenario groups")
+    if len(chip_counts) > 1:
+        raise ValueError(
+            "scenario batching needs the same chip count per scenario, got "
+            f"{sorted(chip_counts)}"
+        )
+    specs: List[FaultSpec] = []
+    for group in cell_groups:
+        spec = group[0].spec
+        scenario = group[0].scenario_index
+        for cell in group:
+            if cell.spec is not spec and cell.spec != spec:
+                raise ValueError(
+                    "each scenario group needs a single-scenario cell list"
+                )
+            if cell.scenario_index != scenario:
+                raise ValueError(
+                    "each scenario group needs a single-scenario cell list"
+                )
+        specs.append(spec)
+    fault_rng_groups: List[List[np.random.Generator]] = []
+    eval_rngs: List[np.random.Generator] = []
+    for group in cell_groups:
+        pairs = [
+            cell_rngs(base_seed, cell.scenario_index, cell.run_index)
+            for cell in group
+        ]
+        fault_rng_groups.append([fault for fault, _ in pairs])
+        eval_rngs.extend(ev for _, ev in pairs)
+    n_scenarios = len(cell_groups)
+    n_chips = len(cell_groups[0])
+    injector = FaultInjector(model)
+    with scenario_axis(n_scenarios), chip_batch(n_chips), scoped_rng(
+        ChipBatchRng(eval_rngs)
+    ), mc_batching(mc_batched):
+        resample_masks(model)
+        injector.attach_scenario_batched(specs, fault_rng_groups)
+        try:
+            values = np.asarray(evaluator(model), dtype=np.float64)
+        finally:
+            injector.detach()
+    if values.shape != (len(eval_rngs),):
+        raise RuntimeError(
+            f"chip-aware evaluator returned shape {values.shape} for "
+            f"{len(eval_rngs)} stacked instances; the scenario-batched "
+            "backend needs a per-instance metric vector (see "
+            "repro.eval.evaluators.make_evaluator)"
+        )
+    return values
+
+
 def _scenario_groups(cells: Sequence[WorkCell]) -> List[Tuple[int, int]]:
     """Split the grid into maximal runs of consecutive same-scenario cells."""
     groups: List[Tuple[int, int]] = []
@@ -191,6 +278,40 @@ def _scenario_groups(cells: Sequence[WorkCell]) -> List[Tuple[int, int]]:
     return groups
 
 
+def _stackable(cells: Sequence[WorkCell], start: int, stop: int) -> bool:
+    """True when a scenario range can join a cross-scenario stacked pass."""
+    spec = cells[start].spec
+    return stop - start > 1 and spec.kind != "none" and spec.level != 0.0
+
+
+def _kind_groups(
+    cells: Sequence[WorkCell],
+) -> List[List[Tuple[int, int]]]:
+    """Coalesce consecutive same-kind scenario ranges for cross-scenario
+    stacking.
+
+    Returns a list of kind groups, each a list of ``(start, stop)``
+    scenario ranges.  Ranges merge only when every member is stackable
+    (multi-chip, non-degenerate spec), shares the fault kind, and has the
+    same chip count — the rectangular layout the scenario axis requires.
+    Unstackable ranges come back as singleton groups and keep the
+    per-scenario (or serial fall-back) path.
+    """
+    groups: List[List[Tuple[int, int]]] = []
+    for start, stop in _scenario_groups(cells):
+        if groups and _stackable(cells, start, stop):
+            prev_start, prev_stop = groups[-1][-1]
+            if (
+                _stackable(cells, prev_start, prev_stop)
+                and cells[prev_start].spec.kind == cells[start].spec.kind
+                and prev_stop - prev_start == stop - start
+            ):
+                groups[-1].append((start, stop))
+                continue
+        groups.append([(start, stop)])
+    return groups
+
+
 def _run_batched(
     cells: Sequence[WorkCell],
     base_seed: int,
@@ -199,43 +320,90 @@ def _run_batched(
     on_cell_done: Optional[Callable[[int, int], None]],
     chip_limit: Optional[int] = None,
     mc_batched: bool = True,
+    scenario_batched: bool = True,
+    scenario_limit: Optional[int] = None,
 ) -> np.ndarray:
-    """Chip-batched backend: one vectorized pass per scenario group.
+    """Chip-batched backend: one vectorized pass per (stacked) group.
 
-    ``chip_limit`` caps the chips stacked per pass (scenario groups are
-    split into consecutive sub-batches); useful to bound the working set
-    on wide convolutional models, and a no-op for determinism — every
-    sub-batch derives the same per-cell streams.  Fault-free scenarios
-    (single-cell groups by construction, and faultless in general) fall
-    back to the serial reference — with no fault hooks attached nothing
-    introduces the chip axis, so there is nothing to vectorize.
+    With ``scenario_batched`` (default on) consecutive multi-chip
+    scenarios of the same fault kind stack into ONE pass carrying a
+    scenario-major instance axis — a severity sweep pays one stacked
+    forward per (task, fault-kind) group instead of one per level.
+    ``scenario_limit`` caps the scenarios stacked per pass and
+    ``chip_limit`` the chips per scenario per pass; both only bound the
+    working set — every sub-batch derives the same per-cell streams, so
+    results never change.  Fault-free scenarios (single-cell groups by
+    construction, and faultless in general) fall back to the serial
+    reference — with no fault hooks attached nothing introduces the chip
+    axis, so there is nothing to vectorize.
     """
     if chip_limit is not None and chip_limit < 1:
         raise ValueError(f"chip_limit must be >= 1, got {chip_limit}")
+    if scenario_limit is not None and scenario_limit < 1:
+        raise ValueError(f"scenario_limit must be >= 1, got {scenario_limit}")
     total = len(cells)
     values = np.empty(total)
     done = 0
-    for start, stop in _scenario_groups(cells):
-        spec = cells[start].spec
-        if stop - start == 1 or spec.kind == "none" or spec.level == 0.0:
-            for index in range(start, stop):
-                values[index] = evaluate_cell(
-                    model, evaluator, cells[index], base_seed
-                )
-        else:
-            step = chip_limit if chip_limit else stop - start
-            for sub in range(start, stop, step):
-                sub_stop = min(sub + step, stop)
-                values[sub:sub_stop] = evaluate_cells_batched(
-                    model,
-                    evaluator,
-                    cells[sub:sub_stop],
-                    base_seed,
-                    mc_batched=mc_batched,
-                )
-        done += stop - start
+
+    def _report(n: int) -> None:
+        nonlocal done
+        done += n
         if on_cell_done is not None:
             on_cell_done(done, total)
+
+    for ranges in _kind_groups(cells):
+        if (
+            scenario_batched
+            and len(ranges) > 1
+            and _stackable(cells, *ranges[0])
+        ):
+            n_chips = ranges[0][1] - ranges[0][0]
+            chip_step = chip_limit if chip_limit else n_chips
+            scen_step = scenario_limit if scenario_limit else len(ranges)
+            for scen_sub in range(0, len(ranges), scen_step):
+                sub_ranges = ranges[scen_sub : scen_sub + scen_step]
+                for chip_sub in range(0, n_chips, chip_step):
+                    chip_stop = min(chip_sub + chip_step, n_chips)
+                    groups = [
+                        cells[start + chip_sub : start + chip_stop]
+                        for start, _ in sub_ranges
+                    ]
+                    if len(groups) == 1:
+                        stacked = evaluate_cells_batched(
+                            model, evaluator, groups[0], base_seed,
+                            mc_batched=mc_batched,
+                        )
+                    else:
+                        stacked = evaluate_cells_scenario_batched(
+                            model, evaluator, groups, base_seed,
+                            mc_batched=mc_batched,
+                        )
+                    width = chip_stop - chip_sub
+                    for g, (start, _) in enumerate(sub_ranges):
+                        values[start + chip_sub : start + chip_stop] = stacked[
+                            g * width : (g + 1) * width
+                        ]
+                    _report(width * len(sub_ranges))
+            continue
+        for start, stop in ranges:
+            spec = cells[start].spec
+            if stop - start == 1 or spec.kind == "none" or spec.level == 0.0:
+                for index in range(start, stop):
+                    values[index] = evaluate_cell(
+                        model, evaluator, cells[index], base_seed
+                    )
+            else:
+                step = chip_limit if chip_limit else stop - start
+                for sub in range(start, stop, step):
+                    sub_stop = min(sub + step, stop)
+                    values[sub:sub_stop] = evaluate_cells_batched(
+                        model,
+                        evaluator,
+                        cells[sub:sub_stop],
+                        base_seed,
+                        mc_batched=mc_batched,
+                    )
+            _report(stop - start)
     return values
 
 
@@ -310,6 +478,8 @@ def run_cells(
     on_cell_done: Optional[Callable[[int, int], None]] = None,
     chip_limit: Optional[int] = None,
     mc_batched: Optional[bool] = None,
+    scenario_batched: Optional[bool] = None,
+    scenario_limit: Optional[int] = None,
 ) -> np.ndarray:
     """Execute a flat cell grid and return values aligned with ``cells``.
 
@@ -333,7 +503,7 @@ def run_cells(
     on_cell_done:
         Callback ``(done, total)`` fired after each completed cell —
         throughput/ETA reporting hooks onto this.  The batched backend
-        fires it once per scenario group.
+        fires it once per stacked pass.
     chip_limit:
         ``"batched"`` only: maximum chips stacked per vectorized pass
         (default: a scenario's full chip count).  Smaller caps bound the
@@ -342,6 +512,16 @@ def run_cells(
         ``"batched"`` only: stack the Monte Carlo sample axis of Bayesian
         evaluators into the same pass (default on; results are
         bit-identical to the looped reference either way).
+    scenario_batched:
+        ``"batched"`` only: stack consecutive same-kind severity levels
+        along a scenario-major sub-axis above the chip axis, so a sweep
+        pays one pass per (task, fault-kind) group (default on; results
+        are bit-identical to the looped reference either way).
+    scenario_limit:
+        ``"batched"`` only: maximum scenarios stacked per pass (default:
+        the whole same-kind group).  Smaller caps bound the activation /
+        stacked-weight working set without changing results — the
+        scenario-axis counterpart of ``chip_limit``.
     """
     if executor not in EXECUTORS:
         raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
@@ -351,6 +531,11 @@ def run_cells(
         raise ValueError(
             "mc_batched requires the 'batched' executor (the other backends "
             "evaluate Monte Carlo samples with the looped reference path)"
+        )
+    if scenario_batched and executor != "batched":
+        raise ValueError(
+            "scenario_batched requires the 'batched' executor (the other "
+            "backends evaluate scenarios cell by cell)"
         )
     total = len(cells)
     if total == 0:
@@ -368,6 +553,10 @@ def run_cells(
             on_cell_done,
             chip_limit,
             mc_batched=True if mc_batched is None else bool(mc_batched),
+            scenario_batched=(
+                True if scenario_batched is None else bool(scenario_batched)
+            ),
+            scenario_limit=scenario_limit,
         )
 
     if executor == "serial" or workers == 1 or total == 1:

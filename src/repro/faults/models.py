@@ -489,6 +489,81 @@ class ChipBatchedWeightFault:
         return codes
 
 
+class ScenarioBatchedWeightFault:
+    """Weight-fault hook stacking *heterogeneous severities* of one kind.
+
+    The scenario-batched counterpart of :class:`ChipBatchedWeightFault`:
+    holds one spec (severity level) plus that scenario's per-chip seeds for
+    each of ``n_scenarios`` stacked scenarios — all of the same fault kind —
+    and returns perturbed codes with a leading
+    ``(n_scenarios * n_chips, *codes.shape)`` instance axis in
+    scenario-major order.  Scenario ``k``'s slice is produced by the very
+    :class:`WeightFaultModel` a per-scenario
+    :meth:`FaultInjector.attach_batched
+    <repro.faults.campaign.FaultInjector.attach_batched>` would build
+    (generation and application both delegate to the scenario's own
+    prototype), so every (scenario, chip) slice stays bit-identical to the
+    serial engine's weights even though the severity varies along the
+    instance axis.
+    """
+
+    def __init__(self, specs: Sequence["FaultSpec"], seed_groups: Sequence[Sequence[int]]):
+        if len(specs) != len(seed_groups):
+            raise ValueError(
+                f"need one seed group per spec, got {len(specs)} specs "
+                f"and {len(seed_groups)} groups"
+            )
+        if not specs:
+            raise ValueError("scenario-batched hook needs >= 1 scenario")
+        kinds = {spec.kind for spec in specs}
+        if len(kinds) > 1:
+            raise ValueError(
+                f"scenario-batched hooks stack one fault kind, got {sorted(kinds)}"
+            )
+        self.prototypes: List[WeightFaultModel] = []
+        for spec in specs:
+            prototype = spec.build_weight_model(np.random.default_rng(0))
+            if prototype is None:
+                raise ValueError(
+                    f"spec {spec.describe()} has no weight-fault model"
+                )
+            self.prototypes.append(prototype)
+        self.seed_groups = [[int(s) for s in seeds] for seeds in seed_groups]
+        self.fault_token = next(_FAULT_TOKENS)
+        self._cache: Dict[Tuple[int, ...], List[np.ndarray]] = {}
+
+    @property
+    def n_scenarios(self) -> int:
+        return len(self.prototypes)
+
+    @property
+    def n_chips(self) -> int:
+        """Total (scenario, chip) instances along the leading axis."""
+        return sum(len(seeds) for seeds in self.seed_groups)
+
+    def __call__(self, qw: QuantizedWeight) -> np.ndarray:
+        key = (qw.bits,) + tuple(qw.codes.shape)
+        if key not in self._cache:
+            self._cache[key] = [
+                prototype.generate_batch(qw, len(seeds), seeds)
+                for prototype, seeds in zip(self.prototypes, self.seed_groups)
+            ]
+        codes = np.concatenate(
+            [
+                prototype.apply_batch(qw, patterns)
+                for prototype, patterns in zip(self.prototypes, self._cache[key])
+            ],
+            axis=0,
+        )
+        # Same sample-sub-axis discipline as ChipBatchedWeightFault: the
+        # frozen per-(scenario, chip) pattern repeats across that chip's
+        # stochastic passes.
+        samples = active_sample_count() or 1
+        if samples > 1:
+            codes = np.repeat(codes, samples, axis=0)
+        return codes
+
+
 class ChipBatchedActivationNoise:
     """Activation-noise hook applying each chip's own noise stream.
 

@@ -14,6 +14,7 @@ from .tensor import Tensor, as_tensor, unbroadcast
 
 
 def exp(x: Tensor) -> Tensor:
+    """Differentiable elementwise exponential."""
     x = as_tensor(x)
     data = np.exp(x.data)
 
@@ -24,6 +25,7 @@ def exp(x: Tensor) -> Tensor:
 
 
 def log(x: Tensor) -> Tensor:
+    """Differentiable elementwise natural logarithm."""
     x = as_tensor(x)
     data = np.log(x.data)
 
@@ -34,6 +36,7 @@ def log(x: Tensor) -> Tensor:
 
 
 def sqrt(x: Tensor) -> Tensor:
+    """Differentiable elementwise square root."""
     x = as_tensor(x)
     data = np.sqrt(x.data)
 
@@ -44,6 +47,7 @@ def sqrt(x: Tensor) -> Tensor:
 
 
 def abs_(x: Tensor) -> Tensor:
+    """Differentiable elementwise absolute value (subgradient 0 at 0)."""
     x = as_tensor(x)
     data = np.abs(x.data)
 
@@ -54,6 +58,7 @@ def abs_(x: Tensor) -> Tensor:
 
 
 def tanh(x: Tensor) -> Tensor:
+    """Differentiable elementwise hyperbolic tangent."""
     x = as_tensor(x)
     data = np.tanh(x.data)
 
@@ -64,6 +69,7 @@ def tanh(x: Tensor) -> Tensor:
 
 
 def sigmoid(x: Tensor) -> Tensor:
+    """Differentiable logistic function, numerically stable in both tails."""
     x = as_tensor(x)
     # Numerically stable logistic.
     data = np.empty_like(x.data)
@@ -79,6 +85,7 @@ def sigmoid(x: Tensor) -> Tensor:
 
 
 def relu(x: Tensor) -> Tensor:
+    """Differentiable rectified linear unit ``max(x, 0)``."""
     x = as_tensor(x)
     mask = x.data > 0
     data = np.where(mask, x.data, 0.0)
@@ -90,6 +97,7 @@ def relu(x: Tensor) -> Tensor:
 
 
 def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
+    """Differentiable leaky ReLU with slope ``negative_slope`` for ``x < 0``."""
     x = as_tensor(x)
     mask = x.data > 0
     data = np.where(mask, x.data, negative_slope * x.data)
@@ -113,6 +121,7 @@ def hardtanh(x: Tensor, min_val: float = -1.0, max_val: float = 1.0) -> Tensor:
 
 
 def clip(x: Tensor, min_val: Optional[float], max_val: Optional[float]) -> Tensor:
+    """Differentiable clamp to ``[min_val, max_val]`` (zero gradient outside)."""
     x = as_tensor(x)
     lo = -np.inf if min_val is None else min_val
     hi = np.inf if max_val is None else max_val
@@ -126,6 +135,7 @@ def clip(x: Tensor, min_val: Optional[float], max_val: Optional[float]) -> Tenso
 
 
 def maximum(a: Tensor, b: Tensor) -> Tensor:
+    """Differentiable elementwise maximum (gradient follows the winner)."""
     a, b = as_tensor(a), as_tensor(b)
     data = np.maximum(a.data, b.data)
     a_wins = a.data >= b.data
@@ -151,6 +161,7 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Differentiable softmax along ``axis``, shift-stabilized."""
     x = as_tensor(x)
     shifted = x.data - x.data.max(axis=axis, keepdims=True)
     e = np.exp(shifted)
@@ -164,6 +175,7 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Differentiable log-softmax along ``axis``, shift-stabilized."""
     x = as_tensor(x)
     shifted = x.data - x.data.max(axis=axis, keepdims=True)
     log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))

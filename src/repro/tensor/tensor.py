@@ -478,10 +478,12 @@ def as_tensor(value: ArrayLike) -> Tensor:
 
 
 def zeros(*shape, requires_grad: bool = False) -> Tensor:
+    """A zero-filled tensor of the given shape."""
     return Tensor(np.zeros(shape), requires_grad=requires_grad)
 
 
 def ones(*shape, requires_grad: bool = False) -> Tensor:
+    """A one-filled tensor of the given shape."""
     return Tensor(np.ones(shape), requires_grad=requires_grad)
 
 

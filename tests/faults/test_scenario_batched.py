@@ -1,0 +1,542 @@
+"""Tests for scenario-batched severity sweeps (the scenario sub-axis).
+
+The ``batched`` executor's scenario mode stacks all severity levels of a
+sweep that share a fault kind along a scenario-major sub-axis above chips
+and MC samples, so one forward carries ``scenarios x chips x mc_samples``
+instances.  Its contract is the chip/MC-batched contract extended one
+axis up: per-(scenario, chip) metrics must be **bit-identical** to the
+serial looped reference (the same per-cell ``SeedSequence`` streams,
+consumed in the serial draw order), and — because the draw order is
+unchanged — the campaign-result cache must keep serving entries written
+under the ``mc2`` RNG contract.  These tests pin that contract across all
+four task topologies, the Bayesian methods, and every fault kind, plus
+the scenario-axis primitives, heterogeneous-severity fault stacking, the
+``scenario_limit``/``chip_limit`` memory caps, and the grouping logic.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.bayesian import mc_forward
+from repro.eval import build_task, make_evaluator, run_robustness_sweep, trained_model
+from repro.eval.cache import RNG_CONTRACT
+from repro.faults import (
+    FaultInjector,
+    FaultSpec,
+    MonteCarloCampaign,
+    ScenarioBatchedWeightFault,
+    WorkCell,
+    additive_sweep,
+    bitflip_sweep,
+    evaluate_cell,
+    evaluate_cells_batched,
+    evaluate_cells_scenario_batched,
+    multiplicative_sweep,
+    uniform_sweep,
+)
+from repro.faults.executor import _kind_groups
+from repro.models import proposed, spatial_spindrop, spindrop
+from repro.quant import QuantConv2d, QuantLinear, SignActivation
+from repro.quant.functional import fake_quantize_weight_record
+from repro.tensor import Tensor, manual_seed
+from repro.tensor.chipbatch import (
+    active_chip_count,
+    active_sample_count,
+    active_scenario_count,
+    chip_batch,
+    instance_layout,
+    mc_sample_axis,
+    scenario_axis,
+)
+
+
+def build_pair(seed=0, mc_samples=3):
+    """Small mixed binary/multi-bit model with a chip-aware MC evaluator."""
+    manual_seed(seed)
+    model = nn.Sequential(
+        QuantConv2d(1, 3, 3, padding=1, weight_bits=1),
+        SignActivation(),
+        nn.GlobalAvgPool2d(),
+        nn.Dropout(0.25),
+        QuantLinear(3, 2, weight_bits=8),
+    )
+    data_rng = np.random.default_rng(7)
+    x = data_rng.normal(size=(10, 1, 6, 6))
+    y = data_rng.integers(0, 2, 10)
+
+    def evaluator(m):
+        n_chips = active_chip_count()
+        inp = x if n_chips is None else np.broadcast_to(x[None], (n_chips,) + x.shape)
+        logits = mc_forward(m, Tensor(inp.copy()), num_samples=mc_samples)
+        pred = logits.mean(axis=0).argmax(axis=-1)
+        return (pred == y).mean(axis=-1)
+
+    return model, evaluator
+
+
+SWEEPS_BY_KIND = {
+    "bitflip": [FaultSpec(kind="bitflip", level=l) for l in (0.05, 0.1, 0.2)],
+    "additive": [FaultSpec(kind="additive", level=l) for l in (0.1, 0.3)],
+    "multiplicative": [
+        FaultSpec(kind="multiplicative", level=l) for l in (0.2, 0.4)
+    ],
+    "uniform": [FaultSpec(kind="uniform", level=l) for l in (0.1, 0.2, 0.4)],
+    "stuck": [
+        FaultSpec(kind="stuck", level=0.1, stuck_to="zero"),
+        FaultSpec(kind="stuck", level=0.2, stuck_to="high"),
+    ],
+    "drift": [FaultSpec(kind="drift", level=l) for l in (24.0, 100.0)],
+}
+
+
+class TestScenarioAxisPrimitives:
+    def test_scenario_axis_composes_above_chips_and_samples(self):
+        assert active_chip_count() is None and active_scenario_count() is None
+        with scenario_axis(4):
+            assert active_scenario_count() == 4
+            assert active_chip_count() == 4
+            with chip_batch(3):
+                assert active_chip_count() == 12
+                with mc_sample_axis(2):
+                    assert active_chip_count() == 24
+                    assert active_sample_count() == 2
+                    assert instance_layout() == (4, 3, 2)
+                assert active_chip_count() == 12
+            assert active_chip_count() == 4
+        assert active_chip_count() is None
+        assert instance_layout() == (None, None, None)
+
+    def test_scenario_axis_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            with scenario_axis(0):
+                pass
+
+    def test_scenario_axis_restored_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with scenario_axis(2):
+                raise RuntimeError("boom")
+        assert active_scenario_count() is None
+
+
+class TestScenarioBatchedWeightFault:
+    def _record(self, shape=(4, 5), bits=8, seed=0):
+        weights = np.random.default_rng(seed).normal(size=shape)
+        return fake_quantize_weight_record(weights, bits)
+
+    def test_slices_match_per_scenario_generation(self):
+        """Each scenario's slice equals its own serial prototype's output."""
+        qw = self._record()
+        specs = [
+            FaultSpec(kind="additive", level=0.1),
+            FaultSpec(kind="additive", level=0.4),
+        ]
+        seed_groups = [[11, 22, 33], [44, 55, 66]]
+        hook = ScenarioBatchedWeightFault(specs, seed_groups)
+        stacked = hook(qw)
+        assert stacked.shape == (6,) + qw.codes.shape
+        for k, (spec, seeds) in enumerate(zip(specs, seed_groups)):
+            for c, seed in enumerate(seeds):
+                model = spec.build_weight_model(np.random.default_rng(seed))
+                np.testing.assert_array_equal(stacked[3 * k + c], model(qw))
+
+    def test_heterogeneous_severities_vary_along_axis(self):
+        qw = self._record()
+        specs = [
+            FaultSpec(kind="uniform", level=0.05),
+            FaultSpec(kind="uniform", level=0.5),
+        ]
+        hook = ScenarioBatchedWeightFault(specs, [[1], [1]])
+        stacked = hook(qw)
+        # Same seed, different severity: same pattern, different magnitude.
+        low = np.abs(stacked[0] - qw.codes)
+        high = np.abs(stacked[1] - qw.codes)
+        assert high.max() > low.max() * 2
+
+    def test_repeats_along_sample_axis(self):
+        qw = self._record()
+        specs = [FaultSpec(kind="additive", level=0.2)]
+        hook = ScenarioBatchedWeightFault(specs, [[7, 8]])
+        flat = hook(qw)
+        with mc_sample_axis(3):
+            expanded = hook(qw)
+        assert expanded.shape == (6,) + qw.codes.shape
+        np.testing.assert_array_equal(expanded, np.repeat(flat, 3, axis=0))
+
+    def test_bitflip_multibit_stacks(self):
+        qw = self._record(bits=4)
+        specs = [
+            FaultSpec(kind="bitflip", level=0.1),
+            FaultSpec(kind="bitflip", level=0.3),
+        ]
+        hook = ScenarioBatchedWeightFault(specs, [[1, 2], [3, 4]])
+        stacked = hook(qw)
+        assert stacked.shape == (4,) + qw.codes.shape
+        for k, spec in enumerate(specs):
+            for c, seed in enumerate([[1, 2], [3, 4]][k]):
+                model = spec.build_weight_model(np.random.default_rng(seed))
+                np.testing.assert_array_equal(stacked[2 * k + c], model(qw))
+
+    def test_rejects_mixed_kinds(self):
+        specs = [
+            FaultSpec(kind="additive", level=0.1),
+            FaultSpec(kind="uniform", level=0.1),
+        ]
+        with pytest.raises(ValueError, match="one fault kind"):
+            ScenarioBatchedWeightFault(specs, [[1], [2]])
+
+    def test_rejects_degenerate_spec(self):
+        with pytest.raises(ValueError, match="no weight-fault model"):
+            ScenarioBatchedWeightFault([FaultSpec(kind="none", level=0.0)], [[1]])
+
+    def test_rejects_mismatched_groups(self):
+        with pytest.raises(ValueError, match="seed group"):
+            ScenarioBatchedWeightFault(
+                [FaultSpec(kind="additive", level=0.1)], [[1], [2]]
+            )
+
+
+class TestAttachScenarioBatched:
+    def test_rejects_mixed_kinds(self):
+        model, _ = build_pair()
+        injector = FaultInjector(model)
+        specs = [
+            FaultSpec(kind="bitflip", level=0.1),
+            FaultSpec(kind="additive", level=0.1),
+        ]
+        with pytest.raises(ValueError, match="one fault kind"):
+            injector.attach_scenario_batched(
+                specs, [[np.random.default_rng(0)], [np.random.default_rng(1)]]
+            )
+
+    def test_rejects_degenerate_scenarios(self):
+        model, _ = build_pair()
+        injector = FaultInjector(model)
+        specs = [FaultSpec(kind="none", level=0.0)]
+        with pytest.raises(ValueError, match="non-degenerate"):
+            injector.attach_scenario_batched(specs, [[np.random.default_rng(0)]])
+
+    def test_rejects_mismatched_groups(self):
+        model, _ = build_pair()
+        injector = FaultInjector(model)
+        with pytest.raises(ValueError, match="rng group"):
+            injector.attach_scenario_batched(
+                [FaultSpec(kind="bitflip", level=0.1)],
+                [[np.random.default_rng(0)], [np.random.default_rng(1)]],
+            )
+
+
+class TestEvaluateCellsScenarioBatched:
+    @pytest.mark.parametrize("kind", sorted(SWEEPS_BY_KIND), ids=str)
+    def test_bit_identical_to_serial(self, kind):
+        model, evaluator = build_pair()
+        specs = SWEEPS_BY_KIND[kind]
+        cell_groups = [
+            [WorkCell(idx, run, spec) for run in range(4)]
+            for idx, spec in enumerate(specs)
+        ]
+        serial = np.array(
+            [
+                evaluate_cell(model, evaluator, cell, base_seed=5)
+                for group in cell_groups
+                for cell in group
+            ]
+        )
+        stacked = evaluate_cells_scenario_batched(
+            model, evaluator, cell_groups, base_seed=5
+        )
+        looped = evaluate_cells_scenario_batched(
+            model, evaluator, cell_groups, base_seed=5, mc_batched=False
+        )
+        np.testing.assert_array_equal(serial, stacked)
+        np.testing.assert_array_equal(serial, looped)
+
+    def test_matches_per_scenario_batched_passes(self):
+        model, evaluator = build_pair()
+        specs = SWEEPS_BY_KIND["additive"]
+        cell_groups = [
+            [WorkCell(idx, run, spec) for run in range(3)]
+            for idx, spec in enumerate(specs)
+        ]
+        per_scenario = np.concatenate(
+            [
+                evaluate_cells_batched(model, evaluator, group, base_seed=2)
+                for group in cell_groups
+            ]
+        )
+        stacked = evaluate_cells_scenario_batched(
+            model, evaluator, cell_groups, base_seed=2
+        )
+        np.testing.assert_array_equal(per_scenario, stacked)
+
+    def test_empty_groups(self):
+        model, evaluator = build_pair()
+        assert evaluate_cells_scenario_batched(model, evaluator, [], 0).size == 0
+
+    def test_rejects_ragged_groups(self):
+        model, evaluator = build_pair()
+        spec = FaultSpec(kind="bitflip", level=0.1)
+        groups = [
+            [WorkCell(0, run, spec) for run in range(3)],
+            [WorkCell(1, run, spec) for run in range(2)],
+        ]
+        with pytest.raises(ValueError, match="same chip count"):
+            evaluate_cells_scenario_batched(model, evaluator, groups, 0)
+
+    def test_rejects_mixed_scenarios_within_group(self):
+        model, evaluator = build_pair()
+        spec = FaultSpec(kind="bitflip", level=0.1)
+        groups = [[WorkCell(0, 0, spec), WorkCell(1, 1, spec)]]
+        with pytest.raises(ValueError, match="single-scenario"):
+            evaluate_cells_scenario_batched(model, evaluator, groups, 0)
+
+
+class TestKindGrouping:
+    def test_same_kind_scenarios_merge(self):
+        specs = bitflip_sweep([0.0, 0.05, 0.1, 0.2])
+        cells = [
+            WorkCell(idx, run, spec)
+            for idx, spec in enumerate(specs)
+            for run in range(1 if spec.kind == "none" else 3)
+        ]
+        groups = _kind_groups(cells)
+        # fault-free singleton + one merged group of three severity levels
+        assert [len(g) for g in groups] == [1, 3]
+
+    def test_kind_change_splits(self):
+        specs = [
+            FaultSpec(kind="bitflip", level=0.1),
+            FaultSpec(kind="bitflip", level=0.2),
+            FaultSpec(kind="additive", level=0.1),
+            FaultSpec(kind="additive", level=0.2),
+        ]
+        cells = [
+            WorkCell(idx, run, spec)
+            for idx, spec in enumerate(specs)
+            for run in range(2)
+        ]
+        groups = _kind_groups(cells)
+        assert [len(g) for g in groups] == [2, 2]
+
+    def test_unequal_chip_counts_do_not_merge(self):
+        spec_a = FaultSpec(kind="bitflip", level=0.1)
+        spec_b = FaultSpec(kind="bitflip", level=0.2)
+        cells = [WorkCell(0, run, spec_a) for run in range(3)]
+        cells += [WorkCell(1, run, spec_b) for run in range(2)]
+        groups = _kind_groups(cells)
+        assert [len(g) for g in groups] == [1, 1]
+
+    def test_single_cell_scenarios_stay_serial(self):
+        spec = FaultSpec(kind="bitflip", level=0.1)
+        cells = [WorkCell(0, 0, spec), WorkCell(1, 0, spec)]
+        groups = _kind_groups(cells)
+        assert [len(g) for g in groups] == [1, 1]
+
+
+class TestCampaignPlumbing:
+    @pytest.mark.parametrize("scenario_limit", [1, 2, 3])
+    @pytest.mark.parametrize("chip_limit", [None, 2])
+    def test_limits_are_invisible(self, scenario_limit, chip_limit):
+        model, evaluator = build_pair()
+        specs = bitflip_sweep([0.0, 0.05, 0.1, 0.2])
+        serial = MonteCarloCampaign(
+            model, evaluator, n_runs=4, base_seed=3, executor="serial"
+        ).sweep(specs)
+        limited = MonteCarloCampaign(
+            model,
+            evaluator,
+            n_runs=4,
+            base_seed=3,
+            executor="batched",
+            scenario_limit=scenario_limit,
+            chip_limit=chip_limit,
+        ).sweep(specs)
+        for s, b in zip(serial, limited):
+            np.testing.assert_array_equal(s.values, b.values)
+
+    def test_scenario_batched_off_matches_on(self):
+        model, evaluator = build_pair()
+        specs = uniform_sweep([0.0, 0.1, 0.2])
+        on = MonteCarloCampaign(
+            model, evaluator, n_runs=3, base_seed=1, executor="batched"
+        ).sweep(specs)
+        off = MonteCarloCampaign(
+            model,
+            evaluator,
+            n_runs=3,
+            base_seed=1,
+            executor="batched",
+            scenario_batched=False,
+        ).sweep(specs)
+        for a, b in zip(on, off):
+            np.testing.assert_array_equal(a.values, b.values)
+
+    def test_scenario_batched_requires_batched_executor(self):
+        model, evaluator = build_pair()
+        campaign = MonteCarloCampaign(
+            model, evaluator, n_runs=2, executor="serial", scenario_batched=True
+        )
+        with pytest.raises(ValueError, match="batched"):
+            campaign.run(FaultSpec(kind="bitflip", level=0.1))
+
+    def test_rejects_nonpositive_scenario_limit(self):
+        model, evaluator = build_pair()
+        campaign = MonteCarloCampaign(
+            model, evaluator, n_runs=2, executor="batched", scenario_limit=0
+        )
+        with pytest.raises(ValueError, match="scenario_limit"):
+            campaign.run(FaultSpec(kind="bitflip", level=0.1))
+
+    def test_progress_counts_every_cell(self):
+        model, evaluator = build_pair()
+        specs = bitflip_sweep([0.0, 0.1, 0.2])
+        seen = []
+        MonteCarloCampaign(
+            model, evaluator, n_runs=3, base_seed=0, executor="batched"
+        ).sweep(specs, on_cell_done=lambda done, total: seen.append((done, total)))
+        assert seen[-1] == (7, 7)  # 1 fault-free + 2 x 3 chips
+        assert [d for d, _ in seen] == sorted(d for d, _ in seen)
+
+
+class TestTaskTopologyIdentity:
+    """Scenario-batched == serial looped on all four tiny-task topologies."""
+
+    def _compare(self, task_name, method, specs, samples=3, n_runs=3):
+        task = build_task(task_name, preset="tiny")
+        model = trained_model(task, method, "tiny", seed=0)
+        evaluator = make_evaluator(
+            task.name, task.test_set, method, mc_samples=samples
+        )
+        results = {}
+        for label, kwargs in (
+            ("serial", dict(executor="serial")),
+            ("scenario", dict(executor="batched", scenario_batched=True)),
+            ("per-level", dict(executor="batched", scenario_batched=False)),
+        ):
+            campaign = MonteCarloCampaign(
+                model, evaluator, n_runs=n_runs, base_seed=0, **kwargs
+            )
+            results[label] = campaign.sweep(specs)
+        for s, m, l in zip(
+            results["serial"], results["scenario"], results["per-level"]
+        ):
+            np.testing.assert_array_equal(s.values, m.values)
+            np.testing.assert_array_equal(s.values, l.values)
+
+    # image / ResNet-18: binary weights, variation routes to activations
+    def test_image_binary_bitflip_proposed(self):
+        self._compare("image", proposed(), bitflip_sweep([0.0, 0.05, 0.1]), n_runs=2)
+
+    def test_image_activation_variation_spindrop(self):
+        self._compare("image", spindrop(), additive_sweep([0.0, 0.2, 0.4]), n_runs=2)
+
+    # audio / M5: 8-bit conv1d
+    def test_audio_multibit_bitflip_proposed(self):
+        self._compare("audio", proposed(), bitflip_sweep([0.0, 0.05, 0.1]))
+
+    def test_audio_additive_spatial_spindrop(self):
+        self._compare(
+            "audio", spatial_spindrop(), additive_sweep([0.0, 0.1, 0.2])
+        )
+
+    def test_audio_stuck_at_proposed(self):
+        self._compare(
+            "audio",
+            proposed(),
+            [
+                FaultSpec(kind="none", level=0.0),
+                FaultSpec(kind="stuck", level=0.1, stuck_to="zero"),
+                FaultSpec(kind="stuck", level=0.2, stuck_to="high"),
+            ],
+        )
+
+    # co2 / LSTM: 8-bit recurrent cells, frozen (variational) masks
+    def test_lstm_uniform_proposed(self):
+        self._compare("co2", proposed(), uniform_sweep([0.0, 0.1, 0.2, 0.4]))
+
+    def test_lstm_multiplicative_spindrop(self):
+        self._compare("co2", spindrop(), multiplicative_sweep([0.0, 0.2, 0.4]))
+
+    def test_lstm_drift_proposed(self):
+        self._compare(
+            "co2",
+            proposed(),
+            [
+                FaultSpec(kind="none", level=0.0),
+                FaultSpec(kind="drift", level=24.0),
+                FaultSpec(kind="drift", level=100.0),
+            ],
+        )
+
+    # vessels / U-Net: binary weights + PACT activations, group norm
+    def test_unet_bitflip_proposed(self):
+        self._compare("vessels", proposed(), bitflip_sweep([0.0, 0.05, 0.1]), n_runs=2)
+
+    def test_unet_additive_proposed(self):
+        self._compare("vessels", proposed(), additive_sweep([0.0, 0.2, 0.3]), n_runs=2)
+
+
+class TestCacheContract:
+    def test_rng_contract_not_bumped(self):
+        """Scenario batching must not invalidate mc2-era campaign caches."""
+        assert RNG_CONTRACT == "mc2"
+
+    def test_scenario_batched_served_from_serial_cache(self, tmp_path, monkeypatch):
+        """A serial-written cache satisfies a scenario-batched sweep."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        from repro.eval import clear_memory_cache
+
+        clear_memory_cache()
+        task = build_task("audio", preset="tiny")
+        specs = bitflip_sweep([0.0, 0.05, 0.1])
+        kwargs = dict(preset="tiny", n_runs=3)
+        serial = run_robustness_sweep(
+            task, [proposed()], specs, executor="serial", **kwargs
+        )
+        campaign_files = sorted((tmp_path / "campaigns").glob("*.npy"))
+        assert campaign_files  # serial run populated the cache
+        scenario = run_robustness_sweep(
+            task, [proposed()], specs, executor="batched",
+            scenario_batched=True, **kwargs
+        )
+        np.testing.assert_array_equal(
+            serial.curves["proposed"].means, scenario.curves["proposed"].means
+        )
+        # Same keys: the scenario-batched run wrote nothing new.
+        assert sorted((tmp_path / "campaigns").glob("*.npy")) == campaign_files
+        clear_memory_cache()
+
+    def test_fresh_scenario_batched_matches_fresh_serial(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        from repro.eval import clear_memory_cache
+
+        clear_memory_cache()
+        task = build_task("audio", preset="tiny")
+        specs = bitflip_sweep([0.0, 0.05, 0.1])
+        kwargs = dict(preset="tiny", n_runs=3, use_cache=False)
+        serial = run_robustness_sweep(
+            task, [proposed()], specs, executor="serial", **kwargs
+        )
+        scenario = run_robustness_sweep(
+            task, [proposed()], specs, executor="batched",
+            scenario_batched=True, **kwargs
+        )
+        np.testing.assert_array_equal(
+            serial.curves["proposed"].means, scenario.curves["proposed"].means
+        )
+        clear_memory_cache()
+
+    def test_scenario_batched_rejected_off_batched_executor(self):
+        task = build_task("audio", preset="tiny")
+        with pytest.raises(ValueError, match="batched"):
+            run_robustness_sweep(
+                task,
+                [proposed()],
+                bitflip_sweep([0.0, 0.1]),
+                preset="tiny",
+                n_runs=2,
+                executor="serial",
+                scenario_batched=True,
+            )
