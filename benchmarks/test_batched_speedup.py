@@ -44,6 +44,8 @@ def _campaign(executor: str) -> MonteCarloCampaign:
     return MonteCarloCampaign(
         model, evaluator, n_runs=N_RUNS, base_seed=0, executor=executor,
         scenario_batched=False if executor == "batched" else None,
+        # Pin PR 5's plan axis off: this benchmark isolates chip batching.
+        plan=False,
     )
 
 

@@ -60,6 +60,11 @@ def _campaign(mc_batched: bool) -> MonteCarloCampaign:
         executor="batched",
         mc_batched=mc_batched,
         scenario_batched=False,
+        # Pin PR 5's plan axis off: this benchmark isolates MC batching +
+        # the deployment-frozen quantization cache, and plan replay would
+        # accelerate the PR 2 baseline (skipping its per-forward
+        # requantization) and compress the measured ratio.
+        plan=False,
     )
 
 

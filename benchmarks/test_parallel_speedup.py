@@ -51,6 +51,8 @@ def _campaign(executor: str):
     return MonteCarloCampaign(
         model, evaluator, n_runs=N_RUNS, base_seed=0,
         executor=executor, workers=WORKERS, handle=handle,
+        # Pin PR 5's plan axis off: this benchmark isolates pool scaling.
+        plan=False,
     )
 
 

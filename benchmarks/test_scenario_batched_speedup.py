@@ -69,6 +69,10 @@ def _campaign(scenario_batched: bool) -> MonteCarloCampaign:
         base_seed=0,
         executor="batched",
         scenario_batched=scenario_batched,
+        # Pin PR 5's plan axis off so this benchmark keeps isolating
+        # scenario batching alone (see benchmarks/test_plan_speedup.py for
+        # the plan-replay ratio on the same sweep).
+        plan=False,
     )
 
 

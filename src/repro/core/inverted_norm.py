@@ -177,13 +177,23 @@ class InvertedNorm(StochasticModule):
     def p(self) -> float:
         return self.dropout.p
 
+    def _sample_affine_masks(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Draw ``(m_gamma, 1 - m_gamma, m_beta)`` in one sampling thunk.
+
+        The complement is computed inside the thunk so forward plans can
+        record the whole draw as one source step whose outputs feed the
+        affine kernels directly (see :mod:`repro.tensor.plan`).
+        """
+        m_g, m_b = self.dropout.sample(self.num_features)
+        return m_g, 1.0 - m_g, m_b
+
     def _effective_affine(self) -> Tuple[Tensor, Tensor]:
         """Apply affine dropout (Fig. 3) or its expectation."""
         if self.sampling:
-            m_g, m_b = self._scoped_mask(
-                lambda: self.dropout.sample(self.num_features), self.num_features
+            m_g, one_minus_g, m_b = self._scoped_mask(
+                self._sample_affine_masks, self.num_features
             )
-            gamma = self.weight * Tensor(m_g) + Tensor(1.0 - m_g)
+            gamma = self.weight * Tensor(m_g) + Tensor(one_minus_g)
             beta = self.bias * Tensor(m_b)
         else:
             keep = 1.0 - self.dropout.p

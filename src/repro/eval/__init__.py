@@ -39,6 +39,7 @@ from .evaluators import (
 from .reporting import (
     METHOD_LABELS,
     ProgressMeter,
+    format_profile,
     format_sweep,
     format_table_row,
     summarize_improvements,
@@ -87,6 +88,7 @@ __all__ = [
     "MethodCurve",
     "format_table_row",
     "table_header",
+    "format_profile",
     "format_sweep",
     "summarize_improvements",
     "METHOD_LABELS",

@@ -150,6 +150,7 @@ def run_robustness_sweep(
     mc_batched: Optional[bool] = None,
     scenario_batched: Optional[bool] = None,
     scenario_limit: Optional[int] = None,
+    plan: Optional[bool] = None,
 ) -> RobustnessSweep:
     """Train/fetch each method's model and sweep the fault levels.
 
@@ -164,6 +165,8 @@ def run_robustness_sweep(
     method, capped by ``scenario_limit``); ``use_cache=False`` bypasses
     the campaign-result cache (it is still written); ``on_cell_done(done,
     total)`` observes per-method cell completion for throughput reporting.
+    ``plan`` toggles trace-compiled forward plans (None = on for every
+    backend, bit-identical; ``plan=False`` is the CLI's ``--no-plan``).
     """
     if mc_batched and executor != "batched":
         # Fail before the (potentially long) training phase — and even on a
@@ -228,6 +231,7 @@ def run_robustness_sweep(
                 mc_batched=mc_batched,
                 scenario_batched=scenario_batched,
                 scenario_limit=scenario_limit,
+                plan=plan,
             )
             fresh = campaign.sweep(
                 [specs[i] for i in pending],

@@ -28,6 +28,7 @@ invocations skip finished work (``--no-cache`` forces re-simulation).
 from __future__ import annotations
 
 import argparse
+import contextlib
 from typing import List
 
 from ..core.bayesian import BayesianClassifier
@@ -41,11 +42,13 @@ from ..faults import (
 )
 from ..models import all_methods, proposed
 from ..tensor import manual_seed
+from ..tensor import plan as _plan
 from ..uncertainty import evaluate_shift_sweep
 from .campaigns import baseline_metrics, run_robustness_sweep
 from .cache import trained_model
 from .reporting import (
     ProgressMeter,
+    format_profile,
     format_sweep,
     format_table_row,
     summarize_improvements,
@@ -96,27 +99,32 @@ def cmd_sweep(args) -> None:
     levels = args.levels if args.levels else _DEFAULT_LEVELS[args.fault]
     specs = _SWEEP_BUILDERS[args.fault](levels)
     meter = ProgressMeter(label=f"{args.task}/{args.fault}")
-    sweep = run_robustness_sweep(
-        task,
-        _methods_for(args.task),
-        specs,
-        preset=args.preset,
-        seed=args.seed,
-        n_runs=args.runs,
-        progress=print if args.verbose else None,
-        executor=args.executor,
-        workers=args.workers,
-        use_cache=not args.no_cache,
-        on_cell_done=meter,
-        chip_limit=args.chip_limit,
-        mc_batched=args.mc_batched,
-        scenario_batched=args.scenario_batched,
-        scenario_limit=args.scenario_limit,
-    )
+    with contextlib.ExitStack() as stack:
+        stages = stack.enter_context(_plan.profiled()) if args.profile else None
+        sweep = run_robustness_sweep(
+            task,
+            _methods_for(args.task),
+            specs,
+            preset=args.preset,
+            seed=args.seed,
+            n_runs=args.runs,
+            progress=print if args.verbose else None,
+            executor=args.executor,
+            workers=args.workers,
+            use_cache=not args.no_cache,
+            on_cell_done=meter,
+            chip_limit=args.chip_limit,
+            mc_batched=args.mc_batched,
+            scenario_batched=args.scenario_batched,
+            scenario_limit=args.scenario_limit,
+            plan=args.plan,
+        )
     if meter.total:
         meter.finish()
     print(format_sweep(sweep))
     print(summarize_improvements(sweep))
+    if stages is not None:
+        print(format_profile(stages))
 
 
 def cmd_fig7(args) -> None:
@@ -214,6 +222,21 @@ def build_parser() -> argparse.ArgumentParser:
             help="max severity levels stacked per pass for "
                  "--scenario-batched (default: the whole same-kind group; "
                  "smaller caps bound memory without changing results)",
+        )
+        p.add_argument(
+            "--plan", action=argparse.BooleanOptionalAction, default=None,
+            help="route gradient-free campaign forwards through "
+                 "trace-compiled plans (on by default for every backend; "
+                 "the first forward per configuration traces a flat numpy "
+                 "kernel sequence, later ones replay it with reused "
+                 "buffers, bit-identical to the interpreted path; "
+                 "--no-plan forces full interpretation)",
+        )
+        p.add_argument(
+            "--profile", action="store_true",
+            help="print a per-stage wall-time breakdown "
+                 "(attach/trace/replay/metric) after the sweep, for "
+                 "locating hot paths without external tooling",
         )
         p.add_argument(
             "--no-cache", action="store_true",

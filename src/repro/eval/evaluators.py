@@ -32,7 +32,7 @@ from ..models import MethodConfig
 from ..nn.module import Module
 from ..tensor import Tensor, no_grad
 from ..tensor.chipbatch import active_chip_count
-from ..train.metrics import accuracy, binary_miou, binary_miou_stack, rmse
+from ..train.metrics import accuracy, binary_miou_stack, rmse
 
 
 def _as_input(x: np.ndarray) -> Tensor:
@@ -96,13 +96,21 @@ def segmentation_miou(
                 logits = model(xt).data
         pred_mask = logits > 0.0  # sigmoid(logit) > 0.5
         batched = pred_mask.ndim == y.ndim + 1
-        for i in range(len(y)):
-            if batched:
-                # One array op over the chip/instance axis — bit-identical
-                # to looping binary_miou over the per-chip masks.
-                per_image.append(binary_miou_stack(pred_mask[:, i], y[i] > 0.5))
-            else:
-                per_image.append(binary_miou(pred_mask[i], y[i] > 0.5))
+        if batched:
+            # One vectorized pass over (chips * images): row c*n + i scores
+            # chip c's prediction for image i against that image's truth —
+            # bit-identical to the former per-image binary_miou_stack loop.
+            chips, n = pred_mask.shape[0], pred_mask.shape[1]
+            truth = np.broadcast_to(y > 0.5, (chips,) + y.shape)
+            flat = binary_miou_stack(
+                pred_mask.reshape((chips * n,) + pred_mask.shape[2:]),
+                truth.reshape((chips * n,) + y.shape[1:]),
+            ).reshape(chips, n)
+            per_image.extend(flat.T)  # one (chips,) vector per image
+        else:
+            # Whole batch in one array op — bit-identical to looping
+            # binary_miou image by image.
+            per_image.extend(binary_miou_stack(pred_mask, y > 0.5))
     if per_image and isinstance(per_image[0], np.ndarray):
         stacked = np.stack(per_image, axis=0)  # (images, chips)
         return np.array(

@@ -79,6 +79,37 @@ class ProgressMeter:
         self.stream.flush()
         return summary
 
+def format_profile(stages: Dict[str, float]) -> str:
+    """Render the ``--profile`` per-stage wall-time breakdown.
+
+    ``stages`` is the ``{stage: seconds}`` dict collected by
+    :func:`repro.tensor.plan.profiled`: ``attach`` (fault-pattern seed
+    draws + hook installation), ``trace`` (interpreted forwards recorded
+    into plans), ``replay`` (flat kernel replays), and ``metric`` (the
+    whole evaluator call).  Trace and replay run *inside* the evaluator,
+    so the table reports the evaluator's remaining self-time as
+    ``metric (other)`` — batch slicing, MC averaging, metric arithmetic.
+    """
+    attach = stages.get("attach", 0.0)
+    trace = stages.get("trace", 0.0)
+    replay = stages.get("replay", 0.0)
+    metric = stages.get("metric", 0.0)
+    other = max(metric - trace - replay, 0.0)
+    total = attach + metric
+    rows = [
+        ("attach", attach),
+        ("trace", trace),
+        ("replay", replay),
+        ("metric (other)", other),
+    ]
+    lines = ["per-stage wall time:"]
+    for label, seconds in rows:
+        share = 100.0 * seconds / total if total > 0 else 0.0
+        lines.append(f"  {label:<14} {seconds * 1000:9.1f}ms  {share:5.1f}%")
+    lines.append(f"  {'total':<14} {total * 1000:9.1f}ms")
+    return "\n".join(lines)
+
+
 #: Paper column labels for the four methods.
 METHOD_LABELS = {
     "conventional": "NN",

@@ -277,6 +277,13 @@ class MonteCarloCampaign:
         (None = the whole same-kind group); the scenario-axis counterpart
         of ``chip_limit``, capping the working set without changing
         results.
+    plan:
+        Route gradient-free evaluation forwards through trace-compiled
+        plans (None = on, every backend; see :mod:`repro.tensor.plan`):
+        the first forward per (shape, layout, weights, hooks) key traces
+        the flat numpy kernel sequence, later ones replay it with reused
+        buffers.  Bit-identical either way; ``plan=False`` (CLI
+        ``--no-plan``) forces the interpreted path.
     """
 
     def __init__(
@@ -292,6 +299,7 @@ class MonteCarloCampaign:
         mc_batched: Optional[bool] = None,
         scenario_batched: Optional[bool] = None,
         scenario_limit: Optional[int] = None,
+        plan: Optional[bool] = None,
     ):
         self.model = model
         self.evaluator = evaluator
@@ -304,6 +312,7 @@ class MonteCarloCampaign:
         self.mc_batched = mc_batched
         self.scenario_batched = scenario_batched
         self.scenario_limit = scenario_limit
+        self.plan = plan
 
     def _cells(self, spec: FaultSpec, scenario_index: int) -> List[WorkCell]:
         """Flatten one scenario into work cells (fault-free → one cell)."""
@@ -328,6 +337,7 @@ class MonteCarloCampaign:
             mc_batched=self.mc_batched,
             scenario_batched=self.scenario_batched,
             scenario_limit=self.scenario_limit,
+            plan=self.plan,
         )
 
     def _package(self, spec: FaultSpec, values: np.ndarray) -> CampaignResult:

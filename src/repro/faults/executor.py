@@ -61,6 +61,7 @@ import numpy as np
 
 from ..nn.dropout import resample_masks
 from ..nn.module import Module
+from ..tensor import plan as _plan
 from ..tensor.chipbatch import ChipBatchRng, chip_batch, mc_batching, scenario_axis
 from ..tensor.random import scoped_rng
 from .models import FaultSpec
@@ -96,7 +97,11 @@ def cell_rngs(
 
 
 def evaluate_cell(
-    model: Module, evaluator: Evaluator, cell: WorkCell, base_seed: int
+    model: Module,
+    evaluator: Evaluator,
+    cell: WorkCell,
+    base_seed: int,
+    plan: bool = True,
 ) -> float:
     """Evaluate one cell hermetically: attach faults, score, detach.
 
@@ -104,6 +109,12 @@ def evaluate_cell(
     scoped to generators derived from the cell coordinates, and frozen
     dropout masks are invalidated first, so the returned value does not
     depend on prior use of ``model``.
+
+    ``plan`` routes the cell's gradient-free forwards through
+    trace-compiled plans (:mod:`repro.tensor.plan`): the first forward per
+    (shape, layout, weights, hooks) key traces, subsequent ones replay a
+    flat numpy kernel sequence — bit-identical either way.  ``plan=False``
+    (the ``--no-plan`` switch) keeps the fully interpreted path.
     """
     from .campaign import FaultInjector  # local import breaks the cycle
 
@@ -111,9 +122,11 @@ def evaluate_cell(
     injector = FaultInjector(model)
     with scoped_rng(eval_rng):
         resample_masks(model)
-        injector.attach(cell.spec, fault_rng)
+        with _plan.stage("attach"):
+            injector.attach(cell.spec, fault_rng)
         try:
-            return float(evaluator(model))
+            with _plan.plan_execution(plan), _plan.stage("metric"):
+                return float(evaluator(model))
         finally:
             injector.detach()
 
@@ -124,6 +137,7 @@ def evaluate_cells_batched(
     cells: Sequence[WorkCell],
     base_seed: int,
     mc_batched: bool = True,
+    plan: bool = True,
 ) -> np.ndarray:
     """Evaluate one scenario's chip instances as a single stacked pass.
 
@@ -167,9 +181,11 @@ def evaluate_cells_batched(
         mc_batched
     ):
         resample_masks(model)
-        injector.attach_batched(spec, fault_rngs)
+        with _plan.stage("attach"):
+            injector.attach_batched(spec, fault_rngs)
         try:
-            values = np.asarray(evaluator(model), dtype=np.float64)
+            with _plan.plan_execution(plan), _plan.stage("metric"):
+                values = np.asarray(evaluator(model), dtype=np.float64)
         finally:
             injector.detach()
     if values.shape != (len(cells),):
@@ -187,6 +203,7 @@ def evaluate_cells_scenario_batched(
     cell_groups: Sequence[Sequence[WorkCell]],
     base_seed: int,
     mc_batched: bool = True,
+    plan: bool = True,
 ) -> np.ndarray:
     """Evaluate several scenarios' chip instances as ONE stacked pass.
 
@@ -250,9 +267,11 @@ def evaluate_cells_scenario_batched(
         ChipBatchRng(eval_rngs)
     ), mc_batching(mc_batched):
         resample_masks(model)
-        injector.attach_scenario_batched(specs, fault_rng_groups)
+        with _plan.stage("attach"):
+            injector.attach_scenario_batched(specs, fault_rng_groups)
         try:
-            values = np.asarray(evaluator(model), dtype=np.float64)
+            with _plan.plan_execution(plan), _plan.stage("metric"):
+                values = np.asarray(evaluator(model), dtype=np.float64)
         finally:
             injector.detach()
     if values.shape != (len(eval_rngs),):
@@ -322,6 +341,7 @@ def _run_batched(
     mc_batched: bool = True,
     scenario_batched: bool = True,
     scenario_limit: Optional[int] = None,
+    plan: bool = True,
 ) -> np.ndarray:
     """Chip-batched backend: one vectorized pass per (stacked) group.
 
@@ -371,12 +391,12 @@ def _run_batched(
                     if len(groups) == 1:
                         stacked = evaluate_cells_batched(
                             model, evaluator, groups[0], base_seed,
-                            mc_batched=mc_batched,
+                            mc_batched=mc_batched, plan=plan,
                         )
                     else:
                         stacked = evaluate_cells_scenario_batched(
                             model, evaluator, groups, base_seed,
-                            mc_batched=mc_batched,
+                            mc_batched=mc_batched, plan=plan,
                         )
                     width = chip_stop - chip_sub
                     for g, (start, _) in enumerate(sub_ranges):
@@ -390,7 +410,7 @@ def _run_batched(
             if stop - start == 1 or spec.kind == "none" or spec.level == 0.0:
                 for index in range(start, stop):
                     values[index] = evaluate_cell(
-                        model, evaluator, cells[index], base_seed
+                        model, evaluator, cells[index], base_seed, plan=plan
                     )
             else:
                 step = chip_limit if chip_limit else stop - start
@@ -402,6 +422,7 @@ def _run_batched(
                         cells[sub:sub_stop],
                         base_seed,
                         mc_batched=mc_batched,
+                        plan=plan,
                     )
             _report(stop - start)
     return values
@@ -457,10 +478,11 @@ def _worker_pair(handle: EvalHandle) -> Tuple[Module, Evaluator]:
 
 
 def _run_cell_from_handle(
-    handle: EvalHandle, index: int, cell: WorkCell, base_seed: int
+    handle: EvalHandle, index: int, cell: WorkCell, base_seed: int,
+    plan: bool = True,
 ) -> Tuple[int, float]:
     model, evaluator = _worker_pair(handle)
-    return index, evaluate_cell(model, evaluator, cell, base_seed)
+    return index, evaluate_cell(model, evaluator, cell, base_seed, plan=plan)
 
 
 # ----------------------------------------------------------------------
@@ -480,6 +502,7 @@ def run_cells(
     mc_batched: Optional[bool] = None,
     scenario_batched: Optional[bool] = None,
     scenario_limit: Optional[int] = None,
+    plan: Optional[bool] = None,
 ) -> np.ndarray:
     """Execute a flat cell grid and return values aligned with ``cells``.
 
@@ -522,6 +545,15 @@ def run_cells(
         the whole same-kind group).  Smaller caps bound the activation /
         stacked-weight working set without changing results — the
         scenario-axis counterpart of ``chip_limit``.
+    plan:
+        Route gradient-free evaluation forwards through trace-compiled
+        plans (default on for every backend; see
+        :mod:`repro.tensor.plan`).  The first forward per (input shape,
+        instance layout, parameter versions, fault-hook signatures) key
+        runs interpreted while a tracer records the flat numpy kernel
+        sequence; subsequent forwards replay it with reused buffers.
+        Results are bit-identical either way; ``plan=False`` (CLI
+        ``--no-plan``) forces the interpreted path throughout.
     """
     if executor not in EXECUTORS:
         raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
@@ -541,6 +573,7 @@ def run_cells(
     if total == 0:
         return np.empty(0)
     workers = max(1, int(workers) if workers is not None else 4)
+    plan = True if plan is None else bool(plan)
 
     if executor == "batched":
         if model is None or evaluator is None:
@@ -557,6 +590,7 @@ def run_cells(
                 True if scenario_batched is None else bool(scenario_batched)
             ),
             scenario_limit=scenario_limit,
+            plan=plan,
         )
 
     if executor == "serial" or workers == 1 or total == 1:
@@ -564,16 +598,20 @@ def run_cells(
             model, evaluator = handle.build()
         values = np.empty(total)
         for i, cell in enumerate(cells):
-            values[i] = evaluate_cell(model, evaluator, cell, base_seed)
+            values[i] = evaluate_cell(model, evaluator, cell, base_seed, plan=plan)
             if on_cell_done is not None:
                 on_cell_done(i + 1, total)
         return values
 
     if executor == "thread":
         return _run_threaded(
-            cells, base_seed, model, evaluator, handle, workers, on_cell_done
+            cells, base_seed, model, evaluator, handle, workers, on_cell_done,
+            plan=plan,
         )
-    return _run_process(cells, base_seed, model, evaluator, handle, workers, on_cell_done)
+    return _run_process(
+        cells, base_seed, model, evaluator, handle, workers, on_cell_done,
+        plan=plan,
+    )
 
 
 def _run_threaded(
@@ -584,6 +622,7 @@ def _run_threaded(
     handle: Optional[EvalHandle],
     workers: int,
     on_cell_done: Optional[Callable[[int, int], None]],
+    plan: bool = True,
 ) -> np.ndarray:
     """Thread-pool backend: one model replica per worker thread.
 
@@ -646,7 +685,9 @@ def _run_threaded(
                 continue
             index, cell = item
             try:
-                value = evaluate_cell(worker_model, worker_evaluator, cell, base_seed)
+                value = evaluate_cell(
+                    worker_model, worker_evaluator, cell, base_seed, plan=plan
+                )
             except BaseException as exc:  # surface on the caller's thread
                 with lock:
                     errors.append(exc)
@@ -678,6 +719,7 @@ def _run_process(
     handle: Optional[EvalHandle],
     workers: int,
     on_cell_done: Optional[Callable[[int, int], None]],
+    plan: bool = True,
 ) -> np.ndarray:
     """Process-pool backend: workers rebuild (model, evaluator) from a handle."""
     if handle is None:
@@ -692,7 +734,7 @@ def _run_process(
     done = 0
     with ProcessPoolExecutor(max_workers=workers) as pool:
         pending = {
-            pool.submit(_run_cell_from_handle, handle, i, cell, base_seed)
+            pool.submit(_run_cell_from_handle, handle, i, cell, base_seed, plan)
             for i, cell in enumerate(cells)
         }
         try:

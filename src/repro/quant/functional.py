@@ -27,6 +27,7 @@ from typing import Callable, Optional, Tuple
 import numpy as np
 
 from ..tensor import Tensor
+from ..tensor import plan as _plan
 
 #: Transform applied to quantized weight codes at forward time.  Receives a
 #: :class:`QuantizedWeight` and returns the perturbed integer codes.
@@ -118,11 +119,19 @@ def binarize_weight(
     def backward(grad: np.ndarray) -> None:
         weight._accumulate(grad * mask * alpha)
 
-    return Tensor._make(data, [weight], backward, "binarize_w"), record
+    # Deployment-frozen: for a fixed plan key (parameter versions + fault
+    # hook signatures) the faulty dequantized weight is constant, so plans
+    # capture it by reference instead of replaying quantization.
+    return (
+        Tensor._make(
+            data, [weight], backward, "binarize_w", kernel=_plan.CONSTANT
+        ),
+        record,
+    )
 
 
 def binarize_activation(
-    x: Tensor, pre_fault: Optional[ActivationFault] = None
+    x: Tensor, pre_fault: Optional[ActivationFault] = None, site=None
 ) -> Tensor:
     """Sign activation with hard-tanh straight-through gradient.
 
@@ -130,17 +139,32 @@ def binarize_activation(
     for binary NNs: noise is added to the *normalized activations before the
     Sign(.)* (Section IV-A-2).  The fault perturbs the forward decision but
     the gradient estimator still uses the clean input's clip mask.
+
+    ``site`` names the module owning the hook (a
+    :class:`~repro.quant.layers.SignActivation`): forward plans record the
+    site rather than the hook object, so a replay invokes whatever hook is
+    *currently* attached there — per-pass noise draws stay live.  A bare
+    ``pre_fault`` callable without a site poisons any active trace.
     """
     values = x.data
     if pre_fault is not None:
-        values = pre_fault(values)
+        if site is not None:
+            values = _plan.traced_hook(site, "pre_fault", x.data)
+        else:
+            trace = _plan.active_trace()
+            if trace is not None:
+                trace.fail("activation fault hook without a traced site")
+            values = pre_fault(values)
     data = sign_with_zero_to_one(values)
     mask = np.abs(x.data) <= 1.0
 
     def backward(grad: np.ndarray) -> None:
         x._accumulate(grad * mask)
 
-    return Tensor._make(data, [x], backward, "binarize_a")
+    return Tensor._make(
+        data, [x], backward, "binarize_a",
+        kernel=sign_with_zero_to_one, kernel_inputs=(values,),
+    )
 
 
 def fake_quantize_weight_record(data: np.ndarray, bits: int) -> QuantizedWeight:
@@ -184,20 +208,30 @@ def fake_quantize_weight(
     def backward(grad: np.ndarray) -> None:
         weight._accumulate(grad)  # STE: identity inside the clip range
 
-    return Tensor._make(data, [weight], backward, "fake_quant_w"), record
+    # Deployment-frozen, like binarize_weight: constant per plan key.
+    return (
+        Tensor._make(
+            data, [weight], backward, "fake_quant_w", kernel=_plan.CONSTANT
+        ),
+        record,
+    )
 
 
 def fake_quantize_activation(x: Tensor, bits: int, max_val: float = 1.0) -> Tensor:
     """Unsigned k-bit activation quantization on ``[0, max_val]`` (STE)."""
     levels = 2**bits - 1
-    clipped = np.clip(x.data, 0.0, max_val)
-    data = np.round(clipped / max_val * levels) / levels * max_val
+
+    def kernel(values: np.ndarray) -> np.ndarray:
+        clipped = np.clip(values, 0.0, max_val)
+        return np.round(clipped / max_val * levels) / levels * max_val
+
+    data = kernel(x.data)
     mask = (x.data >= 0.0) & (x.data <= max_val)
 
     def backward(grad: np.ndarray) -> None:
         x._accumulate(grad * mask)
 
-    return Tensor._make(data, [x], backward, "fake_quant_a")
+    return Tensor._make(data, [x], backward, "fake_quant_a", kernel=kernel)
 
 
 def pact_quantize(x: Tensor, alpha: Tensor, bits: int) -> Tensor:
@@ -212,8 +246,14 @@ def pact_quantize(x: Tensor, alpha: Tensor, bits: int) -> Tensor:
     a = float(alpha.data.item())
     if a <= 0:
         raise ValueError(f"PACT alpha must be positive, got {a}")
-    clipped = np.clip(x.data, 0.0, a)
-    data = np.round(clipped / a * levels) / levels * a
+
+    def kernel(values: np.ndarray, alpha_values: np.ndarray) -> np.ndarray:
+        # ``a`` is baked from the traced alpha; alpha is a Parameter, so a
+        # changed clip level bumps its version counter and re-traces.
+        clipped = np.clip(values, 0.0, a)
+        return np.round(clipped / a * levels) / levels * a
+
+    data = kernel(x.data, alpha.data)
     inside = (x.data >= 0.0) & (x.data < a)
     above = x.data >= a
 
@@ -221,4 +261,4 @@ def pact_quantize(x: Tensor, alpha: Tensor, bits: int) -> Tensor:
         x._accumulate(grad * inside)
         alpha._accumulate(np.asarray((grad * above).sum()).reshape(alpha.shape))
 
-    return Tensor._make(data, [x, alpha], backward, "pact")
+    return Tensor._make(data, [x, alpha], backward, "pact", kernel=kernel)

@@ -379,7 +379,9 @@ class SignActivation(Module):
         self.pre_fault: Optional[ActivationFault] = None
 
     def forward(self, x: Tensor) -> Tensor:
-        return binarize_activation(x, pre_fault=self.pre_fault)
+        # ``site=self`` lets forward plans re-fetch the *currently attached*
+        # hook on every replay instead of freezing the traced one.
+        return binarize_activation(x, pre_fault=self.pre_fault, site=self)
 
 
 class PACT(Module):

@@ -10,6 +10,7 @@ from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from .plan import outable
 from .tensor import Tensor, as_tensor, unbroadcast
 
 
@@ -21,7 +22,10 @@ def exp(x: Tensor) -> Tensor:
     def backward(grad: np.ndarray) -> None:
         x._accumulate(grad * data)
 
-    return Tensor._make(data, [x], backward, "exp")
+    return Tensor._make(
+        data, [x], backward, "exp",
+        kernel=outable(lambda a, out=None: np.exp(a, out=out)),
+    )
 
 
 def log(x: Tensor) -> Tensor:
@@ -32,7 +36,10 @@ def log(x: Tensor) -> Tensor:
     def backward(grad: np.ndarray) -> None:
         x._accumulate(grad / x.data)
 
-    return Tensor._make(data, [x], backward, "log")
+    return Tensor._make(
+        data, [x], backward, "log",
+        kernel=outable(lambda a, out=None: np.log(a, out=out)),
+    )
 
 
 def sqrt(x: Tensor) -> Tensor:
@@ -43,7 +50,10 @@ def sqrt(x: Tensor) -> Tensor:
     def backward(grad: np.ndarray) -> None:
         x._accumulate(grad * 0.5 / data)
 
-    return Tensor._make(data, [x], backward, "sqrt")
+    return Tensor._make(
+        data, [x], backward, "sqrt",
+        kernel=outable(lambda a, out=None: np.sqrt(a, out=out)),
+    )
 
 
 def abs_(x: Tensor) -> Tensor:
@@ -54,7 +64,10 @@ def abs_(x: Tensor) -> Tensor:
     def backward(grad: np.ndarray) -> None:
         x._accumulate(grad * np.sign(x.data))
 
-    return Tensor._make(data, [x], backward, "abs")
+    return Tensor._make(
+        data, [x], backward, "abs",
+        kernel=outable(lambda a, out=None: np.abs(a, out=out)),
+    )
 
 
 def tanh(x: Tensor) -> Tensor:
@@ -65,23 +78,36 @@ def tanh(x: Tensor) -> Tensor:
     def backward(grad: np.ndarray) -> None:
         x._accumulate(grad * (1.0 - data**2))
 
-    return Tensor._make(data, [x], backward, "tanh")
+    return Tensor._make(
+        data, [x], backward, "tanh",
+        kernel=outable(lambda a, out=None: np.tanh(a, out=out)),
+    )
+
+
+@outable
+def _sigmoid_kernel(values: np.ndarray, out=None) -> np.ndarray:
+    """Numerically stable logistic, shared by the eager and replay paths.
+
+    Branch-free formulation of the classic two-tail-stable logistic: with
+    ``e = exp(-|x|)`` the positive tail is ``1 / (1 + e)`` and the
+    negative tail ``e / (1 + e)`` — elementwise identical (bit for bit,
+    including ±0, ±inf and the overflow range) to masked assignment, but
+    without the boolean gather/scatter that dominated its runtime.
+    """
+    e = np.exp(-np.abs(values))
+    pos = values >= 0
+    return np.divide(np.where(pos, 1.0, e), 1.0 + e, out=out)
 
 
 def sigmoid(x: Tensor) -> Tensor:
     """Differentiable logistic function, numerically stable in both tails."""
     x = as_tensor(x)
-    # Numerically stable logistic.
-    data = np.empty_like(x.data)
-    pos = x.data >= 0
-    data[pos] = 1.0 / (1.0 + np.exp(-x.data[pos]))
-    e = np.exp(x.data[~pos])
-    data[~pos] = e / (1.0 + e)
+    data = _sigmoid_kernel(x.data)
 
     def backward(grad: np.ndarray) -> None:
         x._accumulate(grad * data * (1.0 - data))
 
-    return Tensor._make(data, [x], backward, "sigmoid")
+    return Tensor._make(data, [x], backward, "sigmoid", kernel=_sigmoid_kernel)
 
 
 def relu(x: Tensor) -> Tensor:
@@ -93,7 +119,10 @@ def relu(x: Tensor) -> Tensor:
     def backward(grad: np.ndarray) -> None:
         x._accumulate(grad * mask)
 
-    return Tensor._make(data, [x], backward, "relu")
+    return Tensor._make(
+        data, [x], backward, "relu",
+        kernel=lambda a: np.where(a > 0, a, 0.0),
+    )
 
 
 def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
@@ -105,7 +134,10 @@ def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
     def backward(grad: np.ndarray) -> None:
         x._accumulate(grad * np.where(mask, 1.0, negative_slope))
 
-    return Tensor._make(data, [x], backward, "leaky_relu")
+    return Tensor._make(
+        data, [x], backward, "leaky_relu",
+        kernel=lambda a: np.where(a > 0, a, negative_slope * a),
+    )
 
 
 def hardtanh(x: Tensor, min_val: float = -1.0, max_val: float = 1.0) -> Tensor:
@@ -117,7 +149,10 @@ def hardtanh(x: Tensor, min_val: float = -1.0, max_val: float = 1.0) -> Tensor:
     def backward(grad: np.ndarray) -> None:
         x._accumulate(grad * mask)
 
-    return Tensor._make(data, [x], backward, "hardtanh")
+    return Tensor._make(
+        data, [x], backward, "hardtanh",
+        kernel=outable(lambda a, out=None: np.clip(a, min_val, max_val, out=out)),
+    )
 
 
 def clip(x: Tensor, min_val: Optional[float], max_val: Optional[float]) -> Tensor:
@@ -131,7 +166,10 @@ def clip(x: Tensor, min_val: Optional[float], max_val: Optional[float]) -> Tenso
     def backward(grad: np.ndarray) -> None:
         x._accumulate(grad * mask)
 
-    return Tensor._make(data, [x], backward, "clip")
+    return Tensor._make(
+        data, [x], backward, "clip",
+        kernel=outable(lambda a, out=None: np.clip(a, lo, hi, out=out)),
+    )
 
 
 def maximum(a: Tensor, b: Tensor) -> Tensor:
@@ -144,7 +182,10 @@ def maximum(a: Tensor, b: Tensor) -> Tensor:
         a._accumulate(unbroadcast(grad * a_wins, a.shape))
         b._accumulate(unbroadcast(grad * ~a_wins, b.shape))
 
-    return Tensor._make(data, [a, b], backward, "maximum")
+    return Tensor._make(
+        data, [a, b], backward, "maximum",
+        kernel=outable(lambda av, bv, out=None: np.maximum(av, bv, out=out)),
+    )
 
 
 def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
@@ -157,35 +198,46 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
         a._accumulate(unbroadcast(grad * cond, a.shape))
         b._accumulate(unbroadcast(grad * ~cond, b.shape))
 
+    # ``cond`` is a plain array whose provenance the tracer cannot see
+    # (it may be data-dependent), so this op has no replay kernel and
+    # poisons any active trace.
     return Tensor._make(data, [a, b], backward, "where")
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Differentiable softmax along ``axis``, shift-stabilized."""
     x = as_tensor(x)
-    shifted = x.data - x.data.max(axis=axis, keepdims=True)
-    e = np.exp(shifted)
-    data = e / e.sum(axis=axis, keepdims=True)
+
+    def kernel(values: np.ndarray) -> np.ndarray:
+        shifted = values - values.max(axis=axis, keepdims=True)
+        e = np.exp(shifted)
+        return e / e.sum(axis=axis, keepdims=True)
+
+    data = kernel(x.data)
 
     def backward(grad: np.ndarray) -> None:
         dot = (grad * data).sum(axis=axis, keepdims=True)
         x._accumulate(data * (grad - dot))
 
-    return Tensor._make(data, [x], backward, "softmax")
+    return Tensor._make(data, [x], backward, "softmax", kernel=kernel)
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Differentiable log-softmax along ``axis``, shift-stabilized."""
     x = as_tensor(x)
-    shifted = x.data - x.data.max(axis=axis, keepdims=True)
-    log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
-    data = shifted - log_z
+
+    def kernel(values: np.ndarray) -> np.ndarray:
+        shifted = values - values.max(axis=axis, keepdims=True)
+        log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        return shifted - log_z
+
+    data = kernel(x.data)
     soft = np.exp(data)
 
     def backward(grad: np.ndarray) -> None:
         x._accumulate(grad - soft * grad.sum(axis=axis, keepdims=True))
 
-    return Tensor._make(data, [x], backward, "log_softmax")
+    return Tensor._make(data, [x], backward, "log_softmax", kernel=kernel)
 
 
 def pad(x: Tensor, pad_width: Sequence[Tuple[int, int]]) -> Tensor:
@@ -201,11 +253,19 @@ def pad(x: Tensor, pad_width: Sequence[Tuple[int, int]]) -> Tensor:
         )
         x._accumulate(grad[slicer])
 
-    return Tensor._make(data, [x], backward, "pad")
+    return Tensor._make(
+        data, [x], backward, "pad",
+        kernel=lambda a: np.pad(a, pad_width),
+    )
 
 
 def dropout_mask_apply(x: Tensor, mask: np.ndarray, scale: float = 1.0) -> Tensor:
-    """Multiply by a fixed (non-differentiable) mask, optionally rescaling."""
+    """Multiply by a fixed (non-differentiable) mask, optionally rescaling.
+
+    Under an active forward-plan trace the mask is an explicit kernel
+    input, so a replay consumes whatever mask the recorded sampling thunk
+    drew for that pass.
+    """
     x = as_tensor(x)
     factor = mask * scale
     data = x.data * factor
@@ -213,18 +273,34 @@ def dropout_mask_apply(x: Tensor, mask: np.ndarray, scale: float = 1.0) -> Tenso
     def backward(grad: np.ndarray) -> None:
         x._accumulate(grad * factor)
 
-    return Tensor._make(data, [x], backward, "dropout")
+    def kernel(values: np.ndarray, mask_values: np.ndarray) -> np.ndarray:
+        return values * (mask_values * scale)
+
+    return Tensor._make(
+        data, [x], backward, "dropout",
+        kernel=kernel, kernel_inputs=(x.data, mask),
+    )
 
 
 def add_noise(x: Tensor, noise: np.ndarray) -> Tensor:
-    """Add a constant (non-differentiable) noise array."""
+    """Add a constant (non-differentiable) noise array.
+
+    Forward plans take ``noise`` at this contract's word: a caller-frozen
+    constant, captured per plan key.  Per-pass noise must be drawn through
+    :func:`repro.tensor.plan.traced_source` (as every in-repo site does)
+    so replays re-draw it.
+    """
     x = as_tensor(x)
     data = x.data + noise
 
     def backward(grad: np.ndarray) -> None:
         x._accumulate(grad)
 
-    return Tensor._make(data, [x], backward, "add_noise")
+    return Tensor._make(
+        data, [x], backward, "add_noise",
+        kernel=outable(lambda a, n, out=None: np.add(a, n, out=out)),
+        kernel_inputs=(x.data, noise),
+    )
 
 
 def mean_pool_global(x: Tensor, axes: Union[int, Tuple[int, ...]]) -> Tensor:
@@ -243,4 +319,6 @@ def embedding_lookup(weight: Tensor, indices: np.ndarray) -> Tensor:
         np.add.at(full, idx, grad)
         weight._accumulate(full)
 
+    # Indices are typically data (token ids), which a baked replay kernel
+    # cannot see — no kernel, so any active trace falls back.
     return Tensor._make(data, [weight], backward, "embedding")

@@ -26,7 +26,9 @@ from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from . import plan as _plan
 from .grad_mode import is_grad_enabled
+from .plan import outable as _outable, viewing as _viewing
 
 ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
 
@@ -93,8 +95,19 @@ class Tensor:
         parents: Sequence["Tensor"],
         backward: Callable[[np.ndarray], None],
         op: str,
+        kernel=None,
+        kernel_inputs: Optional[Sequence[np.ndarray]] = None,
     ) -> "Tensor":
-        """Create an output tensor, recording history if grad mode is on."""
+        """Create an output tensor, recording history if grad mode is on.
+
+        ``kernel`` is the op's replay kernel for trace-compiled plans (see
+        :mod:`repro.tensor.plan`): a pure function of the parents' arrays
+        (or of ``kernel_inputs``, when the computation consumes extra
+        non-tensor arrays such as dropout masks) that reproduces ``data``
+        bit for bit.  ``plan.CONSTANT`` marks the output as frozen for the
+        plan key's lifetime; ``None`` poisons any active trace, falling
+        back to interpretation.
+        """
         requires = is_grad_enabled() and any(p.requires_grad for p in parents)
         out = Tensor(data)
         if requires:
@@ -102,6 +115,15 @@ class Tensor:
             out._backward = backward
             out._parents = tuple(parents)
             out._op = op
+        else:
+            trace = _plan._STATE.trace
+            if trace is not None:
+                inputs = (
+                    kernel_inputs
+                    if kernel_inputs is not None
+                    else [p.data for p in parents]
+                )
+                trace.record_op(kernel, inputs, out.data, op)
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
@@ -166,7 +188,10 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad)
 
-        return Tensor._make(self.data.copy(), [self], backward, "clone")
+        return Tensor._make(
+            self.data.copy(), [self], backward, "clone",
+            kernel=lambda a: a.copy(),
+        )
 
     def zero_grad(self) -> None:
         self.grad = None
@@ -256,7 +281,10 @@ class Tensor:
             self._accumulate(unbroadcast(grad, self.shape))
             other_t._accumulate(unbroadcast(grad, other_t.shape))
 
-        return Tensor._make(data, [self, other_t], backward, "add")
+        return Tensor._make(
+            data, [self, other_t], backward, "add",
+            kernel=_outable(lambda a, b, out=None: np.add(a, b, out=out)),
+        )
 
     __radd__ = __add__
 
@@ -268,7 +296,10 @@ class Tensor:
             self._accumulate(unbroadcast(grad, self.shape))
             other_t._accumulate(unbroadcast(-grad, other_t.shape))
 
-        return Tensor._make(data, [self, other_t], backward, "sub")
+        return Tensor._make(
+            data, [self, other_t], backward, "sub",
+            kernel=_outable(lambda a, b, out=None: np.subtract(a, b, out=out)),
+        )
 
     def __rsub__(self, other: ArrayLike) -> "Tensor":
         return Tensor(other) - self
@@ -281,7 +312,10 @@ class Tensor:
             self._accumulate(unbroadcast(grad * other_t.data, self.shape))
             other_t._accumulate(unbroadcast(grad * self.data, other_t.shape))
 
-        return Tensor._make(data, [self, other_t], backward, "mul")
+        return Tensor._make(
+            data, [self, other_t], backward, "mul",
+            kernel=_outable(lambda a, b, out=None: np.multiply(a, b, out=out)),
+        )
 
     __rmul__ = __mul__
 
@@ -295,7 +329,10 @@ class Tensor:
                 unbroadcast(-grad * self.data / (other_t.data**2), other_t.shape)
             )
 
-        return Tensor._make(data, [self, other_t], backward, "div")
+        return Tensor._make(
+            data, [self, other_t], backward, "div",
+            kernel=_outable(lambda a, b, out=None: np.true_divide(a, b, out=out)),
+        )
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
         return Tensor(other) / self
@@ -304,7 +341,10 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(-grad)
 
-        return Tensor._make(-self.data, [self], backward, "neg")
+        return Tensor._make(
+            -self.data, [self], backward, "neg",
+            kernel=_outable(lambda a, out=None: np.negative(a, out=out)),
+        )
 
     def __pow__(self, exponent: float) -> "Tensor":
         if not isinstance(exponent, (int, float)):
@@ -314,7 +354,10 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * exponent * self.data ** (exponent - 1))
 
-        return Tensor._make(data, [self], backward, f"pow{exponent}")
+        return Tensor._make(
+            data, [self], backward, f"pow{exponent}",
+            kernel=_outable(lambda a, out=None: np.power(a, exponent, out=out)),
+        )
 
     def __matmul__(self, other: ArrayLike) -> "Tensor":
         other_t = other if isinstance(other, Tensor) else Tensor(other)
@@ -340,7 +383,10 @@ class Tensor:
                     g = np.swapaxes(self.data, -1, -2) @ grad
                     other_t._accumulate(unbroadcast(g, other_t.shape))
 
-        return Tensor._make(data, [self, other_t], backward, "matmul")
+        return Tensor._make(
+            data, [self, other_t], backward, "matmul",
+            kernel=_outable(lambda a, b, out=None: np.matmul(a, b, out=out)),
+        )
 
     # ------------------------------------------------------------------
     # Reductions
@@ -354,7 +400,12 @@ class Tensor:
                 g = np.expand_dims(g, axis=axis)
             self._accumulate(np.broadcast_to(g, self.shape).copy())
 
-        return Tensor._make(data, [self], backward, "sum")
+        return Tensor._make(
+            data, [self], backward, "sum",
+            kernel=_outable(
+                lambda a, out=None: a.sum(axis=axis, keepdims=keepdims, out=out)
+            ),
+        )
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -384,7 +435,10 @@ class Tensor:
             counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
             self._accumulate(mask * g / counts)
 
-        return Tensor._make(data, [self], backward, "max")
+        return Tensor._make(
+            data, [self], backward, "max",
+            kernel=lambda a: a.max(axis=axis, keepdims=keepdims),
+        )
 
     def min(self, axis=None, keepdims: bool = False) -> "Tensor":
         return -((-self).max(axis=axis, keepdims=keepdims))
@@ -401,7 +455,10 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad.reshape(original))
 
-        return Tensor._make(data, [self], backward, "reshape")
+        return Tensor._make(
+            data, [self], backward, "reshape",
+            kernel=_viewing(lambda a: a.reshape(shape)),
+        )
 
     def flatten(self, start_dim: int = 0) -> "Tensor":
         shape = self.shape[:start_dim] + (-1,)
@@ -420,7 +477,10 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad.transpose(inverse))
 
-        return Tensor._make(data, [self], backward, "transpose")
+        return Tensor._make(
+            data, [self], backward, "transpose",
+            kernel=_viewing(lambda a: a.transpose(axes_t)),
+        )
 
     def swapaxes(self, a: int, b: int) -> "Tensor":
         axes = list(range(self.ndim))
@@ -433,7 +493,10 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(np.squeeze(grad, axis=axis))
 
-        return Tensor._make(data, [self], backward, "expand_dims")
+        return Tensor._make(
+            data, [self], backward, "expand_dims",
+            kernel=_viewing(lambda a: np.expand_dims(a, axis)),
+        )
 
     def squeeze(self, axis: Optional[int] = None) -> "Tensor":
         data = np.squeeze(self.data, axis=axis)
@@ -442,11 +505,21 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad.reshape(original))
 
-        return Tensor._make(data, [self], backward, "squeeze")
+        return Tensor._make(
+            data, [self], backward, "squeeze",
+            kernel=_viewing(lambda a: np.squeeze(a, axis=axis)),
+        )
 
     def __getitem__(self, index) -> "Tensor":
-        if isinstance(index, Tensor):
+        tensor_index = isinstance(index, Tensor)
+        if tensor_index:
             index = index.data
+        # Array/list (fancy) indices may be data-dependent, which a baked
+        # replay kernel cannot see; only static slice/int indices replay.
+        parts = index if isinstance(index, tuple) else (index,)
+        static_index = not tensor_index and not any(
+            isinstance(part, (np.ndarray, list)) for part in parts
+        )
         data = self.data[index]
 
         def backward(grad: np.ndarray) -> None:
@@ -454,7 +527,10 @@ class Tensor:
             np.add.at(full, index, grad)
             self._accumulate(full)
 
-        return Tensor._make(data, [self], backward, "getitem")
+        return Tensor._make(
+            data, [self], backward, "getitem",
+            kernel=_viewing(lambda a: a[index]) if static_index else None,
+        )
 
     # ------------------------------------------------------------------
     # Comparisons (non-differentiable, return plain numpy bool arrays)
@@ -497,7 +573,10 @@ def stack_tensors(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
         for t, piece in zip(tensors, pieces):
             t._accumulate(np.squeeze(piece, axis=axis))
 
-    return Tensor._make(data, tensors, backward, "stack")
+    return Tensor._make(
+        data, tensors, backward, "stack",
+        kernel=lambda *arrs: np.stack(arrs, axis=axis),
+    )
 
 
 def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
@@ -513,4 +592,7 @@ def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
             slicer[axis] = slice(start, stop)
             t._accumulate(grad[tuple(slicer)])
 
-    return Tensor._make(data, tensors, backward, "concatenate")
+    return Tensor._make(
+        data, tensors, backward, "concatenate",
+        kernel=lambda *arrs: np.concatenate(arrs, axis=axis),
+    )

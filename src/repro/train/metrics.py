@@ -54,17 +54,22 @@ def binary_miou_stack(pred_masks: np.ndarray, true_mask: np.ndarray) -> np.ndarr
     """Per-slice :func:`binary_miou` over a leading chip/instance axis.
 
     ``pred_masks`` carries one predicted mask per slice (shape
-    ``(stack, *mask)``), scored against the shared ``true_mask``.  Pure
-    array ops over the stack axis, bit-identical to looping
-    ``binary_miou(pred_masks[i], true_mask)``: integer intersection/union
-    sums are exact, the float division and the final two-class average
-    ``(fg + bg) / 2`` match the loop's arithmetic operation for operation.
+    ``(stack, *mask)``), scored against ``true_mask`` — either one shared
+    ground truth of shape ``mask`` (the chip-batched case: every chip's
+    prediction scores against the same image) or one truth per slice of
+    shape ``(stack, *mask)`` (the image-batched case: slice ``i`` scores
+    against its own image).  Pure array ops over the stack axis,
+    bit-identical to looping ``binary_miou`` slice by slice: integer
+    intersection/union sums are exact, the float division and the final
+    two-class average ``(fg + bg) / 2`` match the loop's arithmetic
+    operation for operation.
     """
     pred = np.asarray(pred_masks).astype(bool)
     true = np.asarray(true_mask).astype(bool)
     stack = pred.shape[0]
+    per_slice_truth = true.shape == pred.shape
     pred = pred.reshape(stack, -1)
-    true = true.reshape(-1)
+    true = true.reshape(stack, -1) if per_slice_truth else true.reshape(-1)
     ious = []
     for cls_pred, cls_true in ((pred, true), (~pred, ~true)):
         inter = (cls_pred & cls_true).sum(axis=1)

@@ -1,0 +1,120 @@
+"""Regression tests for the vectorized segmentation evaluator.
+
+``segmentation_miou`` scores every image of a batch — and, under an
+active chip batch, every (chip, image) pair — with ONE
+``binary_miou_stack`` call instead of a per-image Python loop.  These
+tests pin bit-identity against a literal transcription of the former
+loop (per-image ``binary_miou`` / per-image ``binary_miou_stack``) on
+both the serial and chip-batched shapes, including the Bayesian MC path.
+"""
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset
+from repro.eval.evaluators import segmentation_miou
+from repro.models import conventional, proposed
+from repro.models.unet import UNet
+from repro.tensor import Tensor, manual_seed, no_grad
+from repro.tensor.chipbatch import chip_batch
+from repro.tensor.random import scoped_rng
+from repro.train.metrics import binary_miou, binary_miou_stack
+
+
+def _loop_reference(model, test_set, method, mc_samples=3, batch_size=4):
+    """Literal transcription of the pre-vectorization per-image loop."""
+    from repro.core.bayesian import mc_forward
+
+    per_image = []
+    for start in range(0, len(test_set), batch_size):
+        x, y = test_set[np.s_[start : start + batch_size]]
+        from repro.eval.evaluators import _as_input
+
+        xt = _as_input(x)
+        if method.is_bayesian:
+            logits = mc_forward(model, xt, mc_samples).mean(axis=0)
+        else:
+            model.eval()
+            with no_grad():
+                logits = model(xt).data
+        pred_mask = logits > 0.0
+        batched = pred_mask.ndim == y.ndim + 1
+        for i in range(len(y)):
+            if batched:
+                per_image.append(binary_miou_stack(pred_mask[:, i], y[i] > 0.5))
+            else:
+                per_image.append(binary_miou(pred_mask[i], y[i] > 0.5))
+    if per_image and isinstance(per_image[0], np.ndarray):
+        stacked = np.stack(per_image, axis=0)
+        return np.array(
+            [float(np.mean(stacked[:, chip])) for chip in range(stacked.shape[1])]
+        )
+    return float(np.mean(per_image))
+
+
+def _setup(method, n_images=5, size=8, seed=0):
+    manual_seed(seed)
+    model = UNet(method, base_width=8, depth=1)
+    model.eval()
+    rng = np.random.default_rng(seed + 1)
+    images = rng.normal(size=(n_images, 1, size, size))
+    masks = (rng.random((n_images, size, size)) > 0.5).astype(np.float64)
+    return model, ArrayDataset(images, masks)
+
+
+class TestSegmentationMiouVectorized:
+    def test_serial_conventional_matches_loop(self):
+        method = conventional(conventional_norm="group")
+        model, test_set = _setup(method)
+        with scoped_rng(np.random.default_rng(3)):
+            vectorized = segmentation_miou(model, test_set, method, batch_size=2)
+        with scoped_rng(np.random.default_rng(3)):
+            looped = _loop_reference(model, test_set, method, batch_size=2)
+        assert isinstance(vectorized, float)
+        np.testing.assert_array_equal(vectorized, looped)
+
+    def test_serial_bayesian_matches_loop(self):
+        method = proposed()
+        model, test_set = _setup(method)
+        with scoped_rng(np.random.default_rng(5)):
+            vectorized = segmentation_miou(
+                model, test_set, method, mc_samples=3, batch_size=2
+            )
+        with scoped_rng(np.random.default_rng(5)):
+            looped = _loop_reference(
+                model, test_set, method, mc_samples=3, batch_size=2
+            )
+        np.testing.assert_array_equal(vectorized, looped)
+
+    def test_chip_batched_matches_loop(self):
+        method = proposed()
+        model, test_set = _setup(method)
+        with chip_batch(3), scoped_rng(np.random.default_rng(7)):
+            # Per-chip streams are irrelevant here: the model has no fault
+            # hooks, so all chips see identical activations — what matters
+            # is the (chips, images) reduction order, pinned below.
+            from repro.tensor.chipbatch import ChipBatchRng
+
+            rngs = [np.random.default_rng(i) for i in range(3)]
+            with scoped_rng(ChipBatchRng(rngs)):
+                vectorized = segmentation_miou(
+                    model, test_set, method, mc_samples=2, batch_size=2
+                )
+        with chip_batch(3):
+            rngs = [np.random.default_rng(i) for i in range(3)]
+            from repro.tensor.chipbatch import ChipBatchRng
+
+            with scoped_rng(ChipBatchRng(rngs)):
+                looped = _loop_reference(
+                    model, test_set, method, mc_samples=2, batch_size=2
+                )
+        assert isinstance(vectorized, np.ndarray) and vectorized.shape == (3,)
+        np.testing.assert_array_equal(vectorized, looped)
+
+    def test_single_image_batches(self):
+        method = conventional(conventional_norm="group")
+        model, test_set = _setup(method, n_images=3)
+        with scoped_rng(np.random.default_rng(1)):
+            vectorized = segmentation_miou(model, test_set, method, batch_size=1)
+        with scoped_rng(np.random.default_rng(1)):
+            looped = _loop_reference(model, test_set, method, batch_size=1)
+        np.testing.assert_array_equal(vectorized, looped)

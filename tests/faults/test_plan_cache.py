@@ -1,0 +1,270 @@
+"""Plan-cache keying and invalidation for trace-compiled forwards.
+
+Plans capture deployment-frozen state (quantized weight codes, faulty
+dequantized weights) as constants, so the cache key must rotate whenever
+that state can change: optimizer steps and ``load_state_dict`` bump
+every touched :class:`~repro.nn.module.Parameter`'s ``(uid, version)``
+counter (the same counters the PR 3 quantization cache keys on), and a
+newly attached stateful fault hook signs with a fresh ``fault_token``.
+Seed-frozen batched hooks sign by value (spec + seeds) instead — an
+*identical* re-attach replays, anything else re-traces.  Ad-hoc callable
+hooks have no signature at all and force the interpreted path.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.faults import FaultSpec, FaultInjector, ChipBatchedWeightFault
+from repro.nn.dropout import set_mask_scope
+from repro.quant import QuantLinear
+from repro.tensor import Tensor, manual_seed, no_grad
+from repro.tensor import plan as plan_mod
+from repro.train import Adam, mse_loss
+
+
+def build_model(seed=0):
+    manual_seed(seed)
+    model = nn.Sequential(
+        QuantLinear(6, 5, weight_bits=8),
+        nn.Dropout(0.2),
+        QuantLinear(5, 2, weight_bits=8),
+    )
+    model.eval()
+    return model
+
+
+def forward_planned(model, x, rng_seed=0):
+    from repro.tensor.random import scoped_rng
+
+    with no_grad(), scoped_rng(np.random.default_rng(rng_seed)):
+        with plan_mod.plan_execution(True):
+            return model(Tensor(x)).data
+
+
+X = np.random.default_rng(3).normal(size=(4, 6))
+
+
+class TestTraceReplayLifecycle:
+    def test_second_call_replays(self):
+        model = build_model()
+        forward_planned(model, X)
+        stats = plan_mod.plan_stats(model)
+        assert (stats.traces, stats.replays) == (1, 0)
+        forward_planned(model, X)
+        assert (stats.traces, stats.replays) == (1, 1)
+
+    def test_replay_matches_interpreted(self):
+        model = build_model()
+        forward_planned(model, X)  # trace
+        planned = forward_planned(model, X, rng_seed=11)
+        from repro.tensor.random import scoped_rng
+
+        with no_grad(), scoped_rng(np.random.default_rng(11)):
+            interpreted = model(Tensor(X)).data
+        np.testing.assert_array_equal(planned, interpreted)
+
+    def test_new_input_shape_new_plan(self):
+        model = build_model()
+        forward_planned(model, X)
+        forward_planned(model, X[:2])
+        assert plan_mod.plan_stats(model).traces == 2
+
+    def test_no_plan_routing_disabled(self):
+        model = build_model()
+        with no_grad(), plan_mod.plan_execution(False):
+            model(Tensor(X))
+        stats = plan_mod.plan_stats(model)
+        assert stats.traces == 0 and stats.replays == 0
+
+    def test_returned_array_detached_from_buffers(self):
+        """Held outputs must survive later replays (buffers are pooled)."""
+        model = build_model()
+        forward_planned(model, X)
+        first = forward_planned(model, X, rng_seed=7)
+        kept = first.copy()
+        forward_planned(model, X, rng_seed=8)  # overwrites pooled buffers
+        np.testing.assert_array_equal(first, kept)
+
+    def test_lru_eviction_bounds_cache(self):
+        model = build_model()
+        for n in range(1, plan_mod.MAX_PLANS_PER_MODULE + 4):
+            forward_planned(model, X[: max(1, n % 5 + 1)])
+        assert (
+            len(plan_mod.plan_stats(model).plans)
+            <= plan_mod.MAX_PLANS_PER_MODULE
+        )
+
+
+class TestParameterVersionInvalidation:
+    def test_optimizer_step_forces_retrace(self):
+        model = build_model()
+        forward_planned(model, X)
+        stats = plan_mod.plan_stats(model)
+        assert stats.traces == 1
+        # One training step: backward + Adam.step() bumps every parameter's
+        # version counter.
+        model.train()
+        optimizer = Adam(model.parameters(), lr=1e-2)
+        pred = model(Tensor(X))
+        loss = mse_loss(pred, np.zeros(pred.shape))
+        model.zero_grad()
+        loss.backward()
+        optimizer.step()
+        model.eval()
+        before = forward_planned(model, X)
+        assert stats.traces == 2  # new versions -> new key -> re-trace
+        np.testing.assert_array_equal(before, forward_planned(model, X))
+        assert stats.traces == 2 and stats.replays >= 1
+
+    def test_load_state_dict_forces_retrace(self):
+        model = build_model()
+        forward_planned(model, X)
+        stats = plan_mod.plan_stats(model)
+        model.load_state_dict(model.state_dict())  # bumps versions
+        forward_planned(model, X)
+        assert stats.traces == 2
+
+    def test_stale_plan_never_served_after_weight_change(self):
+        model = build_model()
+        forward_planned(model, X)
+        reference = forward_planned(model, X, rng_seed=1)
+        layer = model[0]
+        layer.weight.data[...] += 0.5
+        layer.weight.mark_updated()
+        changed = forward_planned(model, X, rng_seed=1)
+        assert not np.array_equal(reference, changed)
+
+
+class TestFaultHookInvalidation:
+    def test_new_fault_token_forces_retrace(self):
+        """Each freshly attached stateful hook re-traces (token keying)."""
+        model = build_model()
+        injector = FaultInjector(model)
+        spec = FaultSpec(kind="bitflip", level=0.2)
+        stats = plan_mod.plan_stats(model)
+        values = []
+        for attach_round in range(2):
+            injector.attach(spec, np.random.default_rng(99))
+            values.append(forward_planned(model, X, rng_seed=1))
+            injector.detach()
+        # Same attach rng => same fault patterns => same values, but the
+        # hooks carry fresh fault tokens, so each attach traced anew.
+        np.testing.assert_array_equal(values[0], values[1])
+        assert stats.traces == 2
+        assert stats.replays == 0
+
+    def test_identical_batched_hook_reuses_plan(self):
+        """Seed-frozen batched hooks sign by value: same seeds replay."""
+        model = build_model()
+        spec = FaultSpec(kind="additive", level=0.3)
+        stats = plan_mod.plan_stats(model)
+        for _ in range(2):
+            for layer in (model[0], model[2]):
+                layer.weight_fault = ChipBatchedWeightFault(spec, [11, 22])
+            from repro.tensor.chipbatch import chip_batch
+
+            with chip_batch(2):
+                forward_planned(
+                    model, np.broadcast_to(X[None], (2,) + X.shape).copy()
+                )
+            for layer in (model[0], model[2]):
+                layer.weight_fault = None
+        assert stats.traces == 1 and stats.replays == 1
+
+    def test_different_batched_seeds_force_retrace(self):
+        model = build_model()
+        spec = FaultSpec(kind="additive", level=0.3)
+        stats = plan_mod.plan_stats(model)
+        from repro.tensor.chipbatch import chip_batch
+
+        for seeds in ([11, 22], [33, 44]):
+            for layer in (model[0], model[2]):
+                layer.weight_fault = ChipBatchedWeightFault(spec, seeds)
+            with chip_batch(2):
+                forward_planned(
+                    model, np.broadcast_to(X[None], (2,) + X.shape).copy()
+                )
+            for layer in (model[0], model[2]):
+                layer.weight_fault = None
+        assert stats.traces == 2
+
+    def test_ad_hoc_hook_falls_back_to_interpretation(self):
+        model = build_model()
+        model[0].weight_fault = lambda qw: qw.codes  # no plan_signature
+        forward_planned(model, X)
+        stats = plan_mod.plan_stats(model)
+        assert stats.traces == 0 and stats.replays == 0
+        model[0].weight_fault = None
+
+
+class TestSamplingStateKeying:
+    def test_mask_scope_change_forces_retrace(self):
+        model = build_model()
+        from repro.core.bayesian import enable_stochastic_inference
+
+        enable_stochastic_inference(model, True)
+        forward_planned(model, X)
+        stats = plan_mod.plan_stats(model)
+        set_mask_scope(model, "frozen")
+        forward_planned(model, X)
+        assert stats.traces == 2
+        enable_stochastic_inference(model, False)
+
+    def test_stochastic_inference_toggle_forces_retrace(self):
+        model = build_model()
+        from repro.core.bayesian import enable_stochastic_inference
+
+        forward_planned(model, X)
+        stats = plan_mod.plan_stats(model)
+        enable_stochastic_inference(model, True)
+        forward_planned(model, X)
+        assert stats.traces == 2
+        enable_stochastic_inference(model, False)
+
+    def test_training_mode_never_planned(self):
+        model = build_model()
+        model.train()
+        with no_grad(), plan_mod.plan_execution(True):
+            model(Tensor(X))
+        assert plan_mod.plan_stats(model).traces == 0
+
+
+class TestTracePoisoning:
+    def test_kernel_less_op_poisons_and_falls_back(self):
+        class Odd(nn.Module):
+            def forward(self, x):
+                data = x.data * 2.0
+
+                def backward(grad):
+                    x._accumulate(2.0 * grad)
+
+                return Tensor._make(data, [x], backward, "odd")  # no kernel
+
+        model = nn.Sequential(Odd())
+        model.eval()
+        first = forward_planned(model, X)
+        stats = plan_mod.plan_stats(model)
+        assert stats.traces == 0 and stats.fallbacks >= 1
+        second = forward_planned(model, X)
+        np.testing.assert_array_equal(first, second)
+        assert stats.replays == 0  # poisoned key keeps interpreting
+
+    def test_frozen_mask_predating_trace_poisons(self):
+        manual_seed(0)
+        model = nn.Sequential(nn.Dropout(0.3))
+        model.eval()
+        from repro.core.bayesian import enable_stochastic_inference
+
+        enable_stochastic_inference(model, True)
+        set_mask_scope(model, "frozen")
+        from repro.tensor.random import scoped_rng
+
+        with no_grad(), scoped_rng(np.random.default_rng(0)):
+            model(Tensor(X))  # freezes a mask outside any trace
+            with plan_mod.plan_execution(True):
+                planned = model(Tensor(X)).data
+            interpreted = model(Tensor(X)).data
+        stats = plan_mod.plan_stats(model)
+        assert stats.fallbacks >= 1 and stats.traces == 0
+        np.testing.assert_array_equal(planned, interpreted)

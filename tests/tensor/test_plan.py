@@ -1,0 +1,276 @@
+"""Unit tests for the forward-plan tracer, replayer, and buffer pool.
+
+Covers the mechanics below the campaign engine: slot registration,
+kernel/source step recording, constant capture, liveness-pooled ``out=``
+buffers (including view aliasing), replay bit-identity for a plain
+module stack, and the profiling stage accumulator.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor, manual_seed, no_grad, ops
+from repro.tensor import plan as plan_mod
+from repro.tensor.random import scoped_rng
+
+
+def planned_forward(model, x, rng_seed=0):
+    with no_grad(), scoped_rng(np.random.default_rng(rng_seed)):
+        with plan_mod.plan_execution(True):
+            return model(Tensor(x)).data
+
+
+class TestRoutingState:
+    def test_routing_off_by_default(self):
+        assert not plan_mod.plan_routing_active()
+
+    def test_plan_execution_scopes_and_restores(self):
+        with plan_mod.plan_execution(True):
+            assert plan_mod.plan_routing_active()
+            with plan_mod.plan_execution(False):
+                assert not plan_mod.plan_routing_active()
+            assert plan_mod.plan_routing_active()
+        assert not plan_mod.plan_routing_active()
+
+    def test_routing_inactive_while_tracing(self):
+        seen = []
+
+        class Probe(nn.Module):
+            def forward(self, x):
+                seen.append(plan_mod.plan_routing_active())
+                return x * 2.0
+
+        model = nn.Sequential(Probe())
+        model.eval()
+        planned_forward(model, np.ones((2, 3)))
+        assert seen == [False]  # nested calls interpret during the trace
+
+
+class TestKernelIdentity:
+    def test_dense_stack_replay_bit_identical(self):
+        manual_seed(0)
+        model = nn.Sequential(
+            nn.Linear(8, 16),
+            nn.Tanh(),
+            nn.Linear(16, 4),
+            nn.Softmax(),
+        )
+        model.eval()
+        x = np.random.default_rng(1).normal(size=(5, 8))
+        traced = planned_forward(model, x)
+        replayed = planned_forward(model, x)
+        with no_grad():
+            interpreted = model(Tensor(x)).data
+        np.testing.assert_array_equal(traced, interpreted)
+        np.testing.assert_array_equal(replayed, interpreted)
+        stats = plan_mod.plan_stats(model)
+        assert stats.traces == 1 and stats.replays == 1
+
+    def test_conv_pool_stack_replay_bit_identical(self):
+        manual_seed(0)
+        model = nn.Sequential(
+            nn.Conv2d(2, 4, 3, padding=1),
+            nn.ReLU(),
+            nn.MaxPool2d(2),
+            nn.GroupNorm(2, 4),
+            nn.GlobalAvgPool2d(),
+        )
+        model.eval()
+        x = np.random.default_rng(2).normal(size=(3, 2, 8, 8))
+        planned_forward(model, x)
+        replayed = planned_forward(model, x)
+        with no_grad():
+            interpreted = model(Tensor(x)).data
+        np.testing.assert_array_equal(replayed, interpreted)
+
+    def test_fresh_inputs_flow_through_replay(self):
+        manual_seed(0)
+        model = nn.Sequential(nn.Linear(4, 3), nn.Sigmoid())
+        model.eval()
+        rng = np.random.default_rng(3)
+        x1, x2 = rng.normal(size=(6, 4)), rng.normal(size=(6, 4))
+        planned_forward(model, x1)  # trace on x1
+        replayed = planned_forward(model, x2)  # replay with new input
+        with no_grad():
+            interpreted = model(Tensor(x2)).data
+        np.testing.assert_array_equal(replayed, interpreted)
+
+
+class TestSourceSteps:
+    def test_stochastic_replay_draws_fresh_per_pass(self):
+        manual_seed(0)
+        from repro.core.bayesian import enable_stochastic_inference
+
+        model = nn.Sequential(nn.Linear(4, 4), nn.Dropout(0.5))
+        model.eval()
+        enable_stochastic_inference(model, True)
+        x = np.ones((3, 4))
+        with no_grad(), scoped_rng(np.random.default_rng(42)):
+            with plan_mod.plan_execution(True):
+                a = model(Tensor(x)).data  # trace: draws mask 1
+                b = model(Tensor(x)).data  # replay: draws mask 2
+        with no_grad(), scoped_rng(np.random.default_rng(42)):
+            ref_a = model(Tensor(x)).data
+            ref_b = model(Tensor(x)).data
+        np.testing.assert_array_equal(a, ref_a)
+        np.testing.assert_array_equal(b, ref_b)
+        assert not np.array_equal(a, b)  # masks really differ per pass
+
+    def test_traced_source_records_and_returns(self):
+        trace = plan_mod._Trace(np.zeros(3))
+        plan_mod._STATE.trace = trace
+        try:
+            value = plan_mod.traced_source(lambda: np.ones(2))
+        finally:
+            plan_mod._STATE.trace = None
+        assert isinstance(value, np.ndarray)
+        assert len(trace.steps) == 1 and trace.steps[0][0] == "s"
+
+    def test_source_tuple_outputs_register_slots(self):
+        trace = plan_mod._Trace(np.zeros(3))
+        plan_mod._STATE.trace = trace
+        try:
+            value = plan_mod.traced_source(lambda: (np.ones(2), np.zeros(2)))
+        finally:
+            plan_mod._STATE.trace = None
+        assert trace.failed is None
+        assert all(id(v) in trace.slot_of for v in value)
+
+    def test_ensure_known_poisons_on_foreign_array(self):
+        trace = plan_mod._Trace(np.zeros(3))
+        plan_mod._STATE.trace = trace
+        try:
+            plan_mod.ensure_known(np.ones(4))
+        finally:
+            plan_mod._STATE.trace = None
+        assert trace.failed is not None
+
+
+class TestBufferPool:
+    def _plan_for(self, model, x):
+        planned_forward(model, x)
+        cache = plan_mod.plan_stats(model)
+        (entry,) = cache.plans.values()
+        return entry
+
+    def test_pool_smaller_than_step_count(self):
+        manual_seed(0)
+        layers = []
+        for _ in range(6):
+            layers += [nn.Linear(8, 8), nn.Tanh()]
+        model = nn.Sequential(*layers)
+        model.eval()
+        entry = self._plan_for(model, np.zeros((4, 8)))
+        outable_steps = sum(
+            1
+            for step in entry._steps
+            if step[0] == "k" and step[4] is not None
+        )
+        assert outable_steps > entry.n_buffers  # buffers genuinely reused
+
+    def test_views_pin_underlying_buffers(self):
+        """A reshape view of a pooled result must survive buffer reuse."""
+
+        class Viewy(nn.Module):
+            def forward(self, x):
+                y = x + 1.0          # pooled buffer A
+                v = y.reshape(-1)    # view of A
+                z = x * 2.0          # must NOT steal A while v is live
+                return v + z.reshape(-1)
+
+        model = nn.Sequential(Viewy())
+        model.eval()
+        x = np.arange(12.0).reshape(3, 4)
+        planned_forward(model, x)
+        replayed = planned_forward(model, x)
+        with no_grad():
+            interpreted = model(Tensor(x)).data
+        np.testing.assert_array_equal(replayed, interpreted)
+
+    def test_output_copy_detaches_from_pool(self):
+        manual_seed(0)
+        model = nn.Sequential(nn.Linear(4, 4), nn.Tanh())
+        model.eval()
+        x = np.random.default_rng(0).normal(size=(2, 4))
+        planned_forward(model, x)
+        first = planned_forward(model, x)
+        snapshot = first.copy()
+        planned_forward(model, x * 3.0)
+        np.testing.assert_array_equal(first, snapshot)
+
+
+class TestPoisoning:
+    def test_where_poisons_trace(self):
+        class UsesWhere(nn.Module):
+            def forward(self, x):
+                return ops.where(x.data > 0, x, x * 0.5)
+
+        model = nn.Sequential(UsesWhere())
+        model.eval()
+        x = np.random.default_rng(0).normal(size=(3, 3))
+        first = planned_forward(model, x)
+        second = planned_forward(model, x)
+        stats = plan_mod.plan_stats(model)
+        assert stats.traces == 0 and stats.fallbacks >= 2
+        np.testing.assert_array_equal(first, second)
+
+    def test_record_op_without_kernel_fails_trace(self):
+        trace = plan_mod._Trace(np.zeros(3))
+        trace.record_op(None, [np.zeros(3)], np.ones(3), "mystery")
+        assert trace.failed is not None
+
+    def test_non_tensor_output_not_planned(self):
+        class TupleOut(nn.Module):
+            def forward(self, x):
+                return x, x
+
+        model = TupleOut()
+        model.eval()
+        with no_grad(), plan_mod.plan_execution(True):
+            out = model(Tensor(np.ones(3)))
+        assert isinstance(out, tuple)
+        assert plan_mod.plan_stats(model).traces == 0
+
+
+class TestProfiling:
+    def test_stage_accumulates_only_when_profiled(self):
+        with plan_mod.stage("attach"):
+            pass  # no-op outside profiled()
+        with plan_mod.profiled() as stages:
+            with plan_mod.stage("attach"):
+                pass
+            with plan_mod.stage("attach"):
+                pass
+            assert stages["attach"] >= 0.0
+        assert set(stages) == {"attach"}
+
+    def test_trace_and_replay_stages_recorded(self):
+        manual_seed(0)
+        model = nn.Sequential(nn.Linear(3, 3))
+        model.eval()
+        x = np.zeros((2, 3))
+        with plan_mod.profiled() as stages:
+            planned_forward(model, x)
+            planned_forward(model, x)
+        assert "trace" in stages and "replay" in stages
+
+    def test_format_profile_renders_breakdown(self):
+        from repro.eval.reporting import format_profile
+
+        text = format_profile(
+            {"attach": 0.01, "trace": 0.02, "replay": 0.03, "metric": 0.06}
+        )
+        assert "attach" in text and "replay" in text
+        assert "metric (other)" in text
+
+
+class TestClearPlans:
+    def test_clear_plans_resets_module_cache(self):
+        manual_seed(0)
+        model = nn.Sequential(nn.Linear(3, 3))
+        model.eval()
+        planned_forward(model, np.zeros((2, 3)))
+        assert plan_mod.plan_stats(model).traces == 1
+        plan_mod.clear_plans(model)
+        assert plan_mod.plan_stats(model).traces == 0

@@ -45,3 +45,35 @@ class TestBinaryMiouStack:
         stacked = binary_miou_stack(preds, true)
         looped = np.array([binary_miou(p, true) for p in preds])
         np.testing.assert_array_equal(stacked, looped)
+
+
+class TestBinaryMiouStackPerSliceTruth:
+    """Per-slice ground truths (the image-batched segmentation evaluator)."""
+
+    def test_matches_looped_binary_miou_per_pair(self):
+        rng = np.random.default_rng(9)
+        preds = rng.random((6, 10, 10)) > 0.5
+        trues = rng.random((6, 10, 10)) > 0.4
+        stacked = binary_miou_stack(preds, trues)
+        looped = np.array(
+            [binary_miou(p, t) for p, t in zip(preds, trues)]
+        )
+        np.testing.assert_array_equal(stacked, looped)
+
+    def test_shared_truth_still_broadcasts(self):
+        rng = np.random.default_rng(10)
+        preds = rng.random((5, 8, 8)) > 0.5
+        true = rng.random((8, 8)) > 0.5
+        np.testing.assert_array_equal(
+            binary_miou_stack(preds, true),
+            np.array([binary_miou(p, true) for p in preds]),
+        )
+
+    def test_per_slice_empty_classes(self):
+        preds = np.zeros((2, 3, 3), dtype=bool)
+        trues = np.stack([np.zeros((3, 3), bool), np.ones((3, 3), bool)])
+        stacked = binary_miou_stack(preds, trues)
+        looped = np.array(
+            [binary_miou(p, t) for p, t in zip(preds, trues)]
+        )
+        np.testing.assert_array_equal(stacked, looped)
