@@ -5,7 +5,7 @@ Speedup benchmarks append one row per measured configuration to a
 speedup benchmark, so the performance trajectory across PRs is diffable
 and scriptable instead of buried in pytest stdout)::
 
-    [{"schema_version": 2, "task": "co2", "backend": "mc-batched",
+    [{"schema_version": 3, "task": "co2", "backend": "mc-batched",
       "cells_per_sec": 195.7, "ratio": 2.83}, ...]
 
 ``ratio`` is the speedup of the row's backend over the benchmark's own
@@ -15,6 +15,12 @@ measurements, and consumers take the latest row per (task, backend).
 The row schema is documented in ``docs/benchmarks.md``; bump
 :data:`SCHEMA_VERSION` when a field is added, renamed, or reinterpreted
 (rows without the field predate version 2).
+
+Appends are atomic: the full row list is serialized to a sibling
+temporary file which then replaces the target via ``os.replace``, so an
+interrupted benchmark run (Ctrl-C, OOM-kill mid-``json.dump``) can never
+leave a truncated or corrupt trajectory file behind — readers see either
+the old complete list or the new complete list.
 """
 
 from __future__ import annotations
@@ -23,10 +29,13 @@ import json
 import os
 from typing import List, Optional
 
-#: Version of the row schema written by :func:`record_bench`.  ``2`` added
-#: the ``schema_version`` field itself; ``1`` rows (``BENCH_pr3.json``
-#: before this field existed) carry no version marker.
-SCHEMA_VERSION = 2
+#: Version of the row schema written by :func:`record_bench`.  ``3``
+#: allowed benchmark-specific ``extra`` fields to be merged into a row
+#: (first used by ``BENCH_pr6.json``'s optimizer step counters); ``2``
+#: added the ``schema_version`` field itself; ``1`` rows
+#: (``BENCH_pr3.json`` before this field existed) carry no version
+#: marker.
+SCHEMA_VERSION = 3
 
 def bench_path(tag: str) -> str:
     """Repo-root path of the ``BENCH_<tag>.json`` trajectory file."""
@@ -44,12 +53,17 @@ def record_bench(
     cells_per_sec: float,
     ratio: float,
     bench_file: Optional[str] = None,
+    extra: Optional[dict] = None,
 ) -> List[dict]:
     """Append one ``{schema_version, task, backend, cells_per_sec, ratio}``
     row.
 
-    Returns the full row list after the append.  A missing or corrupt
-    file starts fresh — the recorder must never fail a benchmark.
+    ``extra`` fields (benchmark-specific measurements such as step-count
+    reductions) are merged into the row after the standard keys; they may
+    not override them.  Returns the full row list after the append.  A
+    missing or corrupt file starts fresh — the recorder must never fail a
+    benchmark.  The write is temp-file-then-rename atomic (see module
+    docstring).
     """
     path = bench_file or BENCH_FILE
     rows: List[dict] = []
@@ -60,16 +74,27 @@ def record_bench(
             rows = loaded
     except (OSError, ValueError):
         rows = []
-    rows.append(
-        {
-            "schema_version": SCHEMA_VERSION,
-            "task": str(task),
-            "backend": str(backend),
-            "cells_per_sec": round(float(cells_per_sec), 2),
-            "ratio": round(float(ratio), 3),
-        }
-    )
-    with open(path, "w") as fh:
-        json.dump(rows, fh, indent=2)
-        fh.write("\n")
+    row = {
+        "schema_version": SCHEMA_VERSION,
+        "task": str(task),
+        "backend": str(backend),
+        "cells_per_sec": round(float(cells_per_sec), 2),
+        "ratio": round(float(ratio), 3),
+    }
+    if extra:
+        for key, value in extra.items():
+            row.setdefault(key, value)
+    rows.append(row)
+    tmp_path = path + ".tmp"
+    try:
+        with open(tmp_path, "w") as fh:
+            json.dump(rows, fh, indent=2)
+            fh.write("\n")
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.remove(tmp_path)
+        except OSError:
+            pass
+        raise
     return rows

@@ -4,7 +4,7 @@ Run from the repository root (CI runs it in the docs job)::
 
     python -m scripts.check_docs
 
-Checks, over ``README.md`` and every ``docs/*.md``:
+Checks, over ``README.md``, ``ROADMAP.md`` and every ``docs/*.md``:
 
 1. relative markdown links ``[text](target)`` point at files/directories
    that exist (anchors are stripped; external ``http(s)://`` links are
@@ -12,13 +12,18 @@ Checks, over ``README.md`` and every ``docs/*.md``:
 2. repository paths mentioned in prose or tables — ``benchmarks/*.py``,
    ``examples/*.py``, ``tests/**.py``, ``docs/*.md``, ``scripts/*.py`` —
    exist;
-3. documented CLI entry points parse: every ``python -m repro.eval ...``
+3. absolute filesystem paths (``/root/...``, ``/home/...``, ``/opt/...``,
+   ``/tmp/...``) mentioned in the documents exist on this machine —
+   references to container-local material that has since been removed
+   (e.g. a retrieval scratch directory) are dangling pointers for every
+   reader and fail the check;
+4. documented CLI entry points parse: every ``python -m repro.eval ...``
    invocation found in the documents is validated against the real
    argument parser (no network, no training — parse only);
 
 and, over the public API:
 
-4. every public symbol exported from the ``repro.faults``, ``repro.eval``
+5. every public symbol exported from the ``repro.faults``, ``repro.eval``
    and ``repro.tensor`` package ``__init__`` (their ``__all__``) that is
    a class, function, or module carries a docstring — the docs suite
    links into these namespaces, so an undocumented export is a
@@ -45,6 +50,12 @@ LINK_RE = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
 PATH_RE = re.compile(
     r"\b((?:benchmarks|examples|tests|docs|scripts)/[\w./-]+?\.(?:py|md))\b"
 )
+#: Absolute paths outside the repository (container-local directories a
+#: doc might dangle at after the material is removed).  ``/tmp`` is
+#: included so tests can exercise the check against real paths.
+ABS_PATH_RE = re.compile(
+    r"(/(?:root|home|opt|srv|mnt|data|tmp)/[\w][\w./*<>-]*)"
+)
 CLI_RE = re.compile(r"python -m repro\.eval[^\n`|]*")
 
 #: Public namespaces whose exports must be documented (check 4).
@@ -60,7 +71,7 @@ def _rel(doc: pathlib.Path) -> str:
 
 
 def _doc_files() -> List[pathlib.Path]:
-    docs = [ROOT / "README.md"]
+    docs = [ROOT / "README.md", ROOT / "ROADMAP.md"]
     docs.extend(sorted((ROOT / "docs").glob("*.md")))
     return [d for d in docs if d.exists()]
 
@@ -86,6 +97,22 @@ def _check_paths(doc: pathlib.Path, text: str) -> List[str]:
             continue
         if not (ROOT / path).exists():
             errors.append(f"{_rel(doc)}: missing path -> {path}")
+    return errors
+
+
+def _check_external_paths(doc: pathlib.Path, text: str) -> List[str]:
+    """Flag absolute filesystem references that do not exist (check 3)."""
+    errors = []
+    cleaned_paths = {
+        path.rstrip(".,;:") for path in ABS_PATH_RE.findall(text)
+    }
+    for cleaned in sorted(cleaned_paths):
+        if "*" in cleaned or "<" in cleaned:
+            continue  # glob/placeholder, not a concrete reference
+        if not pathlib.Path(cleaned).exists():
+            errors.append(
+                f"{_rel(doc)}: dangling filesystem path -> {cleaned}"
+            )
     return errors
 
 
@@ -162,6 +189,7 @@ def main() -> int:
         text = doc.read_text(encoding="utf-8")
         failures += _check_links(doc, text)
         failures += _check_paths(doc, text)
+        failures += _check_external_paths(doc, text)
         failures += _check_cli_commands(doc, text)
     failures += _check_docstrings()
     if failures:

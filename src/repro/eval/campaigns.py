@@ -151,6 +151,7 @@ def run_robustness_sweep(
     scenario_batched: Optional[bool] = None,
     scenario_limit: Optional[int] = None,
     plan: Optional[bool] = None,
+    plan_opt: Optional[bool] = None,
 ) -> RobustnessSweep:
     """Train/fetch each method's model and sweep the fault levels.
 
@@ -166,7 +167,11 @@ def run_robustness_sweep(
     the campaign-result cache (it is still written); ``on_cell_done(done,
     total)`` observes per-method cell completion for throughput reporting.
     ``plan`` toggles trace-compiled forward plans (None = on for every
-    backend, bit-identical; ``plan=False`` is the CLI's ``--no-plan``).
+    backend, bit-identical; ``plan=False`` is the CLI's ``--no-plan``),
+    and ``plan_opt`` the trace-time IR optimizer passes over those plans
+    (None = the ambient default, on unless ``REPRO_PLAN_OPT=0``;
+    ``plan_opt=False`` is the CLI's ``--no-plan-opt`` — bit-identical
+    either way).
     """
     if mc_batched and executor != "batched":
         # Fail before the (potentially long) training phase — and even on a
@@ -232,6 +237,7 @@ def run_robustness_sweep(
                 scenario_batched=scenario_batched,
                 scenario_limit=scenario_limit,
                 plan=plan,
+                plan_opt=plan_opt,
             )
             fresh = campaign.sweep(
                 [specs[i] for i in pending],

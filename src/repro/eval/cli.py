@@ -118,6 +118,7 @@ def cmd_sweep(args) -> None:
             scenario_batched=args.scenario_batched,
             scenario_limit=args.scenario_limit,
             plan=args.plan,
+            plan_opt=args.plan_opt,
         )
     if meter.total:
         meter.finish()
@@ -233,10 +234,19 @@ def build_parser() -> argparse.ArgumentParser:
                  "--no-plan forces full interpretation)",
         )
         p.add_argument(
+            "--plan-opt", action=argparse.BooleanOptionalAction, default=None,
+            help="run the trace-time plan-IR optimizer (constant folding, "
+                 "kernel fusion, dead-step elimination) over every traced "
+                 "plan (on by default; bit-identical to the raw trace "
+                 "either way; --no-plan-opt replays the unoptimized step "
+                 "list, e.g. to isolate an optimizer pass)",
+        )
+        p.add_argument(
             "--profile", action="store_true",
             help="print a per-stage wall-time breakdown "
-                 "(attach/trace/replay/metric) after the sweep, for "
-                 "locating hot paths without external tooling",
+                 "(attach/trace/replay/metric) after the sweep, plus the "
+                 "plan optimizer's per-pass step counters, for locating "
+                 "hot paths without external tooling",
         )
         p.add_argument(
             "--no-cache", action="store_true",

@@ -89,6 +89,12 @@ def format_profile(stages: Dict[str, float]) -> str:
     whole evaluator call).  Trace and replay run *inside* the evaluator,
     so the table reports the evaluator's remaining self-time as
     ``metric (other)`` — batch slicing, MC averaging, metric arithmetic.
+
+    Only stages that were actually recorded get a row: with
+    ``--no-plan`` no forward is traced or replayed, so those rows are
+    omitted rather than printed as misleading zeros.  ``opt.*`` keys are
+    the plan optimizer's per-pass step counters (not times); they render
+    as a single summary line after the table when present.
     """
     attach = stages.get("attach", 0.0)
     trace = stages.get("trace", 0.0)
@@ -97,16 +103,30 @@ def format_profile(stages: Dict[str, float]) -> str:
     other = max(metric - trace - replay, 0.0)
     total = attach + metric
     rows = [
-        ("attach", attach),
-        ("trace", trace),
-        ("replay", replay),
-        ("metric (other)", other),
+        ("attach", attach, "attach" in stages),
+        ("trace", trace, "trace" in stages),
+        ("replay", replay, "replay" in stages),
+        ("metric (other)", other, "metric" in stages),
     ]
+    present = [(label, seconds) for label, seconds, here in rows if here]
+    if not present:
+        return "per-stage wall time: (no stages recorded)"
     lines = ["per-stage wall time:"]
-    for label, seconds in rows:
+    for label, seconds in present:
         share = 100.0 * seconds / total if total > 0 else 0.0
         lines.append(f"  {label:<14} {seconds * 1000:9.1f}ms  {share:5.1f}%")
     lines.append(f"  {'total':<14} {total * 1000:9.1f}ms")
+    if "opt.steps_before" in stages:
+        lines.append(
+            "plan optimizer: "
+            f"{int(stages.get('opt.deduped', 0))} deduped, "
+            f"{int(stages.get('opt.folded', 0))} folded, "
+            f"{int(stages.get('opt.fused', 0))} fused, "
+            f"{int(stages.get('opt.eliminated', 0))} eliminated, "
+            f"{int(stages.get('opt.densified', 0))} densified "
+            f"({int(stages['opt.steps_before'])} -> "
+            f"{int(stages.get('opt.steps_after', 0))} steps)"
+        )
     return "\n".join(lines)
 
 

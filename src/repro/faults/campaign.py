@@ -284,6 +284,13 @@ class MonteCarloCampaign:
         the flat numpy kernel sequence, later ones replay it with reused
         buffers.  Bit-identical either way; ``plan=False`` (CLI
         ``--no-plan``) forces the interpreted path.
+    plan_opt:
+        Run the trace-time IR optimizer over every plan this campaign
+        traces (:mod:`repro.tensor.plan_passes`: constant folding,
+        dead-step elimination, kernel fusion).  ``None`` inherits the
+        ambient default (on unless ``REPRO_PLAN_OPT=0``); ``False`` (CLI
+        ``--no-plan-opt``) replays the raw traced step list.
+        Bit-identical either way.
     """
 
     def __init__(
@@ -300,6 +307,7 @@ class MonteCarloCampaign:
         scenario_batched: Optional[bool] = None,
         scenario_limit: Optional[int] = None,
         plan: Optional[bool] = None,
+        plan_opt: Optional[bool] = None,
     ):
         self.model = model
         self.evaluator = evaluator
@@ -313,6 +321,7 @@ class MonteCarloCampaign:
         self.scenario_batched = scenario_batched
         self.scenario_limit = scenario_limit
         self.plan = plan
+        self.plan_opt = plan_opt
 
     def _cells(self, spec: FaultSpec, scenario_index: int) -> List[WorkCell]:
         """Flatten one scenario into work cells (fault-free → one cell)."""
@@ -338,6 +347,7 @@ class MonteCarloCampaign:
             scenario_batched=self.scenario_batched,
             scenario_limit=self.scenario_limit,
             plan=self.plan,
+            plan_opt=self.plan_opt,
         )
 
     def _package(self, spec: FaultSpec, values: np.ndarray) -> CampaignResult:

@@ -102,6 +102,7 @@ def evaluate_cell(
     cell: WorkCell,
     base_seed: int,
     plan: bool = True,
+    plan_opt: Optional[bool] = None,
 ) -> float:
     """Evaluate one cell hermetically: attach faults, score, detach.
 
@@ -115,6 +116,12 @@ def evaluate_cell(
     (shape, layout, weights, hooks) key traces, subsequent ones replay a
     flat numpy kernel sequence — bit-identical either way.  ``plan=False``
     (the ``--no-plan`` switch) keeps the fully interpreted path.
+
+    ``plan_opt`` toggles the trace-time IR optimizer
+    (:mod:`repro.tensor.plan_passes`; fold/eliminate/fuse) for plans
+    traced by this cell: ``None`` inherits the ambient default (on unless
+    ``REPRO_PLAN_OPT=0``), ``False`` (the ``--no-plan-opt`` switch)
+    replays the raw traced step list — bit-identical either way.
     """
     from .campaign import FaultInjector  # local import breaks the cycle
 
@@ -125,7 +132,7 @@ def evaluate_cell(
         with _plan.stage("attach"):
             injector.attach(cell.spec, fault_rng)
         try:
-            with _plan.plan_execution(plan), _plan.stage("metric"):
+            with _plan.plan_execution(plan, optimize=plan_opt), _plan.stage("metric"):
                 return float(evaluator(model))
         finally:
             injector.detach()
@@ -138,6 +145,7 @@ def evaluate_cells_batched(
     base_seed: int,
     mc_batched: bool = True,
     plan: bool = True,
+    plan_opt: Optional[bool] = None,
 ) -> np.ndarray:
     """Evaluate one scenario's chip instances as a single stacked pass.
 
@@ -184,7 +192,7 @@ def evaluate_cells_batched(
         with _plan.stage("attach"):
             injector.attach_batched(spec, fault_rngs)
         try:
-            with _plan.plan_execution(plan), _plan.stage("metric"):
+            with _plan.plan_execution(plan, optimize=plan_opt), _plan.stage("metric"):
                 values = np.asarray(evaluator(model), dtype=np.float64)
         finally:
             injector.detach()
@@ -204,6 +212,7 @@ def evaluate_cells_scenario_batched(
     base_seed: int,
     mc_batched: bool = True,
     plan: bool = True,
+    plan_opt: Optional[bool] = None,
 ) -> np.ndarray:
     """Evaluate several scenarios' chip instances as ONE stacked pass.
 
@@ -270,7 +279,7 @@ def evaluate_cells_scenario_batched(
         with _plan.stage("attach"):
             injector.attach_scenario_batched(specs, fault_rng_groups)
         try:
-            with _plan.plan_execution(plan), _plan.stage("metric"):
+            with _plan.plan_execution(plan, optimize=plan_opt), _plan.stage("metric"):
                 values = np.asarray(evaluator(model), dtype=np.float64)
         finally:
             injector.detach()
@@ -342,6 +351,7 @@ def _run_batched(
     scenario_batched: bool = True,
     scenario_limit: Optional[int] = None,
     plan: bool = True,
+    plan_opt: Optional[bool] = None,
 ) -> np.ndarray:
     """Chip-batched backend: one vectorized pass per (stacked) group.
 
@@ -392,11 +402,13 @@ def _run_batched(
                         stacked = evaluate_cells_batched(
                             model, evaluator, groups[0], base_seed,
                             mc_batched=mc_batched, plan=plan,
+                            plan_opt=plan_opt,
                         )
                     else:
                         stacked = evaluate_cells_scenario_batched(
                             model, evaluator, groups, base_seed,
                             mc_batched=mc_batched, plan=plan,
+                            plan_opt=plan_opt,
                         )
                     width = chip_stop - chip_sub
                     for g, (start, _) in enumerate(sub_ranges):
@@ -410,7 +422,8 @@ def _run_batched(
             if stop - start == 1 or spec.kind == "none" or spec.level == 0.0:
                 for index in range(start, stop):
                     values[index] = evaluate_cell(
-                        model, evaluator, cells[index], base_seed, plan=plan
+                        model, evaluator, cells[index], base_seed, plan=plan,
+                        plan_opt=plan_opt,
                     )
             else:
                 step = chip_limit if chip_limit else stop - start
@@ -423,6 +436,7 @@ def _run_batched(
                         base_seed,
                         mc_batched=mc_batched,
                         plan=plan,
+                        plan_opt=plan_opt,
                     )
             _report(stop - start)
     return values
@@ -479,10 +493,12 @@ def _worker_pair(handle: EvalHandle) -> Tuple[Module, Evaluator]:
 
 def _run_cell_from_handle(
     handle: EvalHandle, index: int, cell: WorkCell, base_seed: int,
-    plan: bool = True,
+    plan: bool = True, plan_opt: Optional[bool] = None,
 ) -> Tuple[int, float]:
     model, evaluator = _worker_pair(handle)
-    return index, evaluate_cell(model, evaluator, cell, base_seed, plan=plan)
+    return index, evaluate_cell(
+        model, evaluator, cell, base_seed, plan=plan, plan_opt=plan_opt
+    )
 
 
 # ----------------------------------------------------------------------
@@ -503,6 +519,7 @@ def run_cells(
     scenario_batched: Optional[bool] = None,
     scenario_limit: Optional[int] = None,
     plan: Optional[bool] = None,
+    plan_opt: Optional[bool] = None,
 ) -> np.ndarray:
     """Execute a flat cell grid and return values aligned with ``cells``.
 
@@ -554,6 +571,13 @@ def run_cells(
         sequence; subsequent forwards replay it with reused buffers.
         Results are bit-identical either way; ``plan=False`` (CLI
         ``--no-plan``) forces the interpreted path throughout.
+    plan_opt:
+        Run the trace-time IR optimizer over every plan traced by this
+        grid (:mod:`repro.tensor.plan_passes`: constant folding,
+        dead-step elimination, kernel fusion).  ``None`` (default)
+        inherits the ambient setting — on unless ``REPRO_PLAN_OPT=0`` —
+        and ``False`` (CLI ``--no-plan-opt``) replays the raw traced
+        step list.  Results are bit-identical either way.
     """
     if executor not in EXECUTORS:
         raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
@@ -574,6 +598,7 @@ def run_cells(
         return np.empty(0)
     workers = max(1, int(workers) if workers is not None else 4)
     plan = True if plan is None else bool(plan)
+    plan_opt = None if plan_opt is None else bool(plan_opt)
 
     if executor == "batched":
         if model is None or evaluator is None:
@@ -591,6 +616,7 @@ def run_cells(
             ),
             scenario_limit=scenario_limit,
             plan=plan,
+            plan_opt=plan_opt,
         )
 
     if executor == "serial" or workers == 1 or total == 1:
@@ -598,7 +624,9 @@ def run_cells(
             model, evaluator = handle.build()
         values = np.empty(total)
         for i, cell in enumerate(cells):
-            values[i] = evaluate_cell(model, evaluator, cell, base_seed, plan=plan)
+            values[i] = evaluate_cell(
+                model, evaluator, cell, base_seed, plan=plan, plan_opt=plan_opt
+            )
             if on_cell_done is not None:
                 on_cell_done(i + 1, total)
         return values
@@ -606,11 +634,11 @@ def run_cells(
     if executor == "thread":
         return _run_threaded(
             cells, base_seed, model, evaluator, handle, workers, on_cell_done,
-            plan=plan,
+            plan=plan, plan_opt=plan_opt,
         )
     return _run_process(
         cells, base_seed, model, evaluator, handle, workers, on_cell_done,
-        plan=plan,
+        plan=plan, plan_opt=plan_opt,
     )
 
 
@@ -623,6 +651,7 @@ def _run_threaded(
     workers: int,
     on_cell_done: Optional[Callable[[int, int], None]],
     plan: bool = True,
+    plan_opt: Optional[bool] = None,
 ) -> np.ndarray:
     """Thread-pool backend: one model replica per worker thread.
 
@@ -686,7 +715,8 @@ def _run_threaded(
             index, cell = item
             try:
                 value = evaluate_cell(
-                    worker_model, worker_evaluator, cell, base_seed, plan=plan
+                    worker_model, worker_evaluator, cell, base_seed,
+                    plan=plan, plan_opt=plan_opt,
                 )
             except BaseException as exc:  # surface on the caller's thread
                 with lock:
@@ -720,6 +750,7 @@ def _run_process(
     workers: int,
     on_cell_done: Optional[Callable[[int, int], None]],
     plan: bool = True,
+    plan_opt: Optional[bool] = None,
 ) -> np.ndarray:
     """Process-pool backend: workers rebuild (model, evaluator) from a handle."""
     if handle is None:
@@ -734,7 +765,10 @@ def _run_process(
     done = 0
     with ProcessPoolExecutor(max_workers=workers) as pool:
         pending = {
-            pool.submit(_run_cell_from_handle, handle, i, cell, base_seed, plan)
+            pool.submit(
+                _run_cell_from_handle, handle, i, cell, base_seed, plan,
+                plan_opt,
+            )
             for i, cell in enumerate(cells)
         }
         try:

@@ -67,9 +67,17 @@ class QuantizedWeight:
         return self.codes * self.scale
 
 
-def sign_with_zero_to_one(x: np.ndarray) -> np.ndarray:
-    """``sign`` mapping 0 to +1, as binarized hardware does."""
-    s = np.sign(x)
+@_plan.fusable
+@_plan.outable
+def sign_with_zero_to_one(x: np.ndarray, out=None) -> np.ndarray:
+    """``sign`` mapping 0 to +1, as binarized hardware does.
+
+    Doubles as its own replay kernel: ``out=``-aware (so plans serve it
+    from the pooled buffer set) and fusable (so the optimizer may merge
+    it into adjacent elementwise chains) — ``np.sign`` into a preallocated
+    buffer is bit-identical to the allocating call.
+    """
+    s = np.sign(x, out=out) if out is not None else np.sign(x)
     s[s == 0] = 1.0
     return s
 

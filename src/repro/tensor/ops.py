@@ -10,7 +10,7 @@ from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from .plan import outable
+from .plan import fusable, outable
 from .tensor import Tensor, as_tensor, unbroadcast
 
 
@@ -24,7 +24,7 @@ def exp(x: Tensor) -> Tensor:
 
     return Tensor._make(
         data, [x], backward, "exp",
-        kernel=outable(lambda a, out=None: np.exp(a, out=out)),
+        kernel=fusable(outable(lambda a, out=None: np.exp(a, out=out))),
     )
 
 
@@ -38,7 +38,7 @@ def log(x: Tensor) -> Tensor:
 
     return Tensor._make(
         data, [x], backward, "log",
-        kernel=outable(lambda a, out=None: np.log(a, out=out)),
+        kernel=fusable(outable(lambda a, out=None: np.log(a, out=out))),
     )
 
 
@@ -52,7 +52,7 @@ def sqrt(x: Tensor) -> Tensor:
 
     return Tensor._make(
         data, [x], backward, "sqrt",
-        kernel=outable(lambda a, out=None: np.sqrt(a, out=out)),
+        kernel=fusable(outable(lambda a, out=None: np.sqrt(a, out=out))),
     )
 
 
@@ -66,7 +66,7 @@ def abs_(x: Tensor) -> Tensor:
 
     return Tensor._make(
         data, [x], backward, "abs",
-        kernel=outable(lambda a, out=None: np.abs(a, out=out)),
+        kernel=fusable(outable(lambda a, out=None: np.abs(a, out=out))),
     )
 
 
@@ -80,10 +80,11 @@ def tanh(x: Tensor) -> Tensor:
 
     return Tensor._make(
         data, [x], backward, "tanh",
-        kernel=outable(lambda a, out=None: np.tanh(a, out=out)),
+        kernel=fusable(outable(lambda a, out=None: np.tanh(a, out=out))),
     )
 
 
+@fusable
 @outable
 def _sigmoid_kernel(values: np.ndarray, out=None) -> np.ndarray:
     """Numerically stable logistic, shared by the eager and replay paths.
@@ -93,10 +94,17 @@ def _sigmoid_kernel(values: np.ndarray, out=None) -> np.ndarray:
     negative tail ``e / (1 + e)`` — elementwise identical (bit for bit,
     including ±0, ±inf and the overflow range) to masked assignment, but
     without the boolean gather/scatter that dominated its runtime.
+
+    ``e`` is computed in place through one scratch array (abs, negate,
+    exp, then reused for the denominator) — the same ufunc sequence as
+    the naive spelling, minus three full-size temporaries per call.
     """
-    e = np.exp(-np.abs(values))
-    pos = values >= 0
-    return np.divide(np.where(pos, 1.0, e), 1.0 + e, out=out)
+    e = np.abs(values)
+    np.negative(e, out=e)
+    np.exp(e, out=e)
+    num = np.where(values >= 0, 1.0, e)
+    np.add(e, 1.0, out=e)
+    return np.divide(num, e, out=out)
 
 
 def sigmoid(x: Tensor) -> Tensor:
@@ -151,7 +159,7 @@ def hardtanh(x: Tensor, min_val: float = -1.0, max_val: float = 1.0) -> Tensor:
 
     return Tensor._make(
         data, [x], backward, "hardtanh",
-        kernel=outable(lambda a, out=None: np.clip(a, min_val, max_val, out=out)),
+        kernel=fusable(outable(lambda a, out=None: np.clip(a, min_val, max_val, out=out))),
     )
 
 
@@ -168,7 +176,7 @@ def clip(x: Tensor, min_val: Optional[float], max_val: Optional[float]) -> Tenso
 
     return Tensor._make(
         data, [x], backward, "clip",
-        kernel=outable(lambda a, out=None: np.clip(a, lo, hi, out=out)),
+        kernel=fusable(outable(lambda a, out=None: np.clip(a, lo, hi, out=out))),
     )
 
 
@@ -184,7 +192,7 @@ def maximum(a: Tensor, b: Tensor) -> Tensor:
 
     return Tensor._make(
         data, [a, b], backward, "maximum",
-        kernel=outable(lambda av, bv, out=None: np.maximum(av, bv, out=out)),
+        kernel=fusable(outable(lambda av, bv, out=None: np.maximum(av, bv, out=out))),
     )
 
 
@@ -298,7 +306,7 @@ def add_noise(x: Tensor, noise: np.ndarray) -> Tensor:
 
     return Tensor._make(
         data, [x], backward, "add_noise",
-        kernel=outable(lambda a, n, out=None: np.add(a, n, out=out)),
+        kernel=fusable(outable(lambda a, n, out=None: np.add(a, n, out=out))),
         kernel_inputs=(x.data, noise),
     )
 

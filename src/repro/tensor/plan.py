@@ -18,6 +18,12 @@ This module removes that overhead with trace-once / replay-many execution:
   step* whose thunk re-runs the live drawing code on each replay, so RNG
   draws and fault-hook outputs are per-replay **inputs** and the seed-
   stream contract of the campaign engine is untouched.
+* **Optimization** — before first replay the traced step list runs once
+  through the IR passes of :mod:`repro.tensor.plan_passes` (constant
+  folding, dead-step elimination, kernel fusion; source steps are
+  barriers), shrinking the steady-state step count while staying
+  bit-identical.  ``plan_execution(optimize=False)`` (CLI
+  ``--no-plan-opt``, env ``REPRO_PLAN_OPT=0``) replays the raw trace.
 * **Replay** — subsequent forwards with the same :func:`plan_key` skip the
   module tree and the ``Tensor`` graph entirely and execute the flat step
   list over a preallocated slot table.  Kernels whose numpy primitive
@@ -46,6 +52,7 @@ same numpy calls in the same order on the same dtypes.
 from __future__ import annotations
 
 import contextlib
+import os
 import threading
 import time
 import weakref
@@ -54,6 +61,7 @@ from typing import Any, Callable, Dict, Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
+from . import plan_passes
 from .chipbatch import instance_layout
 from .grad_mode import is_grad_enabled
 
@@ -63,6 +71,7 @@ __all__ = [
     "call_planned",
     "clear_plans",
     "ensure_known",
+    "fusable",
     "outable",
     "plan_execution",
     "plan_key",
@@ -88,6 +97,11 @@ _POISON = object()
 #: accumulating across long serial campaigns.
 MAX_PLANS_PER_MODULE = 8
 
+#: Process-wide default for the optimizer pipeline (see
+#: :mod:`repro.tensor.plan_passes`).  CI's second batched-identity run
+#: sets ``REPRO_PLAN_OPT=0`` to exercise every plan unoptimized.
+_OPTIMIZE_DEFAULT = os.environ.get("REPRO_PLAN_OPT", "1") != "0"
+
 
 class _PlanState(threading.local):
     def __init__(self) -> None:
@@ -95,6 +109,7 @@ class _PlanState(threading.local):
         self.trace: Optional[_Trace] = None
         self.replaying = False
         self.profile: Optional[Dict[str, float]] = None
+        self.optimize = _OPTIMIZE_DEFAULT
 
 
 _STATE = _PlanState()
@@ -123,23 +138,48 @@ def viewing(fn: Callable) -> Callable:
     return fn
 
 
+def fusable(fn: Callable) -> Callable:
+    """Mark an ``out=``-aware replay kernel as safe to fuse.
+
+    Fusable kernels are pure ufunc-style array computations (elementwise
+    chains, matmul/bias preactivations): the optimizer's fusion pass
+    (:mod:`repro.tensor.plan_passes`) may sink a single-consumer fusable
+    step into its fusable consumer, merging whole chains into one
+    composite kernel call per replay.
+    """
+    fn.fusable = True
+    return fn
+
+
 # ----------------------------------------------------------------------
 # Routing state
 # ----------------------------------------------------------------------
 @contextlib.contextmanager
-def plan_execution(enabled: bool = True) -> Iterator[bool]:
+def plan_execution(
+    enabled: bool = True, optimize: Optional[bool] = None
+) -> Iterator[bool]:
     """Route gradient-free root ``Module`` calls through plans.
 
     Entered by the campaign engine around cell evaluation; ``enabled=False``
-    (the ``--no-plan`` switch) forces the interpreted path.  Nestable and
-    exception-safe; thread-local like the rest of the evaluation state.
+    (the ``--no-plan`` switch) forces the interpreted path.  ``optimize``
+    toggles the trace-time optimizer passes
+    (:mod:`repro.tensor.plan_passes`) for plans traced inside the block:
+    ``None`` (default) inherits the ambient setting — process default on,
+    overridable with ``REPRO_PLAN_OPT=0`` — while ``False`` (the
+    ``--no-plan-opt`` switch) replays the raw traced step list.  Nestable
+    and exception-safe; thread-local like the rest of the evaluation
+    state.
     """
     previous = _STATE.routing
+    previous_optimize = _STATE.optimize
     _STATE.routing = bool(enabled)
+    if optimize is not None:
+        _STATE.optimize = bool(optimize)
     try:
         yield bool(enabled)
     finally:
         _STATE.routing = previous
+        _STATE.optimize = previous_optimize
 
 
 def plan_routing_active() -> bool:
@@ -339,6 +379,15 @@ def ensure_known(value) -> None:
 class Plan:
     """A finalized trace: constant-bound slot table + compiled step list.
 
+    Optimization
+    ------------
+    With ``optimize`` (the default; CLI ``--no-plan-opt`` disables) the
+    traced step list first runs through the IR passes of
+    :mod:`repro.tensor.plan_passes` — constant folding, dead-step
+    elimination, kernel fusion — and ``opt_stats`` records the per-pass
+    counters (steps folded/fused/eliminated, steps before/after) that the
+    ``--profile`` breakdown aggregates.
+
     Buffer reuse
     ------------
     ``out=``-capable steps (:func:`outable` kernels) draw their output
@@ -352,9 +401,18 @@ class Plan:
     replay.
     """
 
-    __slots__ = ("_slots", "_steps", "_entry", "_output", "n_buffers")
+    __slots__ = (
+        "_slots", "_steps", "_entry", "_output", "n_buffers", "opt_stats"
+    )
 
-    def __init__(self, trace: _Trace, output_id: int):
+    def __init__(self, trace: _Trace, output_id: int, optimize: bool = True):
+        if optimize:
+            steps, self.opt_stats = plan_passes.optimize_trace(
+                trace, output_id
+            )
+        else:
+            steps = trace.steps
+            self.opt_stats = plan_passes.null_stats(len(steps))
         n = len(trace.arrays)
         self._slots: list = [None] * n
         for sid in range(n):
@@ -362,14 +420,14 @@ class Plan:
                 self._slots[sid] = trace.arrays[sid]
         self._entry = trace.entry
         self._output = output_id
-        self._steps = self._compile(trace, output_id)
+        self._steps = self._compile(trace, steps, output_id)
 
-    def _compile(self, trace: _Trace, output_id: int) -> list:
+    def _compile(self, trace: _Trace, trace_steps: list, output_id: int) -> list:
         n = len(trace.arrays)
-        n_steps = len(trace.steps)
+        n_steps = len(trace_steps)
         # Last step index reading each slot (the output lives forever).
         last_use = [-1] * n
-        for idx, step in enumerate(trace.steps):
+        for idx, step in enumerate(trace_steps):
             for sid in step[2]:
                 last_use[sid] = idx
         last_use[output_id] = n_steps
@@ -382,7 +440,7 @@ class Plan:
                 sid = parent[sid]
             return sid
 
-        for step in trace.steps:
+        for step in trace_steps:
             if step[0] == "k" and getattr(step[1], "may_alias", False):
                 if step[2]:
                     parent[find(step[3])] = find(step[2][0])
@@ -396,7 +454,7 @@ class Plan:
         release_at: Dict[int, list] = {}
         steps = []
         self.n_buffers = 0
-        for idx, step in enumerate(trace.steps):
+        for idx, step in enumerate(trace_steps):
             if step[0] == "k":
                 _, kernel, in_ids, out_id = step
                 buf = None
@@ -461,7 +519,12 @@ class Plan:
 
 
 class PlanCache:
-    """Per-root-module plan store with trace/replay/fallback counters."""
+    """Per-root-module plan store with trace/replay/fallback counters.
+
+    ``opt_counters`` accumulates the optimizer's per-pass totals (steps
+    deduped/folded/fused/eliminated/densified) over every plan traced for the
+    module, so identity tests can assert the passes actually fired.
+    """
 
     def __init__(self, max_plans: int = MAX_PLANS_PER_MODULE):
         self.plans: "OrderedDict[tuple, Any]" = OrderedDict()
@@ -469,6 +532,10 @@ class PlanCache:
         self.traces = 0
         self.replays = 0
         self.fallbacks = 0
+        self.opt_counters: Dict[str, int] = {
+            "deduped": 0, "folded": 0, "fused": 0,
+            "eliminated": 0, "densified": 0,
+        }
 
     def store(self, key: tuple, entry) -> None:
         self.plans[key] = entry
@@ -519,8 +586,14 @@ def plan_key(module, x) -> Optional[tuple]:
     An attached hook without a ``plan_signature`` (ad-hoc callable) makes
     the forward unplannable — the interpreted path keeps its legacy
     applied-every-forward semantics.
+
+    The ambient optimizer toggle is part of the key: flipping
+    ``--no-plan-opt`` (or ``REPRO_PLAN_OPT``) re-traces rather than
+    serving a plan compiled under the other setting.
     """
-    parts: list = [x.data.shape, x.data.dtype.str, instance_layout()]
+    parts: list = [
+        x.data.shape, x.data.dtype.str, instance_layout(), _STATE.optimize
+    ]
     for m in module.modules():
         for attr in ("weight_fault", "weight_fault_hh", "pre_fault"):
             hook = getattr(m, attr, None)
@@ -598,6 +671,14 @@ def call_planned(module, args: tuple, kwargs: dict):
         cache.store(key, _POISON)
         cache.fallbacks += 1
         return out
-    cache.store(key, Plan(trace, output_id))
+    plan = Plan(trace, output_id, optimize=_STATE.optimize)
+    cache.store(key, plan)
     cache.traces += 1
+    for name in ("deduped", "folded", "fused", "eliminated", "densified"):
+        cache.opt_counters[name] += plan.opt_stats[name]
+    stages = _STATE.profile
+    if stages is not None and _STATE.optimize:
+        for name, count in plan.opt_stats.items():
+            label = "opt." + name
+            stages[label] = stages.get(label, 0.0) + count
     return out

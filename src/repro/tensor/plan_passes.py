@@ -1,0 +1,502 @@
+"""Plan-IR optimization passes: dedupe, fold, eliminate, densify, fuse.
+
+A finalized trace (:class:`repro.tensor.plan._Trace`) is a flat compiler
+IR: a slot table (constants + recomputed variables) and a step list of
+kernel steps ``("k", kernel, in_ids, out_id)`` and source steps
+``("s", thunk, in_ids, out_ids, multi)``.  :func:`optimize_trace` runs
+five passes over that IR once, at trace time, before the plan compiles
+its buffer pool — replay then executes the shorter list forever after.
+
+Pass order (each pass feeds the next):
+
+1. **Common-subexpression elimination** — two kernel steps compute the
+   same value when they run the same function (same code object, equal
+   closure/default values — floats compared by bit pattern) over the
+   same input slots.  Slots are written exactly once (the tracer rejects
+   aliased outputs), so the later step is dropped and its readers remap
+   to the first occurrence.  The repeated per-timestep arithmetic the
+   interpreter re-derives from the same frozen operands — quantization
+   rescales, broadcast helpers, reduction denominators — collapses to
+   one computation each.  Source steps are never deduplicated (each
+   draw is fresh by definition) and their relative order never changes.
+2. **Constant folding** — a kernel step whose inputs are all plan
+   constants (deployment-frozen quantized/faulty weights, baked shape
+   arrays) computes the same value on every replay.  The traced forward
+   already computed that value, so the pass marks the output slot
+   constant and drops the step — no re-execution, maximally
+   bit-identical.  Typical wins: transposes/reshapes of frozen weights
+   and arithmetic on frozen normalization statistics.
+3. **Dead-step elimination** — backward liveness from the plan output:
+   kernel steps whose outputs are never consumed by the output, a later
+   kernel step, or a source step are dropped (metrics only read a subset
+   of heads).  Source steps are **never** eliminated: removing one would
+   shift the RNG draw order of every later source, breaking the
+   seed-stream contract.
+4. **View densification** — a viewing step (gate slice, window split)
+   whose output is a *gap-strided* view consumed by compute kernels is
+   rewritten to materialize into a pooled contiguous buffer.  Strided
+   reads cost multi-pass kernels (the logistic reads its input three
+   times) and elementwise ufuncs 2–4× on this layout; one contiguous
+   copy up front is cheaper than every consumer paying the stride
+   penalty.  Values are untouched — only the memory layout changes —
+   and permuted-stride views (transposes) are left alone, since their
+   copy would stay non-contiguous and win nothing.
+5. **Kernel fusion** — a producer kernel step *sinks into* its consumer
+   when both kernels are ``out=``-aware and marked fusable
+   (:func:`repro.tensor.plan.fusable` — ufunc-style elementwise chains,
+   matmul/bias preactivations), the producer's output has exactly one
+   consuming step, and no source step lies between them.  Sunk chains
+   become one :class:`FusedKernel` step at the consumer's position with
+   sub-steps in original relative order, writing intermediates into
+   per-plan temporaries and the final result into the same
+   liveness-pooled ``out=`` buffer a lone step would use.  The LSTM gate
+   arithmetic — sigmoid/tanh/mul/add runs per timestep — collapses from
+   ~18 steps to a handful of fused composites.
+
+Barrier rules: source steps are barriers.  They are never folded (their
+value changes per replay), never eliminated (RNG draw order), and never
+reordered across — fusion windows end at every source step, so a sunk
+producer can never move past an RNG draw or live fault hook.
+
+Every pass preserves bit-identity: folding serves the exact array the
+traced forward produced, elimination only removes computations whose
+results nobody reads, and fusion re-runs the same kernels in the same
+relative order on the same dtypes (``out=`` targets differ, values do
+not).  What poisons a pass is inherited from the tracer itself — an op
+without a replay kernel or an unsigned hook poisons the whole trace
+before any pass runs, so the passes only ever see replayable steps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = ["FusedKernel", "optimize_trace", "null_stats"]
+
+
+def null_stats(n_steps: int) -> Dict[str, int]:
+    """Zeroed per-pass counters for an unoptimized plan of ``n_steps``."""
+    return {
+        "deduped": 0,
+        "folded": 0,
+        "fused": 0,
+        "eliminated": 0,
+        "densified": 0,
+        "steps_before": n_steps,
+        "steps_after": n_steps,
+    }
+
+
+# ----------------------------------------------------------------------
+# Pass 1: common-subexpression elimination
+# ----------------------------------------------------------------------
+def _cse_key(kernel, in_ids: tuple):
+    """Value-identity key for a kernel step, or ``None`` if unkeyable.
+
+    Two steps share a key only when they run the same code object with
+    equal closure-cell and default values over the same input slots —
+    the same pure function of the same operands, so (slots being
+    write-once) the same bits.  Floats key by ``hex()`` so ``-0.0`` and
+    ``0.0`` — which steer ufunc sign behavior — never unify, and ``1``
+    vs ``1.0`` — which steer dtype promotion — are kept apart by type.
+    Anything but primitives (bound arrays, nested wrapped kernels) keys
+    by object identity, the conservative direction: a missed duplicate
+    just replays, a false merge never happens.
+    """
+    code = getattr(kernel, "__code__", None)
+    if code is None:
+        return None
+    parts = []
+    for value in (
+        tuple(cell.cell_contents for cell in kernel.__closure__ or ())
+        + (kernel.__defaults__ or ())
+    ):
+        kind = type(value)
+        if kind is float:
+            parts.append(("f", value.hex()))
+        elif kind in (int, bool, str, bytes, type(None)):
+            parts.append(("v", kind.__name__, value))
+        else:
+            parts.append(("o", id(value)))
+    return (code, tuple(parts), in_ids)
+
+
+def _dedupe_steps(steps: list, trace, output_id: int) -> Tuple[list, int]:
+    """Drop kernel steps that recompute an earlier step's exact value.
+
+    Later readers (kernel inputs, source thunk inputs) remap to the
+    first occurrence's output slot.  Nothing is reordered: the survivor
+    already ran before every reader of the duplicate, and source draw
+    order is untouched.  The step producing the plan output is never
+    dropped, so the caller's output slot stays valid.
+    """
+    seen: Dict[tuple, int] = {}
+    remap: Dict[int, int] = {}
+    out_steps = []
+    deduped = 0
+    for step in steps:
+        if step[0] == "s":
+            in_ids = tuple(remap.get(sid, sid) for sid in step[2])
+            out_steps.append(("s", step[1], in_ids, step[3], step[4]))
+            continue
+        _, kernel, in_ids, out_id = step
+        in_ids = tuple(remap.get(sid, sid) for sid in in_ids)
+        key = _cse_key(kernel, in_ids)
+        if key is not None:
+            prior = seen.get(key)
+            if prior is not None and out_id != output_id:
+                remap[out_id] = prior
+                deduped += 1
+                continue
+            seen.setdefault(key, out_id)
+        out_steps.append(("k", kernel, in_ids, out_id))
+    return out_steps, deduped
+
+
+# ----------------------------------------------------------------------
+# Pass 2: constant folding
+# ----------------------------------------------------------------------
+def _fold_constants(steps: list, trace) -> Tuple[list, int]:
+    """Drop kernel steps whose inputs are all constant slots.
+
+    The traced forward already produced ``trace.arrays[out_id]`` from the
+    very same constant inputs, so the folded value needs no re-execution:
+    the output slot is simply marked constant (the plan binds it by
+    reference, like any other constant).  Source steps never fold — their
+    outputs are fresh draws per replay by definition.
+    """
+    folded = 0
+    kept = []
+    for step in steps:
+        if step[0] == "k" and all(trace.constant[sid] for sid in step[2]):
+            trace.constant[step[3]] = True
+            folded += 1
+            continue
+        kept.append(step)
+    return kept, folded
+
+
+# ----------------------------------------------------------------------
+# Pass 3: dead-step elimination
+# ----------------------------------------------------------------------
+def _eliminate_dead(steps: list, output_id: int) -> Tuple[list, int]:
+    """Drop kernel steps whose outputs are never consumed.
+
+    Liveness flows backward from the plan output.  Source steps are
+    unconditionally live (removing one would shift every later RNG draw)
+    and root their inputs; a kernel step survives only if its output slot
+    is read by the output or a surviving later step.
+    """
+    live = {output_id}
+    kept_reversed = []
+    eliminated = 0
+    for step in reversed(steps):
+        if step[0] == "k" and step[3] not in live:
+            eliminated += 1
+            continue
+        live.update(step[2])
+        kept_reversed.append(step)
+    kept_reversed.reverse()
+    return kept_reversed, eliminated
+
+
+# ----------------------------------------------------------------------
+# Pass 4: view densification
+# ----------------------------------------------------------------------
+#: Views smaller than this are not worth a materializing copy.
+_DENSIFY_MIN_BYTES = 4096
+
+
+def _densified(view_kernel):
+    """Wrap a viewing kernel to materialize its result contiguously."""
+
+    def kernel(*args, out=None):
+        view = view_kernel(*args)
+        if out is None:
+            return view.copy()
+        np.copyto(out, view)
+        return out
+
+    kernel.supports_out = True
+    kernel.fusable = True
+    return kernel
+
+
+def _densify_views(steps: list, trace) -> Tuple[list, int]:
+    """Materialize gap-strided view outputs that feed compute kernels.
+
+    A viewing step's output aliases its input; when the traced view is
+    non-contiguous (an LSTM gate slice of a wide preactivation, say),
+    every consuming kernel pays a strided-read penalty on every replay —
+    multi-pass kernels pay it several times.  Rewriting the step to copy
+    the view into a liveness-pooled contiguous buffer makes one strided
+    pass replace many.  Skipped when the view is already contiguous,
+    too small to matter, consumed by nothing but other views, or a pure
+    stride permutation (its dense copy would stay non-C-contiguous and
+    pollute the shape-keyed buffer pool).  Values are bit-identical:
+    consumers read the same numbers from better-laid-out memory.
+    """
+    consumed_by_compute = set()
+    for step in steps:
+        if step[0] == "s" or not getattr(step[1], "may_alias", False):
+            consumed_by_compute.update(step[2])
+    densified = 0
+    out_steps = []
+    for step in steps:
+        if (
+            step[0] == "k"
+            and getattr(step[1], "may_alias", False)
+            and step[3] in consumed_by_compute
+        ):
+            arr = trace.arrays[step[3]]
+            if (
+                not arr.flags["C_CONTIGUOUS"]
+                and arr.nbytes >= _DENSIFY_MIN_BYTES
+                and np.empty_like(arr).flags["C_CONTIGUOUS"]
+            ):
+                out_steps.append(("k", _densified(step[1]), step[2], step[3]))
+                densified += 1
+                continue
+        out_steps.append(step)
+    return out_steps, densified
+
+
+# ----------------------------------------------------------------------
+# Pass 5: kernel fusion
+# ----------------------------------------------------------------------
+def _specialize(sub: List[tuple]):
+    """Compile a sub-step list into one flat function, built once per chain.
+
+    The generated function unrolls the chain — one direct kernel call per
+    line, kernels and temporaries bound as globals, external inputs read
+    straight out of the ``args`` tuple — so replay pays no per-sub-step
+    loop, tuple unpacking, or argument-list construction.  Intermediate
+    references resolve to the temporary of the producing sub-step by
+    array identity (chains bind each intermediate to exactly one tmp).
+    """
+    env: Dict[str, object] = {}
+    name_of: Dict[int, str] = {}
+
+    def _ref(entry) -> str:
+        return f"a[{entry}]" if type(entry) is int else name_of[id(entry)]
+
+    lines = ["def _fused(a, out):"]
+    for idx, (kernel, arg_plan, tmp) in enumerate(sub[:-1]):
+        env[f"k{idx}"] = kernel
+        env[f"t{idx}"] = tmp
+        lines.append(
+            f"    k{idx}({', '.join(_ref(p) for p in arg_plan)}, out=t{idx})"
+        )
+        name_of[id(tmp)] = f"t{idx}"
+    tail_kernel, tail_args, _ = sub[-1]
+    env["k_tail"] = tail_kernel
+    lines.append(
+        f"    return k_tail({', '.join(_ref(p) for p in tail_args)}, out=out)"
+    )
+    exec("\n".join(lines), env)
+    return env["_fused"]
+
+
+class FusedKernel:
+    """Composite replay kernel: several fusable sub-kernels, one step.
+
+    Sub-steps run in their original trace order.  Each is
+    ``(kernel, arg_plan, tmp)`` where ``arg_plan`` entries are either an
+    integer index into the fused step's external inputs or a directly
+    bound intermediate array produced by an earlier sub-step; ``tmp`` is
+    that sub-step's preallocated output temporary (every member kernel
+    is ``out=``-aware, so it writes and returns its target).  The final
+    sub-step writes into the fused step's own liveness-pooled ``out=``
+    buffer, exactly as it would have unfused.  At construction the whole
+    chain is specialized into one flat function (:func:`_specialize`),
+    so a replay step dispatches once however many kernels were sunk.
+
+    Intermediates never escape a call, so the temporaries are drawn from
+    a pool *shared by every fused step of the plan* (replay is
+    sequential): the plan's fused working set stays at one chain's
+    footprint instead of one buffer per sunk step, keeping replay
+    buffers cache-hot.  Within a chain every sub-step holds a distinct
+    buffer, so an ``out=`` target never aliases that sub-step's inputs.
+    """
+
+    supports_out = True
+
+    __slots__ = ("_run", "n_fused")
+
+    def __init__(self, sub: List[tuple]):
+        self.n_fused = len(sub)
+        self._run = _specialize(sub)
+
+    def __call__(self, *args, out=None):
+        return self._run(args, out)
+
+
+def _fusion_candidate(step) -> bool:
+    return (
+        step[0] == "k"
+        and getattr(step[1], "supports_out", False)
+        and getattr(step[1], "fusable", False)
+    )
+
+
+def _compose(chain: List[int], steps: list, trace, tmp_pool: Dict) -> tuple:
+    """Emit one fused kernel step for an index chain (ascending order).
+
+    ``tmp_pool`` is the plan-wide ``{(shape, dtype): [buffers]}`` free
+    list shared across fused steps.  Temporaries recycle *within* the
+    chain too: a tmp returns to the pool right after the sub-step that
+    last reads it, so a long chain cycles through its peak-live buffer
+    count (typically two or three) instead of one buffer per sub-step.
+    Each sub-step acquires its output *before* releasing its inputs —
+    the same discipline as the plan's outer pool — so an ``out=`` target
+    never aliases that sub-step's own inputs (matmul-safe).  Whatever is
+    still held at the end of the chain is released before the next chain
+    composes, so intermediates never outlive a call and same-shaped
+    buffers are shared across every fused step of the plan.
+    """
+    chain_end = chain[-1]
+    internal = {steps[i][3] for i in chain[:-1]}
+    last_use: Dict[int, int] = {}
+    for ci, i in enumerate(chain):
+        for sid in steps[i][2]:
+            if sid in internal:
+                last_use[sid] = ci
+    tmp_of: Dict[int, np.ndarray] = {}
+    held: Dict[int, tuple] = {}
+    ext_ids: List[int] = []
+    ext_pos: Dict[int, int] = {}
+    sub: List[tuple] = []
+    for ci, i in enumerate(chain):
+        _, kernel, in_ids, out_id = steps[i]
+        arg_plan: list = []
+        for sid in in_ids:
+            bound = tmp_of.get(sid)
+            if bound is not None:
+                arg_plan.append(bound)
+                continue
+            pos = ext_pos.get(sid)
+            if pos is None:
+                pos = len(ext_ids)
+                ext_pos[sid] = pos
+                ext_ids.append(sid)
+            arg_plan.append(pos)
+        if i != chain_end:
+            arr = trace.arrays[out_id]
+            key = (arr.shape, arr.dtype)
+            stack = tmp_pool.get(key)
+            tmp = stack.pop() if stack else np.empty_like(arr)
+            held[out_id] = (key, tmp)
+            tmp_of[out_id] = tmp
+            sub.append((kernel, tuple(arg_plan), tmp))
+        else:
+            sub.append((kernel, tuple(arg_plan), None))
+        for sid in set(in_ids):
+            if last_use.get(sid) == ci and sid in held:
+                key, tmp = held.pop(sid)
+                tmp_pool.setdefault(key, []).append(tmp)
+    for key, tmp in held.values():
+        tmp_pool.setdefault(key, []).append(tmp)
+    return ("k", FusedKernel(sub), tuple(ext_ids), steps[chain_end][3])
+
+
+def _fuse_kernels(steps: list, trace, output_id: int) -> Tuple[list, int]:
+    """Sink single-consumer fusable producers into their consumers.
+
+    Legality: both steps are fusable ``out=`` kernels, the producer's
+    output slot is read by exactly one step and is not the plan output,
+    and producer and consumer share a fusion window (no source step
+    between them).  Sinking to the sole consumer never reorders a value
+    past its use, and original index order is a topological order within
+    each resulting chain.
+    """
+    window = [0] * len(steps)
+    w = 0
+    for i, step in enumerate(steps):
+        if step[0] == "s":
+            w += 1
+        window[i] = w
+
+    producer: Dict[int, int] = {}
+    consumers: Dict[int, int] = {}
+    for i, step in enumerate(steps):
+        for sid in set(step[2]):
+            consumers[sid] = consumers.get(sid, 0) + 1
+        if step[0] == "k":
+            producer[step[3]] = i
+    consumers[output_id] = consumers.get(output_id, 0) + 1
+
+    fused_into: Dict[int, int] = {}
+    for j, step in enumerate(steps):
+        if not _fusion_candidate(step):
+            continue
+        for sid in set(step[2]):
+            i = producer.get(sid)
+            if (
+                i is None
+                or not _fusion_candidate(steps[i])
+                or consumers.get(sid, 0) != 1
+                or sid == output_id
+                or window[i] != window[j]
+            ):
+                continue
+            fused_into[i] = j
+
+    if not fused_into:
+        return steps, 0
+
+    def root_of(i: int) -> int:
+        while i in fused_into:
+            i = fused_into[i]
+        return i
+
+    members_of: Dict[int, List[int]] = {}
+    for i in fused_into:
+        members_of.setdefault(root_of(i), []).append(i)
+
+    fused = 0
+    out_steps = []
+    tmp_pool: Dict[tuple, list] = {}
+    for j, step in enumerate(steps):
+        if j in fused_into:
+            continue
+        members = members_of.get(j)
+        if members:
+            chain = sorted(members) + [j]
+            out_steps.append(_compose(chain, steps, trace, tmp_pool))
+            fused += len(chain) - 1
+        else:
+            out_steps.append(step)
+    return out_steps, fused
+
+
+# ----------------------------------------------------------------------
+# Pipeline
+# ----------------------------------------------------------------------
+def optimize_trace(trace, output_id: int) -> Tuple[list, Dict[str, int]]:
+    """Run dedupe → fold → eliminate → densify → fuse over a trace.
+
+    Returns the optimized step list (same tuple format the compiler
+    consumes) and the per-pass counter dict surfaced by ``--profile``.
+    ``trace.constant`` is updated in place so the plan binds folded
+    results as constants; ``trace.steps`` itself is left untouched.
+    Densification runs after elimination (dead views need no copy) and
+    before fusion, so a materialized view becomes an ordinary fusable
+    ``out=`` step that can sink into its consumer's chain.
+    """
+    before = len(trace.steps)
+    steps, deduped = _dedupe_steps(trace.steps, trace, output_id)
+    steps, folded = _fold_constants(steps, trace)
+    steps, eliminated = _eliminate_dead(steps, output_id)
+    steps, densified = _densify_views(steps, trace)
+    steps, fused = _fuse_kernels(steps, trace, output_id)
+    return steps, {
+        "deduped": deduped,
+        "folded": folded,
+        "fused": fused,
+        "eliminated": eliminated,
+        "densified": densified,
+        "steps_before": before,
+        "steps_after": len(steps),
+    }

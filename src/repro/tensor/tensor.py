@@ -28,7 +28,7 @@ import numpy as np
 
 from . import plan as _plan
 from .grad_mode import is_grad_enabled
-from .plan import outable as _outable, viewing as _viewing
+from .plan import fusable as _fusable, outable as _outable, viewing as _viewing
 
 ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
 
@@ -283,7 +283,7 @@ class Tensor:
 
         return Tensor._make(
             data, [self, other_t], backward, "add",
-            kernel=_outable(lambda a, b, out=None: np.add(a, b, out=out)),
+            kernel=_fusable(_outable(lambda a, b, out=None: np.add(a, b, out=out))),
         )
 
     __radd__ = __add__
@@ -298,7 +298,7 @@ class Tensor:
 
         return Tensor._make(
             data, [self, other_t], backward, "sub",
-            kernel=_outable(lambda a, b, out=None: np.subtract(a, b, out=out)),
+            kernel=_fusable(_outable(lambda a, b, out=None: np.subtract(a, b, out=out))),
         )
 
     def __rsub__(self, other: ArrayLike) -> "Tensor":
@@ -314,7 +314,7 @@ class Tensor:
 
         return Tensor._make(
             data, [self, other_t], backward, "mul",
-            kernel=_outable(lambda a, b, out=None: np.multiply(a, b, out=out)),
+            kernel=_fusable(_outable(lambda a, b, out=None: np.multiply(a, b, out=out))),
         )
 
     __rmul__ = __mul__
@@ -331,7 +331,7 @@ class Tensor:
 
         return Tensor._make(
             data, [self, other_t], backward, "div",
-            kernel=_outable(lambda a, b, out=None: np.true_divide(a, b, out=out)),
+            kernel=_fusable(_outable(lambda a, b, out=None: np.true_divide(a, b, out=out))),
         )
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
@@ -343,7 +343,7 @@ class Tensor:
 
         return Tensor._make(
             -self.data, [self], backward, "neg",
-            kernel=_outable(lambda a, out=None: np.negative(a, out=out)),
+            kernel=_fusable(_outable(lambda a, out=None: np.negative(a, out=out))),
         )
 
     def __pow__(self, exponent: float) -> "Tensor":
@@ -356,7 +356,7 @@ class Tensor:
 
         return Tensor._make(
             data, [self], backward, f"pow{exponent}",
-            kernel=_outable(lambda a, out=None: np.power(a, exponent, out=out)),
+            kernel=_fusable(_outable(lambda a, out=None: np.power(a, exponent, out=out))),
         )
 
     def __matmul__(self, other: ArrayLike) -> "Tensor":
@@ -385,7 +385,7 @@ class Tensor:
 
         return Tensor._make(
             data, [self, other_t], backward, "matmul",
-            kernel=_outable(lambda a, b, out=None: np.matmul(a, b, out=out)),
+            kernel=_fusable(_outable(lambda a, b, out=None: np.matmul(a, b, out=out))),
         )
 
     # ------------------------------------------------------------------
@@ -402,9 +402,9 @@ class Tensor:
 
         return Tensor._make(
             data, [self], backward, "sum",
-            kernel=_outable(
+            kernel=_fusable(_outable(
                 lambda a, out=None: a.sum(axis=axis, keepdims=keepdims, out=out)
-            ),
+            )),
         )
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":

@@ -31,6 +31,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_plan_opt_flag_tristate(self):
+        parser = build_parser()
+        assert parser.parse_args(["campaign", "--task", "co2"]).plan_opt is None
+        assert parser.parse_args(
+            ["campaign", "--task", "co2", "--plan-opt"]
+        ).plan_opt is True
+        assert parser.parse_args(
+            ["campaign", "--task", "co2", "--no-plan-opt"]
+        ).plan_opt is False
+
 
 class TestExecution:
     def test_campaign_runs_tiny(self, tmp_path, monkeypatch, capsys):
@@ -46,3 +56,77 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "audio / bitflip" in out
         assert "Proposed" in out
+
+    @staticmethod
+    def _profile_stage_labels(out: str) -> list:
+        """Stage row labels of the --profile table printed in ``out``."""
+        lines = out.split("per-stage wall time:", 1)[1].splitlines()
+        labels = []
+        for line in lines[1:]:
+            if not line.startswith("  "):
+                break
+            label = line.strip().rsplit(None, 2)[0].rstrip("0123456789. ")
+            labels.append(label.strip())
+        return labels
+
+    def test_profile_with_no_plan_degrades_gracefully(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        """--profile --no-plan: no trace/replay rows, no crash, no zeros.
+
+        Global flags before the subcommand (PR 2 allows both orders).
+        """
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        from repro.eval import clear_memory_cache
+
+        clear_memory_cache()
+        main([
+            "--preset", "tiny",
+            "campaign", "--task", "audio", "--fault", "bitflip",
+            "--levels", "0", "0.2", "--runs", "2",
+            "--profile", "--no-plan",
+        ])
+        out = capsys.readouterr().out
+        assert "per-stage wall time:" in out
+        labels = self._profile_stage_labels(out)
+        assert "attach" in labels and "metric (other)" in labels
+        assert "trace" not in labels and "replay" not in labels
+        assert "plan optimizer:" not in out  # nothing traced, no counters
+
+    def test_profile_with_no_plan_global_flags_after_subcommand(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        from repro.eval import clear_memory_cache
+
+        clear_memory_cache()
+        main([
+            "campaign", "--preset", "tiny", "--seed", "0",
+            "--task", "audio", "--fault", "bitflip",
+            "--levels", "0", "0.2", "--runs", "2",
+            "--profile", "--no-plan",
+        ])
+        out = capsys.readouterr().out
+        labels = self._profile_stage_labels(out)
+        assert "attach" in labels and "metric (other)" in labels
+        assert "trace" not in labels and "replay" not in labels
+
+    def test_profile_with_plan_reports_optimizer_counters(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        from repro.eval import clear_memory_cache
+        from repro.tensor import plan as plan_mod
+
+        clear_memory_cache()
+        plan_mod.clear_plans()
+        main([
+            "--preset", "tiny",
+            "campaign", "--task", "audio", "--fault", "bitflip",
+            "--levels", "0", "0.2", "--runs", "2",
+            "--profile", "--plan", "--plan-opt",
+        ])
+        out = capsys.readouterr().out
+        labels = self._profile_stage_labels(out)
+        assert "trace" in labels and "replay" in labels
+        assert "plan optimizer:" in out

@@ -15,6 +15,15 @@ same numpy calls on the same dtypes.
 The suite also asserts that replays actually *happen* (via the per-model
 plan-cache counters) so the identity checks cannot silently pass by
 always falling back to interpretation.
+
+The same contract extends to the trace-time IR optimizer
+(:mod:`repro.tensor.plan_passes`): optimized plans must be bit-identical
+to raw-trace replay *and* to interpretation across every topology,
+Bayesian method, and fault kind — and the per-pass counters must show
+the passes actually fired, so the identity matrix cannot pass against a
+no-op optimizer.  Optimizer state is always pinned explicitly
+(``plan_opt=True`` / ``False``) so the suite holds under either ambient
+``REPRO_PLAN_OPT`` setting.
 """
 
 import numpy as np
@@ -191,8 +200,56 @@ class TestCampaignIdentity:
             np.testing.assert_array_equal(a.values, b.values)
 
 
+class TestOptimizerIdentity:
+    """plan_opt=True == plan_opt=False for every fault kind (micro-model)."""
+
+    @pytest.mark.parametrize("kind", sorted(SWEEPS_BY_KIND), ids=str)
+    def test_serial_cells_bit_identical(self, kind):
+        model, evaluator = build_pair()
+        specs = SWEEPS_BY_KIND[kind]
+        cells = [
+            WorkCell(idx, run, spec)
+            for idx, spec in enumerate(specs)
+            for run in range(2)
+        ]
+        raw = np.array(
+            [
+                evaluate_cell(model, evaluator, c, 5, plan=True, plan_opt=False)
+                for c in cells
+            ]
+        )
+        optimized = np.array(
+            [
+                evaluate_cell(model, evaluator, c, 5, plan=True, plan_opt=True)
+                for c in cells
+            ]
+        )
+        np.testing.assert_array_equal(raw, optimized)
+        stats = plan_mod.plan_stats(model)
+        assert stats.traces > 0 and stats.replays > 0
+        assert sum(stats.opt_counters.values()) > 0  # passes really fired
+
+    @pytest.mark.parametrize("kind", sorted(SWEEPS_BY_KIND), ids=str)
+    def test_scenario_batched_bit_identical(self, kind):
+        model, evaluator = build_pair()
+        specs = SWEEPS_BY_KIND[kind]
+        cell_groups = [
+            [WorkCell(idx, run, spec) for run in range(2)]
+            for idx, spec in enumerate(specs)
+        ]
+        raw = evaluate_cells_scenario_batched(
+            model, evaluator, cell_groups, base_seed=5, plan=True,
+            plan_opt=False,
+        )
+        optimized = evaluate_cells_scenario_batched(
+            model, evaluator, cell_groups, base_seed=5, plan=True,
+            plan_opt=True,
+        )
+        np.testing.assert_array_equal(raw, optimized)
+
+
 class TestTaskTopologyIdentity:
-    """plan on == plan off on all four tiny-task topologies."""
+    """interpreted == raw-trace replay == optimized replay, all topologies."""
 
     def _compare(self, task_name, method, specs, samples=3, n_runs=3):
         task = build_task(task_name, preset="tiny")
@@ -201,16 +258,22 @@ class TestTaskTopologyIdentity:
             task.name, task.test_set, method, mc_samples=samples
         )
         results = {}
-        for label, plan in (("interpreted", False), ("planned", True)):
+        for label, plan, plan_opt in (
+            ("interpreted", False, None),
+            ("planned-raw", True, False),
+            ("planned-opt", True, True),
+        ):
             campaign = MonteCarloCampaign(
                 model, evaluator, n_runs=n_runs, base_seed=0,
-                executor="batched", plan=plan,
+                executor="batched", plan=plan, plan_opt=plan_opt,
             )
             results[label] = campaign.sweep(specs)
-        for a, b in zip(results["interpreted"], results["planned"]):
-            np.testing.assert_array_equal(a.values, b.values)
+        for label in ("planned-raw", "planned-opt"):
+            for a, b in zip(results["interpreted"], results[label]):
+                np.testing.assert_array_equal(a.values, b.values)
         stats = plan_mod.plan_stats(model)
         assert stats.traces > 0 and stats.replays > 0
+        assert sum(stats.opt_counters.values()) > 0  # passes really fired
 
     # image / ResNet-18: binary weights, variation routes to activations
     def test_image_binary_bitflip_proposed(self):

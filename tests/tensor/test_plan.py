@@ -15,9 +15,9 @@ from repro.tensor import plan as plan_mod
 from repro.tensor.random import scoped_rng
 
 
-def planned_forward(model, x, rng_seed=0):
+def planned_forward(model, x, rng_seed=0, optimize=None):
     with no_grad(), scoped_rng(np.random.default_rng(rng_seed)):
-        with plan_mod.plan_execution(True):
+        with plan_mod.plan_execution(True, optimize=optimize):
             return model(Tensor(x)).data
 
 
@@ -148,20 +148,23 @@ class TestSourceSteps:
 
 
 class TestBufferPool:
-    def _plan_for(self, model, x):
-        planned_forward(model, x)
+    def _plan_for(self, model, x, optimize=None):
+        planned_forward(model, x, optimize=optimize)
         cache = plan_mod.plan_stats(model)
         (entry,) = cache.plans.values()
         return entry
 
     def test_pool_smaller_than_step_count(self):
+        # Raw (unoptimized) plan: fusion would collapse the whole stack
+        # into a couple of composite steps, hiding the pooling behaviour
+        # this test pins down.
         manual_seed(0)
         layers = []
         for _ in range(6):
             layers += [nn.Linear(8, 8), nn.Tanh()]
         model = nn.Sequential(*layers)
         model.eval()
-        entry = self._plan_for(model, np.zeros((4, 8)))
+        entry = self._plan_for(model, np.zeros((4, 8)), optimize=False)
         outable_steps = sum(
             1
             for step in entry._steps
@@ -233,6 +236,348 @@ class TestPoisoning:
         assert plan_mod.plan_stats(model).traces == 0
 
 
+class TestOptimizerPasses:
+    """Per-pass unit tests for the trace-time IR optimizer.
+
+    All tests pin the optimizer state explicitly (``optimize=True`` /
+    ``False``) so they hold regardless of the ambient ``REPRO_PLAN_OPT``
+    setting CI flips.
+    """
+
+    @staticmethod
+    def _outable(fn):
+        return plan_mod.outable(fn)
+
+    def test_all_constant_kernel_step_folds(self):
+        from repro.tensor import plan_passes
+
+        x = np.zeros(3)
+        trace = plan_mod._Trace(x)
+        w = np.ones(3)
+        neg_w = np.negative(w)
+        trace.record_op(
+            self._outable(lambda a, out=None: np.negative(a, out=out)),
+            [w], neg_w, "neg",
+        )
+        y = x + neg_w
+        trace.record_op(
+            self._outable(lambda a, b, out=None: np.add(a, b, out=out)),
+            [x, neg_w], y, "add",
+        )
+        steps, stats = plan_passes.optimize_trace(trace, trace.slot_of[id(y)])
+        assert stats["folded"] == 1 and stats["eliminated"] == 0
+        assert trace.constant[trace.slot_of[id(neg_w)]]
+        assert len(steps) == 1 and steps[0][0] == "k"
+
+    def test_entry_dependent_step_never_folds(self):
+        from repro.tensor import plan_passes
+
+        x = np.zeros(3)
+        trace = plan_mod._Trace(x)
+        y = x + 1.0
+        trace.record_op(
+            self._outable(lambda a, b, out=None: np.add(a, b, out=out)),
+            [x, np.ones(3)], y, "add",
+        )
+        steps, stats = plan_passes.optimize_trace(trace, trace.slot_of[id(y)])
+        assert stats["folded"] == 0 and len(steps) == 1
+
+    def test_source_step_never_folded_or_eliminated(self):
+        """Sources survive even with all-constant inputs and a dead output."""
+        from repro.tensor import plan_passes
+
+        x = np.zeros(3)
+        trace = plan_mod._Trace(x)
+        c = np.ones(3)
+        draw = c * 0.5
+        trace.record_source(lambda a: a * 0.5, draw, in_arrays=(c,))
+        y = x + 1.0
+        trace.record_op(
+            self._outable(lambda a, b, out=None: np.add(a, b, out=out)),
+            [x, np.ones(3)], y, "add",
+        )
+        steps, stats = plan_passes.optimize_trace(trace, trace.slot_of[id(y)])
+        assert stats["folded"] == 0 and stats["eliminated"] == 0
+        assert sum(1 for s in steps if s[0] == "s") == 1
+        assert not trace.constant[trace.slot_of[id(draw)]]
+
+    def test_dead_steps_eliminated_and_replay_identical(self):
+        class Deady(nn.Module):
+            def forward(self, x):
+                unused = x * 3.0
+                _chained = unused + 1.0
+                return x + 1.0
+
+        model = nn.Sequential(Deady())
+        model.eval()
+        x = np.arange(6.0).reshape(2, 3)
+        planned_forward(model, x, optimize=True)
+        replayed = planned_forward(model, x, optimize=True)
+        with no_grad():
+            interpreted = model(Tensor(x)).data
+        np.testing.assert_array_equal(replayed, interpreted)
+        cache = plan_mod.plan_stats(model)
+        (entry,) = cache.plans.values()
+        assert entry.opt_stats["eliminated"] == 2
+        assert cache.opt_counters["eliminated"] == 2
+
+    def test_elimination_keeps_peak_live_pool_of_survivors(self):
+        """Dead steps don't shrink the pool below the survivors' needs."""
+
+        class Deady(nn.Module):
+            def forward(self, x):
+                _unused = x * 3.0
+                y = x + 1.0
+                z = y * 2.0
+                return z + y
+
+        class Lean(nn.Module):
+            def forward(self, x):
+                y = x + 1.0
+                z = y * 2.0
+                return z + y
+
+        x = np.arange(6.0).reshape(2, 3)
+        plans = []
+        for cls in (Deady, Lean):
+            model = nn.Sequential(cls())
+            model.eval()
+            planned_forward(model, x, optimize=True)
+            (entry,) = plan_mod.plan_stats(model).plans.values()
+            plans.append(entry)
+        deady, lean = plans
+        assert deady.opt_stats["eliminated"] == 1
+        assert lean.opt_stats["eliminated"] == 0
+        assert deady.n_buffers == lean.n_buffers
+
+    def test_fused_kernels_reuse_pooled_buffers(self):
+        from repro.tensor.plan_passes import FusedKernel
+
+        manual_seed(0)
+        layers = []
+        for _ in range(4):
+            layers += [nn.Linear(8, 8), nn.Tanh()]
+        model = nn.Sequential(*layers)
+        model.eval()
+        x = np.random.default_rng(0).normal(size=(4, 8))
+        planned_forward(model, x, optimize=True)
+        replayed = planned_forward(model, x, optimize=True)
+        unopt = planned_forward(model, x, optimize=False)
+        np.testing.assert_array_equal(replayed, unopt)
+
+        cache = plan_mod.plan_stats(model)
+        assert len(cache.plans) == 2  # optimize flag is part of the key
+        by_opt = {
+            bool(entry.opt_stats["fused"]): entry
+            for entry in cache.plans.values()
+        }
+        fused_plan, raw_plan = by_opt[True], by_opt[False]
+        fused_steps = [
+            step for step in fused_plan._steps
+            if step[0] == "k" and isinstance(step[1], FusedKernel)
+        ]
+        assert fused_steps
+        # Fused composites draw their out= targets from the pooled set,
+        # and sinking never inflates the pool past the raw plan's.
+        assert all(step[4] is not None for step in fused_steps)
+        assert fused_plan.n_buffers <= raw_plan.n_buffers
+        assert fused_plan.opt_stats["steps_after"] < raw_plan.opt_stats[
+            "steps_before"
+        ]
+
+    def test_source_step_bounds_fusion_window(self):
+        from repro.tensor import plan_passes
+
+        x = np.zeros(3)
+        trace = plan_mod._Trace(x)
+        fus = plan_mod.fusable(
+            self._outable(lambda a, b, out=None: np.add(a, b, out=out))
+        )
+        y = x + 1.0
+        trace.record_op(fus, [x, np.ones(3)], y, "add")
+        draw = np.full(3, 0.5)
+        trace.record_source(lambda: draw.copy(), draw)
+        z = y + draw
+        trace.record_op(fus, [y, draw], z, "add")
+        steps, stats = plan_passes.optimize_trace(trace, trace.slot_of[id(z)])
+        assert stats["fused"] == 0  # the source barrier splits the chain
+        assert [s[0] for s in steps] == ["k", "s", "k"]
+
+    def test_duplicate_steps_deduped_and_readers_remapped(self):
+        from repro.tensor import plan_passes
+
+        x = np.zeros(3)
+        trace = plan_mod._Trace(x)
+
+        def add_kernel():
+            # Fresh object per call, shared code object — the tracer sees
+            # exactly this shape for dunder-op kernels built per Tensor op.
+            return self._outable(lambda a, b, out=None: np.add(a, b, out=out))
+
+        ones = np.ones(3)
+        y1 = x + ones
+        trace.record_op(add_kernel(), [x, ones], y1, "add")
+        y2 = x + ones
+        trace.record_op(add_kernel(), [x, ones], y2, "add")
+        z = y1 + y2
+        trace.record_op(add_kernel(), [y1, y2], z, "add")
+        steps, stats = plan_passes.optimize_trace(trace, trace.slot_of[id(z)])
+        assert stats["deduped"] == 1
+        s1 = trace.slot_of[id(y1)]
+        assert steps[-1][2] == (s1, s1)  # both reads remap to the survivor
+
+    def test_distinct_closure_values_never_deduped(self):
+        from repro.tensor import plan_passes
+
+        x = np.zeros(3)
+        trace = plan_mod._Trace(x)
+
+        def mul_by(c):
+            return self._outable(
+                lambda a, out=None: np.multiply(a, c, out=out)
+            )
+
+        y1 = x * 2.0
+        trace.record_op(mul_by(2.0), [x], y1, "mul")
+        y2 = x * -0.0
+        trace.record_op(mul_by(-0.0), [x], y2, "mul")
+        y3 = x * 0.0
+        trace.record_op(mul_by(0.0), [x], y3, "mul")
+        z = y1 + y2 + y3
+        trace.record_op(
+            self._outable(lambda a, b, c, out=None: np.add(np.add(a, b), c, out=out)),
+            [y1, y2, y3], z, "add3",
+        )
+        _, stats = plan_passes.optimize_trace(trace, trace.slot_of[id(z)])
+        # 2.0 vs -0.0 vs 0.0: closure values all distinct bit patterns
+        assert stats["deduped"] == 0
+
+    def test_cse_replay_bit_identical(self):
+        class Twice(nn.Module):
+            def forward(self, x):
+                s = x.sum(axis=1, keepdims=True)
+                a = x - s
+                b = x - s  # same subexpression, same operands
+                return a + b
+
+        model = nn.Sequential(Twice())
+        model.eval()
+        x = np.random.default_rng(3).normal(size=(4, 5))
+        planned_forward(model, x, optimize=True)
+        replayed = planned_forward(model, x, optimize=True)
+        unopt = planned_forward(model, x, optimize=False)
+        np.testing.assert_array_equal(replayed, unopt)
+        with no_grad():
+            interpreted = model(Tensor(x)).data
+        np.testing.assert_array_equal(replayed, interpreted)
+        cache = plan_mod.plan_stats(model)
+        deduped = [
+            entry.opt_stats["deduped"]
+            for entry in cache.plans.values()
+            if entry.opt_stats["deduped"]
+        ]
+        assert deduped  # the duplicate subtraction was merged
+
+    def test_gap_strided_view_densified(self):
+        from repro.tensor import plan_passes
+
+        x = np.zeros((32, 32))
+        trace = plan_mod._Trace(x)
+        wide = x + 1.0
+        trace.record_op(
+            self._outable(lambda a, b, out=None: np.add(a, b, out=out)),
+            [x, np.ones((32, 32))], wide, "add",
+        )
+        gate = wide[:, :16]
+        trace.record_op(
+            plan_mod.viewing(lambda a: a[:, :16]), [wide], gate, "slice",
+        )
+        y = np.tanh(gate)
+        trace.record_op(
+            self._outable(lambda a, out=None: np.tanh(a, out=out)),
+            [gate], y, "tanh",
+        )
+        steps, stats = plan_passes.optimize_trace(trace, trace.slot_of[id(y)])
+        assert stats["densified"] == 1
+        kernel = steps[1][1]
+        # The rewritten step pools like any compute kernel: it takes an
+        # out= target and no longer advertises aliasing.
+        assert getattr(kernel, "supports_out", False)
+        assert not getattr(kernel, "may_alias", False)
+        out = np.empty((32, 16))
+        res = kernel(wide, out=out)
+        assert res is out and res.flags["C_CONTIGUOUS"]
+        np.testing.assert_array_equal(res, wide[:, :16])
+
+    def test_cheap_contiguous_and_transpose_views_left_alone(self):
+        from repro.tensor import plan_passes
+
+        def densified_count(base_shape, view_fn):
+            x = np.zeros(base_shape)
+            trace = plan_mod._Trace(x)
+            wide = x + 1.0
+            trace.record_op(
+                self._outable(lambda a, b, out=None: np.add(a, b, out=out)),
+                [x, np.ones(base_shape)], wide, "add",
+            )
+            view = view_fn(wide)
+            trace.record_op(plan_mod.viewing(view_fn), [wide], view, "view")
+            y = np.tanh(view)
+            trace.record_op(
+                self._outable(lambda a, out=None: np.tanh(a, out=out)),
+                [view], y, "tanh",
+            )
+            _, stats = plan_passes.optimize_trace(
+                trace, trace.slot_of[id(y)],
+            )
+            return stats["densified"]
+
+        assert densified_count((32, 32), lambda a: a[:, :16]) == 1
+        # Contiguous views cost nothing to consume as-is.
+        assert densified_count((32, 32), lambda a: a.reshape(-1)) == 0
+        # Below the cutoff the strided ufunc beats copy + contiguous pass.
+        assert densified_count((8, 8), lambda a: a[:, :4]) == 0
+        # empty_like keeps transposed strides, so the pooled replacement
+        # buffer would be just as strided -- nothing to gain.
+        assert densified_count((32, 32), lambda a: a.T) == 0
+
+    def test_densified_replay_bit_identical(self):
+        class GateSlice(nn.Module):
+            def forward(self, x):
+                wide = x * 2.0
+                return ops.tanh(wide[:, :16])
+
+        model = nn.Sequential(GateSlice())
+        model.eval()
+        x = np.random.default_rng(2).normal(size=(32, 32))
+        planned_forward(model, x, optimize=True)
+        replayed = planned_forward(model, x, optimize=True)
+        unopt = planned_forward(model, x, optimize=False)
+        np.testing.assert_array_equal(replayed, unopt)
+        with no_grad():
+            interpreted = model(Tensor(x)).data
+        np.testing.assert_array_equal(replayed, interpreted)
+        cache = plan_mod.plan_stats(model)
+        densified = [
+            entry for entry in cache.plans.values()
+            if entry.opt_stats["densified"]
+        ]
+        assert len(densified) == 1
+
+    def test_optimizer_counters_reach_profile(self):
+        manual_seed(0)
+        model = nn.Sequential(nn.Linear(4, 4), nn.Tanh())
+        model.eval()
+        x = np.zeros((2, 4))
+        with plan_mod.profiled() as stages:
+            planned_forward(model, x, optimize=True)
+        assert stages["opt.steps_before"] >= stages["opt.steps_after"]
+        plan_mod.clear_plans(model)
+        with plan_mod.profiled() as stages:
+            planned_forward(model, x, optimize=False)
+        assert not any(k.startswith("opt.") for k in stages)
+
+
 class TestProfiling:
     def test_stage_accumulates_only_when_profiled(self):
         with plan_mod.stage("attach"):
@@ -263,6 +608,37 @@ class TestProfiling:
         )
         assert "attach" in text and "replay" in text
         assert "metric (other)" in text
+
+    def test_format_profile_omits_absent_stages(self):
+        """--no-plan runs record no trace/replay: no misleading zero rows."""
+        from repro.eval.reporting import format_profile
+
+        text = format_profile({"attach": 0.01, "metric": 0.06})
+        assert "attach" in text and "metric (other)" in text
+        assert "trace" not in text and "replay" not in text
+
+    def test_format_profile_handles_empty_stages(self):
+        from repro.eval.reporting import format_profile
+
+        assert "no stages recorded" in format_profile({})
+
+    def test_format_profile_renders_optimizer_counters(self):
+        from repro.eval.reporting import format_profile
+
+        text = format_profile(
+            {
+                "attach": 0.01, "metric": 0.06,
+                "opt.deduped": 4.0, "opt.folded": 3.0, "opt.fused": 5.0,
+                "opt.eliminated": 1.0, "opt.densified": 2.0,
+                "opt.steps_before": 20.0, "opt.steps_after": 11.0,
+            }
+        )
+        assert (
+            "plan optimizer: 4 deduped, 3 folded, 5 fused, "
+            "1 eliminated, 2 densified"
+            in text
+        )
+        assert "(20 -> 11 steps)" in text
 
 
 class TestClearPlans:

@@ -63,6 +63,45 @@ class TestPathCheck:
         assert check_docs._check_paths(doc, doc.read_text()) == []
 
 
+class TestExternalPathCheck:
+    def test_dangling_absolute_path_fails(self, tmp_path):
+        doc = _doc(
+            tmp_path,
+            "Material lives under `/root/no_such_dir_xyz/files` now.",
+        )
+        errors = check_docs._check_external_paths(doc, doc.read_text())
+        assert len(errors) == 1
+        assert "dangling filesystem path" in errors[0]
+        assert "/root/no_such_dir_xyz/files" in errors[0]
+
+    def test_existing_absolute_path_passes(self, tmp_path):
+        target = tmp_path / "exists.md"
+        target.write_text("x")
+        doc = _doc(tmp_path, f"See `{target}` for details.")
+        assert check_docs._check_external_paths(doc, doc.read_text()) == []
+
+    def test_trailing_punctuation_stripped(self, tmp_path):
+        target = tmp_path / "exists.md"
+        target.write_text("x")
+        doc = _doc(tmp_path, f"The notes are in {target}.")
+        assert check_docs._check_external_paths(doc, doc.read_text()) == []
+
+    def test_glob_and_placeholder_paths_skipped(self, tmp_path):
+        doc = _doc(
+            tmp_path,
+            "Caches live in /tmp/repro-*/cache and /root/<user>/dir.",
+        )
+        assert check_docs._check_external_paths(doc, doc.read_text()) == []
+
+    def test_each_path_reported_once(self, tmp_path):
+        doc = _doc(
+            tmp_path,
+            "See /root/gone_dir_abc/a.py and again /root/gone_dir_abc/a.py.",
+        )
+        errors = check_docs._check_external_paths(doc, doc.read_text())
+        assert len(errors) == 1
+
+
 class TestCliCheck:
     def test_unparseable_invocation_fails(self, tmp_path):
         doc = _doc(tmp_path, "Run `python -m repro.eval frobnicate --bogus`.")
@@ -181,4 +220,9 @@ class TestEndToEnd:
             text = doc.read_text(encoding="utf-8")
             assert check_docs._check_links(doc, text) == []
             assert check_docs._check_paths(doc, text) == []
+            assert check_docs._check_external_paths(doc, text) == []
             assert check_docs._check_cli_commands(doc, text) == []
+
+    def test_roadmap_is_audited(self):
+        names = [doc.name for doc in check_docs._doc_files()]
+        assert "ROADMAP.md" in names

@@ -1,0 +1,84 @@
+"""Unit tests for the benchmark trajectory recorder.
+
+``benchmarks/recorder.py`` is not an installed package (the benchmarks
+directory is excluded from tier-1), so the module is loaded straight
+from its file path.  The tests pin the atomicity contract: an
+interrupted append (simulated by a ``json.dump`` that writes half a
+document and dies) must leave the existing ``BENCH_*.json`` byte-for-
+byte intact and clean up its temporary file.
+"""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_RECORDER_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "benchmarks", "recorder.py"
+)
+
+
+@pytest.fixture()
+def recorder():
+    spec = importlib.util.spec_from_file_location("bench_recorder", _RECORDER_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestRecordBench:
+    def test_appends_rows_with_schema_version(self, recorder, tmp_path):
+        target = str(tmp_path / "BENCH_test.json")
+        recorder.record_bench("co2", "baseline", 100.0, 1.0, bench_file=target)
+        rows = recorder.record_bench("co2", "fast", 150.0, 1.5, bench_file=target)
+        assert len(rows) == 2
+        with open(target) as fh:
+            on_disk = json.load(fh)
+        assert on_disk == rows
+        assert all(r["schema_version"] == recorder.SCHEMA_VERSION for r in on_disk)
+
+    def test_extra_fields_merge_without_overriding(self, recorder, tmp_path):
+        target = str(tmp_path / "BENCH_test.json")
+        (row,) = recorder.record_bench(
+            "co2", "plan-opt", 200.0, 1.2, bench_file=target,
+            extra={"steps_before": 40, "steps_after": 20, "ratio": 99.0},
+        )
+        assert row["steps_before"] == 40 and row["steps_after"] == 20
+        assert row["ratio"] == 1.2  # standard keys win over extra
+
+    def test_corrupt_file_starts_fresh(self, recorder, tmp_path):
+        target = str(tmp_path / "BENCH_test.json")
+        with open(target, "w") as fh:
+            fh.write('[{"task": "co2", "backe')  # truncated document
+        rows = recorder.record_bench("co2", "fast", 10.0, 1.0, bench_file=target)
+        assert len(rows) == 1
+
+    def test_interrupted_write_leaves_file_intact(self, recorder, tmp_path):
+        target = str(tmp_path / "BENCH_test.json")
+        recorder.record_bench("co2", "baseline", 100.0, 1.0, bench_file=target)
+        with open(target) as fh:
+            before = fh.read()
+
+        real_dump = recorder.json.dump
+
+        def dying_dump(obj, fh, **kwargs):
+            fh.write('[{"task": "co2", "backe')  # half a document...
+            fh.flush()
+            raise KeyboardInterrupt  # ...then the run dies mid-write
+
+        recorder.json.dump = dying_dump
+        try:
+            with pytest.raises(KeyboardInterrupt):
+                recorder.record_bench("co2", "fast", 150.0, 1.5, bench_file=target)
+        finally:
+            recorder.json.dump = real_dump
+
+        with open(target) as fh:
+            assert fh.read() == before  # old complete list still served
+        json.loads(before)  # and it is valid JSON
+        assert not os.path.exists(target + ".tmp")  # temp cleaned up
+
+    def test_bench_path_points_at_repo_root(self, recorder):
+        path = recorder.bench_path("pr6")
+        assert os.path.basename(path) == "BENCH_pr6.json"
