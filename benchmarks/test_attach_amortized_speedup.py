@@ -1,0 +1,193 @@
+"""Campaign-engine benchmark: attach-once fault programming (PR 7).
+
+Runs a Monte Carlo uniform-noise severity sweep (tiny CO2/LSTM task,
+8 severity levels, one chip per level, ``mc_samples=4`` Bayesian passes,
+evaluation capped at 64 windows) on the **serial** executor in two
+configurations:
+
+* **baseline** — the PR 6 engine (``attach_amortize=False``): every cell
+  of every sweep re-attaches its fault hooks from scratch.  On the
+  serial path each re-attach mints fresh hook objects with fresh fault
+  tokens, so every cell's plan key changes and *every* forward re-traces
+  — the plan cache never reaches steady state, and the quantized-weight
+  deploy cache (keyed on the fault token) stays cold too;
+* **amortized** — this PR's engine (``attach_amortize=True``, the
+  default): each (scenario, run) cell programs its fault patterns once
+  into the campaign-level program registry; repeated sweeps reinstall
+  the *same* frozen weight hooks (stable fault tokens) and skip all
+  seed-stream work, so steady-state sweeps are pure plan replay against
+  a warm deploy cache.
+
+The sweep is sized to the caches on purpose: 8 cells fit both the
+8-entry per-model plan cache and the 16-entry program registry, so the
+amortized configuration can actually reach steady state (a working set
+larger than either cap degrades to the baseline behavior by design —
+the registry is an LRU, not an unbounded log).
+
+Each configuration gets its own freshly retrained model object
+(deterministic retraining gives bit-identical weights), because plan
+caches and program registries are per-model: a shared model would let
+the baseline's rotating fault tokens evict the amortized plans.  Timed
+sweeps are interleaved (baseline, amortized, baseline, ...) with a
+min-of-repeats ratio, so machine drift hits both configurations equally.
+
+Asserted: per-(scenario, run) values bit-identical between the two
+configurations, ``attach_skipped`` strictly growing during timed sweeps,
+zero per-cell attaches *and* zero re-traces after warmup (the amortized
+steady state does no attach work and no tracing at all), and a >=1.15x
+cells/s win.  Throughput for both configurations is recorded to
+``BENCH_pr7.json`` (schema v3; the amortized row carries
+``attach_programmed``/``attach_skipped`` extras — see
+``docs/benchmarks.md``).
+
+Run explicitly (benchmarks are excluded from tier-1)::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_attach_amortized_speedup.py -s
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.eval import build_task, clear_memory_cache, make_evaluator, trained_model
+from repro.faults import MonteCarloCampaign, program_stats, uniform_sweep
+from repro.models import proposed
+from repro.tensor import plan as plan_mod
+
+from conftest import print_banner
+from recorder import bench_path, record_bench
+
+N_RUNS = 1  # one chip per level: 8 cells fit the 8-entry plan cache
+MC_SAMPLES = 4  # the tiny preset's native Bayesian pass count (mc_samples("tiny"))
+MAX_EVAL_SAMPLES = 64
+LEVELS = [0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4]
+REPEATS = 8  # interleaved timed sweeps per configuration
+MIN_SPEEDUP = 1.15
+
+
+def _build():
+    task = build_task("co2", preset="tiny")
+    method = proposed()
+    model = trained_model(task, method, "tiny", seed=0)
+    evaluator = make_evaluator(
+        task.name,
+        task.test_set,
+        method,
+        mc_samples=MC_SAMPLES,
+        max_samples=MAX_EVAL_SAMPLES,
+    )
+    return model, evaluator
+
+
+def _campaign(model, evaluator, amortize: bool) -> MonteCarloCampaign:
+    return MonteCarloCampaign(
+        model,
+        evaluator,
+        n_runs=N_RUNS,
+        base_seed=0,
+        executor="serial",
+        plan=True,
+        plan_opt=True,
+        attach_amortize=amortize,
+    )
+
+
+@pytest.mark.paper_artifact("campaign-engine")
+def test_attach_amortized_sweep_speedup():
+    print_banner(
+        f"Campaign engine: per-cell attach (PR6) vs attach-once programming "
+        f"(co2/LSTM serial, {len(LEVELS)} levels, n_runs={N_RUNS}, "
+        f"mc_samples={MC_SAMPLES})"
+    )
+    specs = uniform_sweep(LEVELS)
+    cells = len(LEVELS) * N_RUNS
+    timings = {"attach-full": float("inf"), "attach-amortized": float("inf")}
+    results = {}
+
+    def _prepare(label, amortize):
+        # Fresh caches per build: deterministic retraining gives both
+        # configurations bit-identical weights on distinct model objects
+        # (distinct plan caches and program registries), so interleaved
+        # sweeps cannot cross-evict each other's plans.
+        clear_memory_cache()
+        model, evaluator = _build()
+        return label, _campaign(model, evaluator, amortize), model
+
+    plan_mod.clear_plans()
+    prepared = [
+        _prepare("attach-full", amortize=False),
+        _prepare("attach-amortized", amortize=True),
+    ]
+    assert prepared[0][2] is not prepared[1][2]  # per-config model objects
+
+    # Warmup: the amortized configuration programs all 8 cells (registry
+    # misses) and traces their plans; the baseline traces its first set.
+    for label, campaign, model in prepared:
+        results[label] = campaign.sweep(specs)
+    amortized_model = prepared[1][2]
+    warm_programs = program_stats(amortized_model)
+    attached_after_warmup = warm_programs.attached
+    skipped_after_warmup = warm_programs.skipped
+    traces_after_warmup = plan_mod.plan_stats(amortized_model).traces
+    assert attached_after_warmup == cells
+
+    for _ in range(REPEATS):
+        for label, campaign, _model in prepared:
+            start = time.perf_counter()
+            results[label] = campaign.sweep(specs)
+            timings[label] = min(timings[label], time.perf_counter() - start)
+
+    for label in ("attach-full", "attach-amortized"):
+        print(
+            f"{label:>16}: {timings[label] * 1000:7.1f}ms/sweep "
+            f"({cells / timings[label]:7.1f} cells/s)"
+        )
+
+    # Bit-identity: amortized replay == full re-attach, per (scenario, run).
+    for full_result, amortized_result in zip(
+        results["attach-full"], results["attach-amortized"]
+    ):
+        np.testing.assert_array_equal(
+            full_result.values, amortized_result.values
+        )
+
+    stats = program_stats(amortized_model)
+    print(
+        f" programs: attached={stats.attached} skipped={stats.skipped} "
+        f"(warmup attached {attached_after_warmup})"
+    )
+    assert stats.attached == attached_after_warmup, (
+        "amortized steady state re-attached cells after warmup: "
+        f"{attached_after_warmup} -> {stats.attached}"
+    )
+    assert stats.skipped > skipped_after_warmup, (
+        "timed amortized sweeps never hit the program registry"
+    )
+    traces_now = plan_mod.plan_stats(amortized_model).traces
+    assert traces_now == traces_after_warmup, (
+        "amortized steady state re-traced plans after warmup: "
+        f"{traces_after_warmup} -> {traces_now} (unstable fault tokens?)"
+    )
+
+    speedup = timings["attach-full"] / timings["attach-amortized"]
+    print(f" speedup: {speedup:.2f}x (threshold {MIN_SPEEDUP:.2f}x)")
+    target = bench_path("pr7")
+    record_bench(
+        "co2", "attach-full", cells / timings["attach-full"], 1.0,
+        bench_file=target,
+    )
+    record_bench(
+        "co2", "attach-amortized", cells / timings["attach-amortized"],
+        speedup,
+        bench_file=target,
+        extra={
+            "attach_programmed": int(stats.attached),
+            "attach_skipped": int(stats.skipped),
+        },
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"expected attach-once programming to be >={MIN_SPEEDUP}x faster "
+        f"than per-cell attach on the tiny serial LSTM severity sweep, "
+        f"got {speedup:.2f}x"
+    )

@@ -152,6 +152,7 @@ def run_robustness_sweep(
     scenario_limit: Optional[int] = None,
     plan: Optional[bool] = None,
     plan_opt: Optional[bool] = None,
+    attach_amortize: Optional[bool] = None,
 ) -> RobustnessSweep:
     """Train/fetch each method's model and sweep the fault levels.
 
@@ -171,7 +172,11 @@ def run_robustness_sweep(
     and ``plan_opt`` the trace-time IR optimizer passes over those plans
     (None = the ambient default, on unless ``REPRO_PLAN_OPT=0``;
     ``plan_opt=False`` is the CLI's ``--no-plan-opt`` — bit-identical
-    either way).
+    either way).  ``attach_amortize`` toggles the campaign-level fault
+    program registry that lets repeated identical cells skip re-attach
+    (None = the ambient default, on unless ``REPRO_ATTACH_AMORTIZE=0``;
+    ``attach_amortize=False`` is the CLI's ``--no-attach-amortize`` —
+    bit-identical either way).
     """
     if mc_batched and executor != "batched":
         # Fail before the (potentially long) training phase — and even on a
@@ -238,6 +243,7 @@ def run_robustness_sweep(
                 scenario_limit=scenario_limit,
                 plan=plan,
                 plan_opt=plan_opt,
+                attach_amortize=attach_amortize,
             )
             fresh = campaign.sweep(
                 [specs[i] for i in pending],

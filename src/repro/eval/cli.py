@@ -119,6 +119,7 @@ def cmd_sweep(args) -> None:
             scenario_limit=args.scenario_limit,
             plan=args.plan,
             plan_opt=args.plan_opt,
+            attach_amortize=args.attach_amortize,
         )
     if meter.total:
         meter.finish()
@@ -242,9 +243,18 @@ def build_parser() -> argparse.ArgumentParser:
                  "list, e.g. to isolate an optimizer pass)",
         )
         p.add_argument(
+            "--attach-amortize", action=argparse.BooleanOptionalAction,
+            default=None,
+            help="serve repeated identical cells from the campaign-level "
+                 "fault program registry instead of re-attaching their "
+                 "hooks (on by default; bit-identical either way; "
+                 "--no-attach-amortize forces a full attach per cell, "
+                 "e.g. to measure the amortization win itself)",
+        )
+        p.add_argument(
             "--profile", action="store_true",
             help="print a per-stage wall-time breakdown "
-                 "(attach/trace/replay/metric) after the sweep, plus the "
+                 "(attach/program/trace/replay/metric) after the sweep, plus the "
                  "plan optimizer's per-pass step counters, for locating "
                  "hot paths without external tooling",
         )

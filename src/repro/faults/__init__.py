@@ -18,8 +18,11 @@ from .campaign import (
     FaultInjector,
     MonteCarloCampaign,
     additive_sweep,
+    attach_amortize_default,
     bitflip_sweep,
+    clear_programs,
     multiplicative_sweep,
+    program_stats,
     uniform_sweep,
 )
 from .executor import (
@@ -27,6 +30,7 @@ from .executor import (
     EvalHandle,
     FactoryHandle,
     WorkCell,
+    cell_eval_rng,
     cell_rngs,
     evaluate_cell,
     evaluate_cells_batched,
@@ -69,10 +73,14 @@ __all__ = [
     "FactoryHandle",
     "WorkCell",
     "cell_rngs",
+    "cell_eval_rng",
     "evaluate_cell",
     "evaluate_cells_batched",
     "evaluate_cells_scenario_batched",
     "run_cells",
+    "attach_amortize_default",
+    "program_stats",
+    "clear_programs",
     "bitflip_sweep",
     "additive_sweep",
     "multiplicative_sweep",

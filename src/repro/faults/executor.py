@@ -96,6 +96,41 @@ def cell_rngs(
     return np.random.default_rng(fault_seq), np.random.default_rng(eval_seq)
 
 
+def cell_eval_rng(
+    base_seed: int, scenario_index: int, run_index: int
+) -> np.random.Generator:
+    """Only the evaluation generator of one cell's stream pair.
+
+    The amortized attach path (see
+    :meth:`repro.faults.campaign.FaultInjector.program`) serves fault
+    hooks from the program registry without consuming the fault stream,
+    so steady-state cells skip instantiating the fault generator
+    entirely; the derivation of the evaluation stream is identical to
+    :func:`cell_rngs`.
+
+    The child sequence is constructed directly — ``spawn(n)`` extends
+    the parent's ``spawn_key`` with the child index, so
+    ``SeedSequence(base_seed, spawn_key=(scenario, run, 1))`` is the
+    same stream ``cell_rngs`` returns, without hashing the parent's
+    entropy or materializing the unused fault child (this derivation
+    runs once per cell per sweep on the hot skip path).
+    """
+    eval_seq = np.random.SeedSequence(
+        entropy=base_seed, spawn_key=(scenario_index, run_index, 1)
+    )
+    return np.random.default_rng(eval_seq)
+
+
+def _resolve_amortize(attach_amortize: Optional[bool]) -> bool:
+    from .campaign import attach_amortize_default  # local import breaks the cycle
+
+    return (
+        attach_amortize_default()
+        if attach_amortize is None
+        else bool(attach_amortize)
+    )
+
+
 def evaluate_cell(
     model: Module,
     evaluator: Evaluator,
@@ -103,6 +138,7 @@ def evaluate_cell(
     base_seed: int,
     plan: bool = True,
     plan_opt: Optional[bool] = None,
+    attach_amortize: Optional[bool] = None,
 ) -> float:
     """Evaluate one cell hermetically: attach faults, score, detach.
 
@@ -122,15 +158,33 @@ def evaluate_cell(
     traced by this cell: ``None`` inherits the ambient default (on unless
     ``REPRO_PLAN_OPT=0``), ``False`` (the ``--no-plan-opt`` switch)
     replays the raw traced step list — bit-identical either way.
+
+    ``attach_amortize`` routes the attach through the campaign-level
+    program registry (:meth:`FaultInjector.program
+    <repro.faults.campaign.FaultInjector.program>`): a repeat of an
+    already-programmed cell re-installs its stored hooks without drawing
+    a seed.  ``None`` inherits the ambient default (on unless
+    ``REPRO_ATTACH_AMORTIZE=0``) — bit-identical either way.
     """
     from .campaign import FaultInjector  # local import breaks the cycle
 
-    fault_rng, eval_rng = cell_rngs(base_seed, cell.scenario_index, cell.run_index)
+    amortize = _resolve_amortize(attach_amortize)
+    if amortize:
+        eval_rng = cell_eval_rng(base_seed, cell.scenario_index, cell.run_index)
+    else:
+        fault_rng, eval_rng = cell_rngs(
+            base_seed, cell.scenario_index, cell.run_index
+        )
     injector = FaultInjector(model)
     with scoped_rng(eval_rng):
         resample_masks(model)
-        with _plan.stage("attach"):
-            injector.attach(cell.spec, fault_rng)
+        if amortize:
+            injector.program(
+                cell.spec, base_seed, cell.scenario_index, cell.run_index
+            )
+        else:
+            with _plan.stage("attach"):
+                injector.attach(cell.spec, fault_rng)
         try:
             with _plan.plan_execution(plan, optimize=plan_opt), _plan.stage("metric"):
                 return float(evaluator(model))
@@ -146,6 +200,7 @@ def evaluate_cells_batched(
     mc_batched: bool = True,
     plan: bool = True,
     plan_opt: Optional[bool] = None,
+    attach_amortize: Optional[bool] = None,
 ) -> np.ndarray:
     """Evaluate one scenario's chip instances as a single stacked pass.
 
@@ -179,18 +234,31 @@ def evaluate_cells_batched(
             raise ValueError("batched evaluation needs a single-scenario group")
         if cell.scenario_index != scenario:
             raise ValueError("batched evaluation needs a single-scenario group")
-    pairs = [
-        cell_rngs(base_seed, cell.scenario_index, cell.run_index) for cell in cells
-    ]
-    fault_rngs = [fault for fault, _ in pairs]
-    eval_rngs = [ev for _, ev in pairs]
+    amortize = _resolve_amortize(attach_amortize)
+    if amortize:
+        eval_rngs = [
+            cell_eval_rng(base_seed, cell.scenario_index, cell.run_index)
+            for cell in cells
+        ]
+    else:
+        pairs = [
+            cell_rngs(base_seed, cell.scenario_index, cell.run_index)
+            for cell in cells
+        ]
+        fault_rngs = [fault for fault, _ in pairs]
+        eval_rngs = [ev for _, ev in pairs]
     injector = FaultInjector(model)
     with chip_batch(len(cells)), scoped_rng(ChipBatchRng(eval_rngs)), mc_batching(
         mc_batched
     ):
         resample_masks(model)
-        with _plan.stage("attach"):
-            injector.attach_batched(spec, fault_rngs)
+        if amortize:
+            injector.program_batched(
+                spec, base_seed, scenario, [cell.run_index for cell in cells]
+            )
+        else:
+            with _plan.stage("attach"):
+                injector.attach_batched(spec, fault_rngs)
         try:
             with _plan.plan_execution(plan, optimize=plan_opt), _plan.stage("metric"):
                 values = np.asarray(evaluator(model), dtype=np.float64)
@@ -213,6 +281,7 @@ def evaluate_cells_scenario_batched(
     mc_batched: bool = True,
     plan: bool = True,
     plan_opt: Optional[bool] = None,
+    attach_amortize: Optional[bool] = None,
 ) -> np.ndarray:
     """Evaluate several scenarios' chip instances as ONE stacked pass.
 
@@ -260,9 +329,16 @@ def evaluate_cells_scenario_batched(
                     "each scenario group needs a single-scenario cell list"
                 )
         specs.append(spec)
+    amortize = _resolve_amortize(attach_amortize)
     fault_rng_groups: List[List[np.random.Generator]] = []
     eval_rngs: List[np.random.Generator] = []
     for group in cell_groups:
+        if amortize:
+            eval_rngs.extend(
+                cell_eval_rng(base_seed, cell.scenario_index, cell.run_index)
+                for cell in group
+            )
+            continue
         pairs = [
             cell_rngs(base_seed, cell.scenario_index, cell.run_index)
             for cell in group
@@ -276,8 +352,16 @@ def evaluate_cells_scenario_batched(
         ChipBatchRng(eval_rngs)
     ), mc_batching(mc_batched):
         resample_masks(model)
-        with _plan.stage("attach"):
-            injector.attach_scenario_batched(specs, fault_rng_groups)
+        if amortize:
+            injector.program_scenario_batched(
+                specs,
+                base_seed,
+                [group[0].scenario_index for group in cell_groups],
+                [[cell.run_index for cell in group] for group in cell_groups],
+            )
+        else:
+            with _plan.stage("attach"):
+                injector.attach_scenario_batched(specs, fault_rng_groups)
         try:
             with _plan.plan_execution(plan, optimize=plan_opt), _plan.stage("metric"):
                 values = np.asarray(evaluator(model), dtype=np.float64)
@@ -352,6 +436,7 @@ def _run_batched(
     scenario_limit: Optional[int] = None,
     plan: bool = True,
     plan_opt: Optional[bool] = None,
+    attach_amortize: Optional[bool] = None,
 ) -> np.ndarray:
     """Chip-batched backend: one vectorized pass per (stacked) group.
 
@@ -403,12 +488,14 @@ def _run_batched(
                             model, evaluator, groups[0], base_seed,
                             mc_batched=mc_batched, plan=plan,
                             plan_opt=plan_opt,
+                            attach_amortize=attach_amortize,
                         )
                     else:
                         stacked = evaluate_cells_scenario_batched(
                             model, evaluator, groups, base_seed,
                             mc_batched=mc_batched, plan=plan,
                             plan_opt=plan_opt,
+                            attach_amortize=attach_amortize,
                         )
                     width = chip_stop - chip_sub
                     for g, (start, _) in enumerate(sub_ranges):
@@ -423,7 +510,7 @@ def _run_batched(
                 for index in range(start, stop):
                     values[index] = evaluate_cell(
                         model, evaluator, cells[index], base_seed, plan=plan,
-                        plan_opt=plan_opt,
+                        plan_opt=plan_opt, attach_amortize=attach_amortize,
                     )
             else:
                 step = chip_limit if chip_limit else stop - start
@@ -437,6 +524,7 @@ def _run_batched(
                         mc_batched=mc_batched,
                         plan=plan,
                         plan_opt=plan_opt,
+                        attach_amortize=attach_amortize,
                     )
             _report(stop - start)
     return values
@@ -494,10 +582,12 @@ def _worker_pair(handle: EvalHandle) -> Tuple[Module, Evaluator]:
 def _run_cell_from_handle(
     handle: EvalHandle, index: int, cell: WorkCell, base_seed: int,
     plan: bool = True, plan_opt: Optional[bool] = None,
+    attach_amortize: Optional[bool] = None,
 ) -> Tuple[int, float]:
     model, evaluator = _worker_pair(handle)
     return index, evaluate_cell(
-        model, evaluator, cell, base_seed, plan=plan, plan_opt=plan_opt
+        model, evaluator, cell, base_seed, plan=plan, plan_opt=plan_opt,
+        attach_amortize=attach_amortize,
     )
 
 
@@ -520,6 +610,7 @@ def run_cells(
     scenario_limit: Optional[int] = None,
     plan: Optional[bool] = None,
     plan_opt: Optional[bool] = None,
+    attach_amortize: Optional[bool] = None,
 ) -> np.ndarray:
     """Execute a flat cell grid and return values aligned with ``cells``.
 
@@ -578,6 +669,16 @@ def run_cells(
         inherits the ambient setting — on unless ``REPRO_PLAN_OPT=0`` —
         and ``False`` (CLI ``--no-plan-opt``) replays the raw traced
         step list.  Results are bit-identical either way.
+    attach_amortize:
+        Serve repeated identical cells from the campaign-level program
+        registry (:meth:`FaultInjector.program
+        <repro.faults.campaign.FaultInjector.program>`): a cell whose
+        (coordinates, fault config) were already programmed re-installs
+        its stored hooks and skips attach entirely.  ``None`` (default)
+        inherits the ambient setting — on unless
+        ``REPRO_ATTACH_AMORTIZE=0`` — and ``False`` (CLI
+        ``--no-attach-amortize``) runs a full attach per cell.  Results
+        are bit-identical either way.
     """
     if executor not in EXECUTORS:
         raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
@@ -599,6 +700,7 @@ def run_cells(
     workers = max(1, int(workers) if workers is not None else 4)
     plan = True if plan is None else bool(plan)
     plan_opt = None if plan_opt is None else bool(plan_opt)
+    attach_amortize = _resolve_amortize(attach_amortize)
 
     if executor == "batched":
         if model is None or evaluator is None:
@@ -617,6 +719,7 @@ def run_cells(
             scenario_limit=scenario_limit,
             plan=plan,
             plan_opt=plan_opt,
+            attach_amortize=attach_amortize,
         )
 
     if executor == "serial" or workers == 1 or total == 1:
@@ -625,7 +728,8 @@ def run_cells(
         values = np.empty(total)
         for i, cell in enumerate(cells):
             values[i] = evaluate_cell(
-                model, evaluator, cell, base_seed, plan=plan, plan_opt=plan_opt
+                model, evaluator, cell, base_seed, plan=plan,
+                plan_opt=plan_opt, attach_amortize=attach_amortize,
             )
             if on_cell_done is not None:
                 on_cell_done(i + 1, total)
@@ -634,11 +738,11 @@ def run_cells(
     if executor == "thread":
         return _run_threaded(
             cells, base_seed, model, evaluator, handle, workers, on_cell_done,
-            plan=plan, plan_opt=plan_opt,
+            plan=plan, plan_opt=plan_opt, attach_amortize=attach_amortize,
         )
     return _run_process(
         cells, base_seed, model, evaluator, handle, workers, on_cell_done,
-        plan=plan, plan_opt=plan_opt,
+        plan=plan, plan_opt=plan_opt, attach_amortize=attach_amortize,
     )
 
 
@@ -652,6 +756,7 @@ def _run_threaded(
     on_cell_done: Optional[Callable[[int, int], None]],
     plan: bool = True,
     plan_opt: Optional[bool] = None,
+    attach_amortize: Optional[bool] = None,
 ) -> np.ndarray:
     """Thread-pool backend: one model replica per worker thread.
 
@@ -717,6 +822,7 @@ def _run_threaded(
                 value = evaluate_cell(
                     worker_model, worker_evaluator, cell, base_seed,
                     plan=plan, plan_opt=plan_opt,
+                    attach_amortize=attach_amortize,
                 )
             except BaseException as exc:  # surface on the caller's thread
                 with lock:
@@ -751,6 +857,7 @@ def _run_process(
     on_cell_done: Optional[Callable[[int, int], None]],
     plan: bool = True,
     plan_opt: Optional[bool] = None,
+    attach_amortize: Optional[bool] = None,
 ) -> np.ndarray:
     """Process-pool backend: workers rebuild (model, evaluator) from a handle."""
     if handle is None:
@@ -767,7 +874,7 @@ def _run_process(
         pending = {
             pool.submit(
                 _run_cell_from_handle, handle, i, cell, base_seed, plan,
-                plan_opt,
+                plan_opt, attach_amortize,
             )
             for i, cell in enumerate(cells)
         }

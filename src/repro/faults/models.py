@@ -515,6 +515,10 @@ class ChipBatchedWeightFault:
         self.prototype = prototype
         self.fault_token = next(_FAULT_TOKENS)
         self._cache: Dict[Tuple[int, ...], np.ndarray] = {}
+        # Seeds and config are frozen for the hook's lifetime, so the plan
+        # signature is too; the attach-amortized path re-installs one hook
+        # across many replays, making per-call tuple rebuilds measurable.
+        self._signature = ("cbwf", prototype.config_key(), tuple(self.seeds))
 
     @property
     def n_chips(self) -> int:
@@ -528,7 +532,7 @@ class ChipBatchedWeightFault:
         deriving the same per-cell streams — hits the same plan key and
         replays, while any new seed set or severity re-traces.
         """
-        return ("cbwf", self.prototype.config_key(), tuple(self.seeds))
+        return self._signature
 
     def __call__(self, qw: QuantizedWeight) -> np.ndarray:
         key = (qw.bits,) + tuple(qw.codes.shape)
@@ -589,6 +593,12 @@ class ScenarioBatchedWeightFault:
         self.seed_groups = [[int(s) for s in seeds] for seeds in seed_groups]
         self.fault_token = next(_FAULT_TOKENS)
         self._cache: Dict[Tuple[int, ...], List[np.ndarray]] = {}
+        # Frozen for the hook's lifetime, like ChipBatchedWeightFault.
+        self._signature = (
+            "sbwf",
+            tuple(p.config_key() for p in self.prototypes),
+            tuple(tuple(seeds) for seeds in self.seed_groups),
+        )
 
     @property
     def n_scenarios(self) -> int:
@@ -605,11 +615,7 @@ class ScenarioBatchedWeightFault:
         Like :meth:`ChipBatchedWeightFault.plan_signature`, value-based:
         identical stacked sweeps replay, anything else re-traces.
         """
-        return (
-            "sbwf",
-            tuple(p.config_key() for p in self.prototypes),
-            tuple(tuple(seeds) for seeds in self.seed_groups),
-        )
+        return self._signature
 
     def __call__(self, qw: QuantizedWeight) -> np.ndarray:
         key = (qw.bits,) + tuple(qw.codes.shape)

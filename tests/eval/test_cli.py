@@ -41,6 +41,34 @@ class TestParser:
             ["campaign", "--task", "co2", "--no-plan-opt"]
         ).plan_opt is False
 
+    def test_attach_amortize_flag_tristate(self):
+        parser = build_parser()
+        assert parser.parse_args(
+            ["campaign", "--task", "co2"]
+        ).attach_amortize is None
+        assert parser.parse_args(
+            ["campaign", "--task", "co2", "--attach-amortize"]
+        ).attach_amortize is True
+        assert parser.parse_args(
+            ["campaign", "--task", "co2", "--no-attach-amortize"]
+        ).attach_amortize is False
+
+    def test_attach_amortize_with_globals_in_either_order(self):
+        """--no-attach-amortize composes with globals before or after the
+        subcommand (PR 2 allows both orders for --preset/--seed)."""
+        parser = build_parser()
+        before = parser.parse_args(
+            ["--preset", "tiny", "--seed", "3",
+             "campaign", "--task", "co2", "--no-attach-amortize"]
+        )
+        after = parser.parse_args(
+            ["campaign", "--task", "co2",
+             "--preset", "tiny", "--seed", "3", "--no-attach-amortize"]
+        )
+        assert before.attach_amortize is False and after.attach_amortize is False
+        assert before.preset == after.preset == "tiny"
+        assert before.seed == after.seed == 3
+
 
 class TestExecution:
     def test_campaign_runs_tiny(self, tmp_path, monkeypatch, capsys):
@@ -110,6 +138,43 @@ class TestExecution:
         labels = self._profile_stage_labels(out)
         assert "attach" in labels and "metric (other)" in labels
         assert "trace" not in labels and "replay" not in labels
+
+    def test_profile_attributes_amortized_skips_to_program_stage(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        """With amortization on (default), registry work shows up as a
+        dedicated ``program`` row — skipped cells never inflate ``attach``."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_ATTACH_AMORTIZE", raising=False)
+        from repro.eval import clear_memory_cache
+
+        clear_memory_cache()
+        main([
+            "--preset", "tiny",
+            "campaign", "--task", "audio", "--fault", "bitflip",
+            "--levels", "0", "0.2", "--runs", "2",
+            "--profile",
+        ])
+        out = capsys.readouterr().out
+        labels = self._profile_stage_labels(out)
+        assert "program" in labels and "attach" in labels
+
+    def test_profile_without_amortization_has_no_program_stage(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        from repro.eval import clear_memory_cache
+
+        clear_memory_cache()
+        main([
+            "--preset", "tiny",
+            "campaign", "--task", "audio", "--fault", "bitflip",
+            "--levels", "0", "0.2", "--runs", "2",
+            "--profile", "--no-attach-amortize",
+        ])
+        out = capsys.readouterr().out
+        labels = self._profile_stage_labels(out)
+        assert "program" not in labels and "attach" in labels
 
     def test_profile_with_plan_reports_optimizer_counters(
         self, tmp_path, monkeypatch, capsys

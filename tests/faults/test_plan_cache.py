@@ -96,6 +96,76 @@ class TestTraceReplayLifecycle:
         )
 
 
+class TestLRUBoundary:
+    """Exact behavior at the MAX_PLANS_PER_MODULE=8 capacity edge."""
+
+    def _fill(self, model, count, offset=0):
+        """Trace ``count`` distinct plans (keyed by input row count)."""
+        for n in range(count):
+            forward_planned(model, X[: 1 + ((n + offset) % (X.shape[0]))])
+
+    def test_capacity_exactly_reached_keeps_all_plans(self):
+        model = build_model()
+        cap = plan_mod.MAX_PLANS_PER_MODULE
+        assert cap == 8  # the boundary these tests pin
+        for n in range(1, cap + 1):
+            forward_planned(model, np.tile(X, (n, 1)))
+        stats = plan_mod.plan_stats(model)
+        assert len(stats.plans) == cap and stats.traces == cap
+        # Every resident plan replays — nothing was evicted at capacity.
+        for n in range(1, cap + 1):
+            forward_planned(model, np.tile(X, (n, 1)))
+        assert stats.traces == cap and stats.replays == cap
+
+    def test_one_past_capacity_evicts_exactly_the_oldest(self):
+        model = build_model()
+        cap = plan_mod.MAX_PLANS_PER_MODULE
+        for n in range(1, cap + 2):
+            forward_planned(model, np.tile(X, (n, 1)))
+        stats = plan_mod.plan_stats(model)
+        assert len(stats.plans) == cap and stats.traces == cap + 1
+        # n=2..cap+1 survived; only n=1 (the oldest) was evicted.
+        forward_planned(model, np.tile(X, (2, 1)))
+        assert stats.traces == cap + 1 and stats.replays == 1
+        forward_planned(model, np.tile(X, (1, 1)))
+        assert stats.traces == cap + 2  # evicted key re-traces on re-entry
+
+    def test_replay_refreshes_recency(self):
+        """A replayed plan moves to MRU and survives the next eviction."""
+        model = build_model()
+        cap = plan_mod.MAX_PLANS_PER_MODULE
+        for n in range(1, cap + 1):
+            forward_planned(model, np.tile(X, (n, 1)))
+        stats = plan_mod.plan_stats(model)
+        forward_planned(model, np.tile(X, (1, 1)))  # touch the LRU entry
+        assert stats.replays == 1
+        forward_planned(model, np.tile(X, (cap + 1, 1)))  # evicts n=2 now
+        forward_planned(model, np.tile(X, (1, 1)))
+        assert stats.traces == cap + 1 and stats.replays == 2
+        forward_planned(model, np.tile(X, (2, 1)))
+        assert stats.traces == cap + 2  # n=2 paid for n=1's refresh
+
+    def test_opt_counters_accumulate_across_eviction(self):
+        """Optimizer counters are monotone totals, not per-resident sums."""
+        model = build_model()
+        cap = plan_mod.MAX_PLANS_PER_MODULE
+        forward_planned(model, np.tile(X, (1, 1)))
+        stats = plan_mod.plan_stats(model)
+        after_first = dict(stats.opt_counters)
+        assert sum(after_first.values()) > 0  # the optimizer did something
+        for n in range(2, cap + 3):  # overflow: n=1 evicted along the way
+            forward_planned(model, np.tile(X, (n, 1)))
+        accumulated = dict(stats.opt_counters)
+        forward_planned(model, np.tile(X, (1, 1)))  # re-trace evicted key
+        assert stats.traces == cap + 3
+        for name, value in accumulated.items():
+            assert stats.opt_counters[name] >= value  # never reset
+        # The re-trace re-ran the passes: totals grew by the first trace's
+        # contribution again (same shape, same plan, same counters).
+        for name, value in after_first.items():
+            assert stats.opt_counters[name] == accumulated[name] + value
+
+
 class TestParameterVersionInvalidation:
     def test_optimizer_step_forces_retrace(self):
         model = build_model()

@@ -1,0 +1,275 @@
+"""Golden seed-draw transcript: the mc2 contract as an executable fixture.
+
+``docs/architecture.md`` documents the serial per-stream draw order every
+attach flavor must reproduce verbatim: walking the model's quantized
+layers in ``modules()`` order, one ``integers(0, 2**63)`` draw per weight
+site (drawn even when the variation routing then skips the hook on a
+binary layer), one extra draw for an installed LSTM recurrent-matrix
+hook, then — for variation kinds — one draw per sign-activation site.
+These tests freeze that prose into a hand-rolled golden walk and assert
+that
+
+* serial :meth:`FaultInjector.attach` consumes exactly the golden
+  transcript (values *and* count — batching the draws into one
+  ``integers(size=n)`` call must not shift the stream),
+* :meth:`attach_batched` and :meth:`attach_scenario_batched` consume
+  each chip's stream identically to a serial attach of that cell, and
+* the programmed path (:meth:`FaultInjector.program`) consumes the
+  serial stream on a miss and consumes **nothing** on a registry hit —
+  the amortized skip draws zero seeds and derives zero generators.
+
+A transcript mismatch here means cached campaign results under the mc2
+contract would silently change — treat any edit that moves these
+transcripts as a cache-contract bump, not a test fix.
+"""
+
+import numpy as np
+
+from repro import nn
+from repro.faults import FaultInjector, FaultSpec, cell_rngs, clear_programs
+from repro.faults import campaign as campaign_mod
+from repro.faults.models import ActivationNoise, ChipBatchedActivationNoise
+from repro.quant import (
+    QuantConv2d,
+    QuantLinear,
+    QuantLSTMCell,
+    SignActivation,
+)
+from repro.quant.layers import QuantizedComputeLayer
+from repro.tensor import manual_seed
+
+SPEC_BY_KIND = {
+    "bitflip": FaultSpec(kind="bitflip", level=0.1),
+    "additive": FaultSpec(kind="additive", level=0.3),
+    "multiplicative": FaultSpec(kind="multiplicative", level=0.2),
+    "uniform": FaultSpec(kind="uniform", level=0.2),
+    "stuck": FaultSpec(kind="stuck", level=0.1, stuck_to="high"),
+    "drift": FaultSpec(kind="drift", level=24.0),
+}
+
+
+class TranscriptNet(nn.Module):
+    """Mixed-site model covering every branch of the draw-order table.
+
+    A binary conv (variation kinds draw its seed then skip the hook), a
+    multi-bit LSTM cell (extra recurrent-matrix draw), a multi-bit head,
+    and two sign activations (variation kinds draw one seed each).  The
+    transcript tests never run a forward, so no ``forward`` is defined.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.conv = QuantConv2d(1, 2, 3, padding=1, weight_bits=1)
+        self.sign = SignActivation()
+        self.lstm = QuantLSTMCell(4, 3, weight_bits=8)
+        self.head = QuantLinear(3, 2, weight_bits=8)
+        self.sign_out = SignActivation()
+
+
+def build_model():
+    manual_seed(0)
+    return TranscriptNet()
+
+
+class TranscriptRng:
+    """Generator wrapper logging every value ``integers`` hands out."""
+
+    def __init__(self, rng: np.random.Generator):
+        self._rng = rng
+        self.draws = []
+
+    def integers(self, *args, **kwargs):
+        out = self._rng.integers(*args, **kwargs)
+        if np.ndim(out) == 0:
+            self.draws.append(int(out))
+        else:
+            self.draws.extend(int(v) for v in np.asarray(out).ravel())
+        return out
+
+    def __getattr__(self, name):
+        return getattr(self._rng, name)
+
+
+def golden_transcript(model, spec, rng: np.random.Generator):
+    """The documented serial draw order, as literal sequential scalar draws."""
+    weight_sites = [
+        m for m in model.modules() if isinstance(m, QuantizedComputeLayer)
+    ]
+    act_sites = [m for m in model.modules() if isinstance(m, SignActivation)]
+    draws = []
+    for layer in weight_sites:
+        draws.append(int(rng.integers(0, 2**63)))
+        if spec.is_variation and layer.weight_bits == 1 and act_sites:
+            continue  # hook skipped on binary layers: no recurrent draw either
+        if isinstance(layer, QuantLSTMCell):
+            draws.append(int(rng.integers(0, 2**63)))
+    if spec.is_variation:
+        for _ in act_sites:
+            draws.append(int(rng.integers(0, 2**63)))
+    return draws
+
+
+class TestSerialTranscript:
+    def test_attach_matches_golden_for_every_kind(self):
+        model = build_model()
+        injector = FaultInjector(model)
+        for kind, spec in SPEC_BY_KIND.items():
+            golden = golden_transcript(model, spec, np.random.default_rng(99))
+            transcript = TranscriptRng(np.random.default_rng(99))
+            injector.attach(spec, transcript)
+            assert transcript.draws == golden, f"kind={kind}"
+            assert len(golden) > 0
+
+    def test_degenerate_specs_draw_nothing(self):
+        model = build_model()
+        injector = FaultInjector(model)
+        for spec in (FaultSpec(kind="none", level=0.0),
+                     FaultSpec(kind="bitflip", level=0.0)):
+            transcript = TranscriptRng(np.random.default_rng(5))
+            injector.attach(spec, transcript)
+            assert transcript.draws == []
+
+    def test_binary_skip_still_consumes_the_weight_draw(self):
+        """Variation kinds draw the binary conv's seed, then skip its hook."""
+        model = build_model()
+        injector = FaultInjector(model)
+        spec = SPEC_BY_KIND["additive"]
+        injector.attach(spec, np.random.default_rng(0))
+        assert model.conv.weight_fault is None  # routed to activations
+        assert model.lstm.weight_fault is not None
+        bitflip = golden_transcript(
+            model, SPEC_BY_KIND["bitflip"], np.random.default_rng(99)
+        )
+        additive = golden_transcript(model, spec, np.random.default_rng(99))
+        # Same first draw (the conv seed is consumed either way), different
+        # totals (bitflip hooks the conv, additive hooks the activations).
+        assert bitflip[0] == additive[0]
+        assert len(bitflip) != len(additive)
+
+
+class TestBatchedTranscripts:
+    def test_chip_batched_consumes_each_stream_serially(self):
+        model = build_model()
+        injector = FaultInjector(model)
+        base_seed = 7
+        for kind, spec in SPEC_BY_KIND.items():
+            goldens = [
+                golden_transcript(
+                    model, spec, cell_rngs(base_seed, 0, run)[0]
+                )
+                for run in range(3)
+            ]
+            transcripts = [
+                TranscriptRng(cell_rngs(base_seed, 0, run)[0])
+                for run in range(3)
+            ]
+            injector.attach_batched(spec, transcripts)
+            for run, (transcript, golden) in enumerate(
+                zip(transcripts, goldens)
+            ):
+                assert transcript.draws == golden, f"kind={kind} run={run}"
+
+    def test_scenario_batched_consumes_each_stream_serially(self):
+        model = build_model()
+        injector = FaultInjector(model)
+        base_seed = 11
+        for kind in ("bitflip", "uniform", "stuck"):
+            spec = SPEC_BY_KIND[kind]
+            specs = [spec, FaultSpec(kind=spec.kind,
+                                     level=spec.level * 2,
+                                     stuck_to=spec.stuck_to)]
+            golden_groups = [
+                [
+                    golden_transcript(
+                        model, s, cell_rngs(base_seed, scenario, run)[0]
+                    )
+                    for run in range(2)
+                ]
+                for scenario, s in enumerate(specs)
+            ]
+            transcript_groups = [
+                [
+                    TranscriptRng(cell_rngs(base_seed, scenario, run)[0])
+                    for run in range(2)
+                ]
+                for scenario in range(len(specs))
+            ]
+            injector.attach_scenario_batched(specs, transcript_groups)
+            for scenario, (t_group, g_group) in enumerate(
+                zip(transcript_groups, golden_groups)
+            ):
+                for run, (transcript, golden) in enumerate(
+                    zip(t_group, g_group)
+                ):
+                    assert transcript.draws == golden, (
+                        f"kind={kind} scenario={scenario} run={run}"
+                    )
+
+
+class TestProgrammedTranscript:
+    def _patched_cell_rngs(self, monkeypatch):
+        """Route campaign.cell_rngs through transcript wrappers, counting calls."""
+        calls = []
+
+        def wrapped(base_seed, scenario_index, run_index):
+            fault, ev = cell_rngs(base_seed, scenario_index, run_index)
+            transcript = TranscriptRng(fault)
+            calls.append(((base_seed, scenario_index, run_index), transcript))
+            return transcript, ev
+
+        monkeypatch.setattr(campaign_mod, "cell_rngs", wrapped)
+        return calls
+
+    def test_miss_consumes_the_serial_stream(self, monkeypatch):
+        model = build_model()
+        injector = FaultInjector(model)
+        clear_programs(model)
+        calls = self._patched_cell_rngs(monkeypatch)
+        for kind, spec in SPEC_BY_KIND.items():
+            calls.clear()
+            installed = not injector.program(spec, 13, 2, 1)
+            assert installed  # first sight of this cell: a registry miss
+            assert len(calls) == 1
+            coords, transcript = calls[0]
+            assert coords == (13, 2, 1)
+            golden = golden_transcript(
+                model, spec, cell_rngs(13, 2, 1)[0]
+            )
+            assert transcript.draws == golden, f"kind={kind}"
+
+    def test_hit_draws_nothing_and_derives_no_stream(self, monkeypatch):
+        model = build_model()
+        injector = FaultInjector(model)
+        clear_programs(model)
+        spec = SPEC_BY_KIND["uniform"]
+        injector.program(spec, 13, 0, 0)
+        calls = self._patched_cell_rngs(monkeypatch)
+        assert injector.program(spec, 13, 0, 0)  # registry hit
+        assert calls == []  # the skip path never touches the fault stream
+
+    def test_hit_reinstalls_weight_hooks_but_restarts_activation_hooks(self):
+        """Frozen-pattern hooks are reused; stateful noise hooks restart."""
+        model = build_model()
+        injector = FaultInjector(model)
+        clear_programs(model)
+        spec = SPEC_BY_KIND["additive"]
+        injector.program(spec, 29, 0, 0)
+        lstm_hook = model.lstm.weight_fault
+        act_hook = model.sign.pre_fault
+        assert isinstance(act_hook, ActivationNoise)
+        assert injector.program(spec, 29, 0, 0)
+        assert model.lstm.weight_fault is lstm_hook  # same frozen hook
+        assert model.sign.pre_fault is not act_hook  # fresh stream state
+        assert isinstance(model.sign.pre_fault, ActivationNoise)
+
+    def test_batched_hit_restarts_chipbatched_activation_hooks(self):
+        model = build_model()
+        injector = FaultInjector(model)
+        clear_programs(model)
+        spec = SPEC_BY_KIND["uniform"]
+        injector.program_batched(spec, 31, 0, [0, 1, 2])
+        first = model.sign.pre_fault
+        assert isinstance(first, ChipBatchedActivationNoise)
+        assert injector.program_batched(spec, 31, 0, [0, 1, 2])
+        assert model.sign.pre_fault is not first
+        assert isinstance(model.sign.pre_fault, ChipBatchedActivationNoise)
