@@ -6,7 +6,9 @@ ride the parallel engine in :mod:`repro.faults.executor`; pass
 vectorized forward (the fastest backend on a single core — every evaluator
 built by :func:`make_evaluator` is chip-aware and returns a per-chip metric
 vector under an active chip batch).  Results are bit-identical across all
-backends and are cached per scenario by :func:`campaign_key`.
+backends and are cached per scenario by :func:`campaign_key` in the
+content-addressed :class:`ResultStore` shared across workers, sessions,
+and the campaign service (:mod:`repro.serve`).
 """
 
 from .activations import (
@@ -15,10 +17,13 @@ from .activations import (
     capture_weighted_sums,
 )
 from .cache import (
+    ResultStore,
     cache_dir,
     campaign_key,
     clear_memory_cache,
+    content_hash,
     load_campaign_values,
+    result_store,
     store_campaign_values,
     trained_model,
 )
@@ -40,6 +45,7 @@ from .reporting import (
     METHOD_LABELS,
     ProgressMeter,
     format_profile,
+    format_service_stats,
     format_sweep,
     format_table_row,
     summarize_improvements,
@@ -73,8 +79,11 @@ __all__ = [
     "cache_dir",
     "clear_memory_cache",
     "campaign_key",
+    "content_hash",
     "load_campaign_values",
     "store_campaign_values",
+    "ResultStore",
+    "result_store",
     "TaskEvalHandle",
     "ProgressMeter",
     "classification_accuracy",
@@ -89,6 +98,7 @@ __all__ = [
     "format_table_row",
     "table_header",
     "format_profile",
+    "format_service_stats",
     "format_sweep",
     "summarize_improvements",
     "METHOD_LABELS",

@@ -1,4 +1,5 @@
-"""Result caches shared by tests, examples, benchmarks and the CLI.
+"""Result caches shared by tests, examples, benchmarks, the CLI, and the
+campaign service.
 
 Two caches live here, both persisted under ``REPRO_CACHE_DIR`` (default
 ``<repo>/.repro_cache``):
@@ -6,18 +7,25 @@ Two caches live here, both persisted under ``REPRO_CACHE_DIR`` (default
 * the **trained-model cache** — ``.npz`` state dicts keyed by
   (task, method, preset, seed), because training a model for every
   (task, method) pair in every benchmark would dominate runtime;
-* the **campaign-result cache** — per-scenario Monte Carlo value arrays
-  keyed by (task, method, fault spec, n_runs, samples, seed, eval cap),
-  so re-running or resuming a robustness sweep skips every completed
-  scenario's cells entirely.
+* the **content-addressed result store** (:class:`ResultStore`) —
+  per-scenario Monte Carlo value arrays addressed by the SHA-256 of their
+  hermetic cell key (:func:`campaign_key`, which embeds the engine's
+  RNG-contract version), so results computed by any worker, process, or
+  session merge into one shared store and every overlapping sweep skips
+  already-computed cells.  Writes are temp-file-then-rename atomic,
+  corrupted or torn entries recover to a miss, and hit/miss/merge
+  counters make redundant-work accounting auditable per request.
 
 Delete the directory to force retraining / re-simulation.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pathlib
+import threading
+import zipfile
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -28,7 +36,6 @@ from ..nn.module import Module
 from .tasks import Task
 
 _MEMORY: Dict[Tuple, Module] = {}
-_CAMPAIGN_MEMORY: Dict[str, np.ndarray] = {}
 
 
 def cache_dir() -> pathlib.Path:
@@ -86,11 +93,11 @@ def trained_model(
 def clear_memory_cache() -> None:
     """Drop in-process cached models and campaign results (disk untouched)."""
     _MEMORY.clear()
-    _CAMPAIGN_MEMORY.clear()
+    _DEFAULT_STORE.clear_memory()
 
 
 # ----------------------------------------------------------------------
-# Campaign-result cache
+# Content-addressed result store
 # ----------------------------------------------------------------------
 #: Version tag of the engine's seed→stream derivation.  ``mc2`` = per-cell
 #: hermetic SeedSequence streams with per-MC-sample spawned children (the
@@ -112,7 +119,7 @@ def campaign_key(
     seed: int,
     max_eval_samples: Optional[int] = None,
 ) -> str:
-    """Filename-safe cache key for one (task, method, scenario) campaign.
+    """Hermetic cell key for one (task, method, scenario) campaign.
 
     Every knob that changes the simulated values is part of the key: the
     task geometry (``cache_tag``), the method hyper-parameters, the fault
@@ -123,6 +130,10 @@ def campaign_key(
     per-MC-sample ``SeedSequence`` children introduced with MC batching),
     bumping the version retires every cached value computed under the old
     contract instead of silently mixing the two.
+
+    The key is what the :class:`ResultStore` content-addresses: its
+    SHA-256 is the entry's address, and the full key is stored inside the
+    entry so a load verifies it is serving exactly the requested cell.
     """
     parts = [
         RNG_CONTRACT,
@@ -141,30 +152,307 @@ def campaign_key(
     return "_".join(str(p) for p in parts)
 
 
-def _campaign_path(key: str) -> pathlib.Path:
-    directory = cache_dir() / "campaigns"
-    directory.mkdir(parents=True, exist_ok=True)
-    return directory / f"{key}.npy"
+def content_hash(key: str) -> str:
+    """SHA-256 content address of one hermetic cell key."""
+    return hashlib.sha256(key.encode("utf-8")).hexdigest()
+
+
+class ResultStore:
+    """Content-addressed, crash-safe store of campaign value arrays.
+
+    Entries are ``.npz`` files at ``<root>/<hh>/<hash>.npz`` where
+    ``hash`` is :func:`content_hash` of the hermetic cell key and ``hh``
+    its first two hex digits (a fan-out shard so directories stay small).
+    Each entry records the full ``key``, its RNG-contract version, and
+    the float64 ``values`` array, so a load can verify it serves exactly
+    the requested cell (a hash collision, a tampered file, or an entry
+    written under a stale contract recovers to a miss instead of a wrong
+    hit).
+
+    Concurrency and crash safety
+    ----------------------------
+    Writes serialize to a uniquely named sibling temp file and land via
+    ``os.replace``, so concurrent workers — threads, processes, or whole
+    sessions sharing one directory — never tear an entry: a reader sees
+    either nothing or a complete entry, and two writers racing on the
+    same key both land byte-equivalent files (the key derivation is
+    hermetic, so their values are bit-identical; a mismatch raises,
+    surfacing engine nondeterminism instead of hiding it).  Counters are
+    lock-protected and monotonic; services snapshot them around a
+    request to prove zero-redundant-cell accounting.
+
+    ``legacy_dir`` (the pre-PR8 ``campaigns/<key>.npy`` layout) is
+    consulted on a store miss and hits are promoted into the store, so
+    existing on-disk caches keep serving across the layout change.
+    """
+
+    def __init__(
+        self,
+        root: Optional[os.PathLike] = None,
+        legacy_dir: Optional[os.PathLike] = None,
+        max_entries: Optional[int] = None,
+    ):
+        self._root = pathlib.Path(root) if root is not None else None
+        self._legacy = pathlib.Path(legacy_dir) if legacy_dir is not None else None
+        self.max_entries = max_entries
+        self._memory: Dict[str, np.ndarray] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.merges = 0
+        self.recovered = 0
+        self.retired = 0
+        self.evicted = 0
+
+    # -- layout --------------------------------------------------------
+    @property
+    def root(self) -> pathlib.Path:
+        """Store root; the default store tracks ``REPRO_CACHE_DIR`` live."""
+        return self._root if self._root is not None else cache_dir() / "store"
+
+    @property
+    def legacy_dir(self) -> Optional[pathlib.Path]:
+        """Pre-store ``campaigns/`` directory consulted on a miss."""
+        if self._legacy is not None:
+            return self._legacy
+        if self._root is not None:
+            return None  # explicit roots opt out of the default legacy dir
+        return cache_dir() / "campaigns"
+
+    def address(self, key: str) -> pathlib.Path:
+        """Filesystem address of ``key``'s entry (may not exist yet)."""
+        digest = content_hash(key)
+        return self.root / digest[:2] / f"{digest}.npz"
+
+    # -- accounting ----------------------------------------------------
+    def snapshot(self) -> Dict[str, int]:
+        """Monotonic counter snapshot; subtract two to audit one request."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "puts": self.puts,
+                "merges": self.merges,
+                "recovered": self.recovered,
+                "retired": self.retired,
+                "evicted": self.evicted,
+            }
+
+    def _count(self, counter: str, n: int = 1) -> None:
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + n)
+
+    def clear_memory(self) -> None:
+        """Drop the in-process memo layer (disk entries untouched)."""
+        with self._lock:
+            self._memory.clear()
+
+    # -- read path -----------------------------------------------------
+    def get(self, key: str) -> Optional[np.ndarray]:
+        """Values for ``key``, or ``None`` on a miss.
+
+        Serving order: in-process memory, then the content-addressed
+        entry (verified against the full key and the current RNG
+        contract), then the legacy per-key layout (promoted into the
+        store on a hit).  Corrupt, colliding, or stale-contract entries
+        are unlinked and counted (``recovered`` / ``retired``) so the
+        store self-heals.
+        """
+        with self._lock:
+            cached = self._memory.get(key)
+            if cached is not None:
+                self.hits += 1
+                return cached.copy()
+        values = self._read_entry(key)
+        if values is None:
+            values = self._read_legacy(key)
+            if values is not None:
+                self.put(key, values)  # promote into the store
+        if values is None:
+            self._count("misses")
+            return None
+        with self._lock:
+            self._memory[key] = values
+            self.hits += 1
+        return values.copy()
+
+    def _read_entry(self, key: str) -> Optional[np.ndarray]:
+        path = self.address(key)
+        if not path.exists():
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as entry:
+                stored_key = str(entry["key"])
+                contract = str(entry["contract"])
+                values = np.asarray(entry["values"], dtype=np.float64)
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+            self._unlink(path)
+            self._count("recovered")
+            return None
+        if stored_key != key:
+            # Hash collision or tampering: the entry is not this cell.
+            self._unlink(path)
+            self._count("recovered")
+            return None
+        if contract != RNG_CONTRACT:
+            self._unlink(path)
+            self._count("retired")
+            return None
+        self._touch(path)
+        return values
+
+    def _read_legacy(self, key: str) -> Optional[np.ndarray]:
+        legacy = self.legacy_dir
+        if legacy is None:
+            return None
+        path = legacy / f"{key}.npy"
+        if not path.exists():
+            return None
+        try:
+            return np.asarray(np.load(path, allow_pickle=False), dtype=np.float64)
+        except (OSError, ValueError):
+            self._unlink(path)  # truncated/corrupt file from an interrupted run
+            self._count("recovered")
+            return None
+
+    # -- write path ----------------------------------------------------
+    def put(self, key: str, values: np.ndarray) -> bool:
+        """Persist one scenario's values; returns ``True`` when newly stored.
+
+        An existing equal entry is a cross-worker/session merge (counted,
+        not rewritten); an existing entry with *different* values means
+        two engines disagreed on a hermetic key and raises — the store
+        never silently picks a winner.  The write itself is atomic: a
+        uniquely named temp file in the target directory is renamed over
+        the final address, so a crash mid-write leaves no torn entry.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        path = self.address(key)
+        existing = self._read_entry(key) if path.exists() else None
+        if existing is not None:
+            if existing.shape != values.shape or not np.array_equal(
+                existing, values, equal_nan=True
+            ):
+                raise RuntimeError(
+                    f"result store conflict for key {key!r}: stored values "
+                    "differ from freshly computed ones (hermetic keys must "
+                    "be bit-reproducible; check the RNG contract version)"
+                )
+            with self._lock:
+                self._memory[key] = values
+                self.merges += 1
+            return False
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(
+            f".{path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+        )
+        try:
+            with open(tmp, "wb") as fh:
+                np.savez(
+                    fh,
+                    key=np.asarray(key),
+                    contract=np.asarray(RNG_CONTRACT),
+                    values=values,
+                )
+            os.replace(tmp, path)
+        except BaseException:
+            self._unlink(tmp)
+            raise
+        with self._lock:
+            self._memory[key] = values
+            self.puts += 1
+        if self.max_entries is not None:
+            self.evict(self.max_entries)
+        return True
+
+    # -- maintenance ---------------------------------------------------
+    def _entries(self) -> list:
+        if not self.root.exists():
+            return []
+        return sorted(self.root.glob("??/*.npz"))
+
+    def __len__(self) -> int:
+        return len(self._entries())
+
+    def evict(self, max_entries: int) -> int:
+        """Drop least-recently-served entries down to ``max_entries``.
+
+        Recency is entry mtime — refreshed on every verified read — so
+        hot cells of overlapping sweeps survive while one-off grids age
+        out.  Returns the number of entries removed.
+        """
+        entries = self._entries()
+        if len(entries) <= max_entries:
+            return 0
+        def mtime(path):
+            try:
+                return path.stat().st_mtime
+            except OSError:
+                return 0.0
+        entries.sort(key=lambda p: (mtime(p), str(p)))
+        removed = 0
+        for path in entries[: len(entries) - max_entries]:
+            self._unlink(path)
+            removed += 1
+        if removed:
+            self._count("evicted", removed)
+            with self._lock:
+                self._memory.clear()  # memory may now shadow evicted keys
+        return removed
+
+    def retire_stale(self) -> int:
+        """Delete entries written under a different RNG contract.
+
+        A contract bump changes every key (the version is a key field),
+        so stale entries are unreachable anyway — this reclaims the disk
+        and counts what was retired.  Unreadable entries are recovered
+        (removed) as a side effect.
+        """
+        removed = 0
+        for path in self._entries():
+            try:
+                with np.load(path, allow_pickle=False) as entry:
+                    contract = str(entry["contract"])
+            except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+                self._unlink(path)
+                self._count("recovered")
+                continue
+            if contract != RNG_CONTRACT:
+                self._unlink(path)
+                removed += 1
+        if removed:
+            self._count("retired", removed)
+        return removed
+
+    @staticmethod
+    def _touch(path: pathlib.Path) -> None:
+        try:
+            os.utime(path, None)
+        except OSError:
+            pass  # recency refresh is best-effort
+
+    @staticmethod
+    def _unlink(path: pathlib.Path) -> None:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass  # already gone (concurrent recovery) or read-only
+
+
+_DEFAULT_STORE = ResultStore()
+
+
+def result_store() -> ResultStore:
+    """The process-wide default store (rooted under ``REPRO_CACHE_DIR``)."""
+    return _DEFAULT_STORE
 
 
 def load_campaign_values(key: str) -> Optional[np.ndarray]:
-    """Cached per-chip metric values for ``key``, or ``None`` on a miss."""
-    if key in _CAMPAIGN_MEMORY:
-        return _CAMPAIGN_MEMORY[key].copy()
-    path = _campaign_path(key)
-    if path.exists():
-        try:
-            values = np.load(path)
-        except (OSError, ValueError):
-            path.unlink()  # truncated/corrupt file from an interrupted run
-            return None
-        _CAMPAIGN_MEMORY[key] = values
-        return values.copy()
-    return None
+    """Stored per-chip metric values for ``key``, or ``None`` on a miss."""
+    return _DEFAULT_STORE.get(key)
 
 
 def store_campaign_values(key: str, values: np.ndarray) -> None:
-    """Persist one scenario's campaign values in memory and on disk."""
-    values = np.asarray(values, dtype=np.float64)
-    _CAMPAIGN_MEMORY[key] = values
-    np.save(_campaign_path(key), values)
+    """Persist one scenario's campaign values in the default store."""
+    _DEFAULT_STORE.put(key, values)

@@ -36,6 +36,7 @@ import numpy as np
 
 from ..faults import CampaignResult, FaultSpec, MonteCarloCampaign
 from ..faults.executor import EvalHandle, Evaluator
+from ..tensor import plan as _plan
 from ..models import MethodConfig
 from ..nn.module import Module
 from .cache import campaign_key, load_campaign_values, store_campaign_values, trained_model
@@ -209,7 +210,11 @@ def run_robustness_sweep(
         results: List[Optional[CampaignResult]] = [None] * len(specs)
         pending: List[int] = []
         for idx, (spec, key) in enumerate(zip(specs, keys)):
-            values = load_campaign_values(key) if use_cache else None
+            if use_cache:
+                with _plan.stage("store"):
+                    values = load_campaign_values(key)
+            else:
+                values = None
             if values is not None and len(values) == n_runs:
                 results[idx] = CampaignResult(spec=spec, values=values)
             else:
@@ -252,7 +257,8 @@ def run_robustness_sweep(
             )
             for idx, result in zip(pending, fresh):
                 results[idx] = result
-                store_campaign_values(keys[idx], result.values)
+                with _plan.stage("store"):
+                    store_campaign_values(keys[idx], result.values)
         if progress is not None:
             for spec, result in zip(specs, results):
                 progress(
@@ -287,7 +293,11 @@ def baseline_metrics(
     row = {}
     for method in methods:
         key = campaign_key(task, method, clean, 1, samples, seed, None)
-        values = load_campaign_values(key) if use_cache else None
+        if use_cache:
+            with _plan.stage("store"):
+                values = load_campaign_values(key)
+        else:
+            values = None
         if values is None:
             model = trained_model(task, method, preset, seed=seed)
             evaluator = make_evaluator(
@@ -297,6 +307,7 @@ def baseline_metrics(
                 model, evaluator, n_runs=1, base_seed=seed
             )
             values = campaign.run(clean).values
-            store_campaign_values(key, values)
+            with _plan.stage("store"):
+                store_campaign_values(key, values)
         row[method.name] = float(values[0])
     return row

@@ -23,6 +23,14 @@ and is the fastest backend on a single core.  A live throughput line
 Trained models and completed campaign scenarios are cached under
 ``.repro_cache`` exactly as the benchmarks do, so repeated and resumed
 invocations skip finished work (``--no-cache`` forces re-simulation).
+
+Campaign-family commands can also run through the long-lived campaign
+service (:mod:`repro.serve`): ``--serve N`` spins up an in-process
+service with N shard workers for this invocation, and ``--connect
+HOST:PORT`` talks to a daemon started with ``python -m repro.serve`` —
+either way the sweep is sharded across workers, already-computed cells
+are served from the content-addressed result store, and results stay
+bit-identical to the serial path.
 """
 
 from __future__ import annotations
@@ -49,6 +57,7 @@ from .cache import trained_model
 from .reporting import (
     ProgressMeter,
     format_profile,
+    format_service_stats,
     format_sweep,
     format_table_row,
     summarize_improvements,
@@ -95,9 +104,12 @@ def cmd_table1(args) -> None:
 
 
 def cmd_sweep(args) -> None:
-    task = build_task(args.task, preset=args.preset, seed=args.seed)
     levels = args.levels if args.levels else _DEFAULT_LEVELS[args.fault]
     specs = _SWEEP_BUILDERS[args.fault](levels)
+    if args.connect is not None or args.serve is not None:
+        _cmd_sweep_service(args, specs)
+        return
+    task = build_task(args.task, preset=args.preset, seed=args.seed)
     meter = ProgressMeter(label=f"{args.task}/{args.fault}")
     with contextlib.ExitStack() as stack:
         stages = stack.enter_context(_plan.profiled()) if args.profile else None
@@ -125,6 +137,52 @@ def cmd_sweep(args) -> None:
         meter.finish()
     print(format_sweep(sweep))
     print(summarize_improvements(sweep))
+    if stages is not None:
+        print(format_profile(stages))
+
+
+def _cmd_sweep_service(args, specs) -> None:
+    """Route one sweep through the campaign service (tentpole path).
+
+    ``--serve N`` hosts an in-process service for this invocation (shut
+    down on exit); ``--connect`` targets a running daemon.  Results are
+    bit-identical to the in-process driver; the service stats line below
+    the tables shows store/compute accounting and per-worker throughput.
+    """
+    from ..serve import CampaignService, ServiceClient
+
+    methods = _methods_for(args.task)
+    with contextlib.ExitStack() as stack:
+        stages = stack.enter_context(_plan.profiled()) if args.profile else None
+        if args.connect is not None:
+            client = stack.enter_context(ServiceClient(args.connect))
+        else:
+            service = stack.enter_context(
+                CampaignService(workers=args.serve, verbose=args.verbose)
+            )
+            client = stack.enter_context(ServiceClient(service.address))
+        on_partial = None
+        if args.verbose:
+            def on_partial(frame):
+                print(f"[{args.task}/{frame['method']}] scenario "
+                      f"{frame['scenario']} <- {frame['source']}")
+        sweep, stats = client.sweep(
+            args.task,
+            methods,
+            specs,
+            preset=args.preset,
+            seed=args.seed,
+            n_runs=args.runs,
+            use_store=not args.no_cache,
+            on_partial=on_partial,
+        )
+        if stages is not None:
+            stages["store"] = (
+                stages.get("store", 0.0) + stats.get("store_seconds", 0.0)
+            )
+    print(format_sweep(sweep))
+    print(summarize_improvements(sweep))
+    print(format_service_stats(stats))
     if stages is not None:
         print(format_profile(stages))
 
@@ -260,7 +318,22 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument(
             "--no-cache", action="store_true",
-            help="ignore cached campaign results and re-simulate every cell",
+            help="ignore cached campaign results and re-simulate every cell "
+                 "(with --serve/--connect: bypass the result store entirely)",
+        )
+        p.add_argument(
+            "--serve", type=int, default=None, metavar="N",
+            help="run the sweep through an in-process campaign service "
+                 "with N shard workers (sharded by (task, fault-kind) "
+                 "group, already-computed cells served from the "
+                 "content-addressed result store; bit-identical to the "
+                 "serial path)",
+        )
+        p.add_argument(
+            "--connect", default=None, metavar="HOST:PORT",
+            help="run the sweep through a running campaign service "
+                 "daemon (python -m repro.serve); keeps models, plans, "
+                 "and fault programs warm across invocations",
         )
 
     p7 = sub.add_parser("fig7", help="Fig. 7 OOD shift sweep")

@@ -93,6 +93,11 @@ def format_profile(stages: Dict[str, float]) -> str:
     ``metric (other)`` — batch slicing, MC averaging, metric arithmetic.
     Cells served from the program registry skip attach entirely, so
     their cost lands under ``program``, never inflating ``attach``.
+    ``store`` is content-addressed result-store traffic (lookups and
+    atomic writes of campaign values) and ``transport`` the campaign
+    service's wire time (framing, pickling, socket I/O) — both outside
+    the evaluator, so service overhead is never silently attributed to
+    ``attach``/``trace``/``replay``.
 
     Only stages that were actually recorded get a row: with
     ``--no-plan`` no forward is traced or replayed, so those rows are
@@ -105,14 +110,18 @@ def format_profile(stages: Dict[str, float]) -> str:
     trace = stages.get("trace", 0.0)
     replay = stages.get("replay", 0.0)
     metric = stages.get("metric", 0.0)
+    store = stages.get("store", 0.0)
+    transport = stages.get("transport", 0.0)
     other = max(metric - trace - replay, 0.0)
-    total = attach + program + metric
+    total = attach + program + metric + store + transport
     rows = [
         ("attach", attach, "attach" in stages),
         ("program", program, "program" in stages),
         ("trace", trace, "trace" in stages),
         ("replay", replay, "replay" in stages),
         ("metric (other)", other, "metric" in stages),
+        ("store", store, "store" in stages),
+        ("transport", transport, "transport" in stages),
     ]
     present = [(label, seconds) for label, seconds, here in rows if here]
     if not present:
@@ -129,9 +138,34 @@ def format_profile(stages: Dict[str, float]) -> str:
             f"{int(stages.get('opt.folded', 0))} folded, "
             f"{int(stages.get('opt.fused', 0))} fused, "
             f"{int(stages.get('opt.eliminated', 0))} eliminated, "
-            f"{int(stages.get('opt.densified', 0))} densified "
+            f"{int(stages.get('opt.densified', 0))} densified, "
+            f"{int(stages.get('opt.prefixed', 0))} prefixed "
             f"({int(stages['opt.steps_before'])} -> "
             f"{int(stages.get('opt.steps_after', 0))} steps)"
+        )
+    return "\n".join(lines)
+
+
+def format_service_stats(stats: Dict) -> str:
+    """Render a campaign-service reply's accounting block.
+
+    One summary line — cells served from the content-addressed store vs
+    freshly computed, redundant computations (cells whose store entry
+    already existed; zero on a healthy repeat), and scheduling counters —
+    followed by one throughput row per shard worker.
+    """
+    lines = [
+        "service: "
+        f"{stats['served_cells']} cells served from store, "
+        f"{stats['computed_cells']} computed, "
+        f"{stats['redundant_cells']} redundant "
+        f"(rounds={stats['rounds']}, reshards={stats['reshards']}, "
+        f"deaths={stats['worker_deaths']})"
+    ]
+    for row in stats.get("workers", []):
+        lines.append(
+            f"  worker {row['worker']}: {row['cells']} cells in "
+            f"{row['seconds']:.2f}s ({row['cells_per_sec']:.1f} cells/s)"
         )
     return "\n".join(lines)
 

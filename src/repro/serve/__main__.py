@@ -1,0 +1,44 @@
+"""Run a campaign service daemon: ``python -m repro.serve``.
+
+The daemon binds the loopback interface (``--port 0`` picks a free
+port, printed on startup so wrappers can parse it), keeps models /
+plans / fault programs warm across requests, and serves sweeps until a
+client sends ``shutdown`` or the process receives SIGINT.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from .daemon import CampaignService
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Long-lived sharded campaign service.",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="interface to bind (loopback only by design)")
+    parser.add_argument("--port", type=int, default=0,
+                        help="TCP port (0 = pick a free one, printed below)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="shard workers per sweep request (default 2)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="log requests and worker events to stderr")
+    args = parser.parse_args(argv)
+    service = CampaignService(
+        host=args.host, port=args.port, workers=args.workers,
+        verbose=args.verbose,
+    ).start()
+    print(f"repro campaign service listening on "
+          f"{service.host}:{service.port}", flush=True)
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        service.stop()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,204 @@
+"""Client API for the campaign service.
+
+:class:`ServiceClient` speaks the length-prefixed protocol to a running
+:class:`~repro.serve.daemon.CampaignService` and reassembles streamed
+partial frames into the same :class:`~repro.eval.campaigns.RobustnessSweep`
+the in-process driver returns — means and stds are computed exactly as
+:class:`~repro.faults.campaign.CampaignResult` computes them, so a
+service-served sweep is bit-identical to a serial one.  Transport time
+is accounted under the ``transport`` profile stage, never attributed to
+``trace``/``replay``/``attach``.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..faults import FaultSpec
+from ..models import MethodConfig
+from ..eval.campaigns import MethodCurve, RobustnessSweep
+from .protocol import recv_message, send_message
+
+Address = Union[str, Tuple[str, int]]
+
+
+def _parse_address(address: Address) -> Tuple[str, int]:
+    if isinstance(address, tuple):
+        return address[0], int(address[1])
+    host, _, port = address.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"expected HOST:PORT, got {address!r}")
+    return host, int(port)
+
+
+class ServiceClient:
+    """One connection to a campaign service daemon.
+
+    Usable as a context manager; the connection is opened lazily on the
+    first request and a single client may issue any number of requests
+    (the daemon keeps per-connection state out of the protocol).
+    """
+
+    def __init__(self, address: Address):
+        self.host, self.port = _parse_address(address)
+        self._sock: Optional[socket.socket] = None
+
+    def _connection(self) -> socket.socket:
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=600.0
+            )
+        return self._sock
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- simple ops ----------------------------------------------------
+    def _roundtrip(self, request: dict) -> dict:
+        sock = self._connection()
+        send_message(sock, request)
+        reply = recv_message(sock)
+        if not reply.get("ok", False):
+            raise RuntimeError(
+                f"service error: {reply.get('message', 'unknown')}"
+            )
+        return reply
+
+    def ping(self) -> dict:
+        """Liveness check; returns the daemon's worker count."""
+        return self._roundtrip({"op": "ping"})
+
+    def stats(self) -> dict:
+        """Cumulative daemon statistics (requests, cells, store counters)."""
+        return self._roundtrip({"op": "stats"})
+
+    def shutdown(self) -> None:
+        """Ask the daemon to exit (the reply confirms before it stops)."""
+        try:
+            self._roundtrip({"op": "shutdown"})
+        finally:
+            self.close()
+
+    # -- sweeps --------------------------------------------------------
+    def sweep(
+        self,
+        task_name: str,
+        methods: Sequence[MethodConfig],
+        specs: Sequence[FaultSpec],
+        preset: str = "small",
+        seed: int = 0,
+        n_runs: Optional[int] = None,
+        samples: Optional[int] = None,
+        max_eval_samples: Optional[int] = -1,
+        use_store: bool = True,
+        on_partial: Optional[Callable[[dict], None]] = None,
+        chaos: Optional[dict] = None,
+    ) -> Tuple[RobustnessSweep, dict]:
+        """Run one robustness sweep through the service.
+
+        Returns ``(sweep, stats)`` where ``sweep`` matches
+        :func:`repro.eval.campaigns.run_robustness_sweep` bit for bit and
+        ``stats`` is the daemon's per-request accounting (store counter
+        deltas, ``redundant_cells``, per-worker throughput rows, round
+        assignments).  ``on_partial`` observes every streamed frame as it
+        arrives — each carries one scenario's full value array and its
+        source (``"store"`` or ``"computed"``).  ``chaos`` injects a
+        deterministic worker death (``{"worker": i, "after_units": k}``)
+        for re-shard testing.
+        """
+        sock = self._connection()
+        send_message(sock, {
+            "op": "sweep",
+            "task": task_name,
+            "preset": preset,
+            "seed": seed,
+            "n_runs": n_runs,
+            "samples": samples,
+            "max_eval_samples": max_eval_samples,
+            "methods": list(methods),
+            "specs": list(specs),
+            "use_store": use_store,
+            "chaos": chaos,
+        })
+        values_by_method: Dict[str, Dict[int, np.ndarray]] = {}
+        while True:
+            frame = recv_message(sock)
+            kind = frame.get("kind")
+            if kind == "partial":
+                per_scenario = values_by_method.setdefault(frame["method"], {})
+                per_scenario[frame["scenario"]] = np.asarray(
+                    frame["values"], dtype=np.float64
+                )
+                if on_partial is not None:
+                    on_partial(frame)
+                continue
+            if kind == "error":
+                raise RuntimeError(
+                    f"service error: {frame.get('message', 'unknown')}"
+                )
+            if kind == "done":
+                stats = frame["stats"]
+                break
+            raise RuntimeError(f"unexpected frame kind {kind!r}")
+        return self._assemble(methods, specs, stats, values_by_method), stats
+
+    @staticmethod
+    def _assemble(
+        methods: Sequence[MethodConfig],
+        specs: Sequence[FaultSpec],
+        stats: dict,
+        values_by_method: Dict[str, Dict[int, np.ndarray]],
+    ) -> RobustnessSweep:
+        meta = stats["task"]
+        fault_kind = next((s.kind for s in specs if s.kind != "none"), "none")
+        sweep = RobustnessSweep(
+            task_name=meta["name"],
+            metric_name=meta["metric_name"],
+            higher_is_better=meta["higher_is_better"],
+            fault_kind=fault_kind,
+        )
+        for method in methods:
+            per_scenario = values_by_method.get(method.name, {})
+            missing = [i for i in range(len(specs)) if i not in per_scenario]
+            if missing:
+                raise RuntimeError(
+                    f"service reply for {method.name!r} is missing "
+                    f"scenarios {missing}"
+                )
+            ordered: List[np.ndarray] = [
+                per_scenario[i] for i in range(len(specs))
+            ]
+            sweep.curves[method.name] = MethodCurve(
+                method=method,
+                levels=np.array([s.level for s in specs]),
+                # float(values.mean()) / float(values.std()) is exactly
+                # CampaignResult.mean / .std — bit-identity depends on it.
+                means=np.array([float(v.mean()) for v in ordered]),
+                stds=np.array([float(v.std()) for v in ordered]),
+            )
+        return sweep
+
+
+def service_sweep(
+    address: Address,
+    task_name: str,
+    methods: Sequence[MethodConfig],
+    specs: Sequence[FaultSpec],
+    **kwargs,
+) -> Tuple[RobustnessSweep, dict]:
+    """One-shot sweep against a running daemon (connect, sweep, close)."""
+    with ServiceClient(address) as client:
+        return client.sweep(task_name, methods, specs, **kwargs)

@@ -1,0 +1,490 @@
+"""The campaign service daemon.
+
+One :class:`CampaignService` process keeps everything a cold campaign
+run pays for — trained models, frozen deployment quantization, traced
+plans, registered fault programs — warm across requests.  The warm
+state lives on per-worker model replicas (fault hooks, plan caches,
+and program registries are per-model state, exactly as in the thread
+backend of :mod:`repro.faults.executor`), so the first request per
+(worker, task, method) pays trace/program cost once and every later
+request replays.
+
+A sweep request is served in rounds:
+
+1. scenarios already in the content-addressed result store stream back
+   immediately (``source="store"``) — the store pre-check is what makes
+   a repeated or overlapping sweep compute **zero** redundant cells;
+2. the remaining scenarios are flattened into a hermetic cell grid
+   (original scenario indices, so values are bit-identical to a cold
+   serial run), partitioned into kind-group :class:`ShardUnit`\\ s, and
+   placed on workers by the deterministic LPT scheduler;
+3. each worker re-checks the store per scenario before computing (a
+   unit re-issued after a worker death never recomputes what a previous
+   round already landed), runs its units on the batched engine, lands
+   fresh values in the store, and streams one partial frame per
+   scenario as soon as it completes;
+4. a worker death (or injected chaos, for tests) returns its unfinished
+   units to the pool; survivors get a deterministic re-shard and the
+   round counter advances.  Assignments of every round are recorded in
+   the reply stats so re-shard determinism is directly assertable.
+
+The reply's ``stats`` carry per-request store-counter deltas
+(hit/miss/put/merge), ``redundant_cells`` (cells computed whose store
+entry already existed — the quantity the acceptance criteria pin to
+zero), and per-worker ``cells``/``seconds``/``cells_per_sec`` rows.
+"""
+
+from __future__ import annotations
+
+import socket
+import sys
+import threading
+import time
+from queue import SimpleQueue
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..faults import FaultSpec
+from ..faults.executor import WorkCell, run_cells
+from ..models import MethodConfig
+from ..eval.cache import ResultStore, campaign_key, result_store
+from ..eval.campaigns import TaskEvalHandle, campaign_eval_cap
+from ..eval.tasks import Task, build_task, mc_runs, mc_samples
+from .protocol import recv_message, send_message
+from .shard import ShardUnit, assign_units, shard_units
+
+
+def _replicate(model):
+    """Worker-private model copy (hooks/plans/programs are per-model)."""
+    import copy
+
+    replica = copy.deepcopy(model)
+    for module in replica.modules():
+        if hasattr(module, "invalidate_quant_cache"):
+            module.invalidate_quant_cache()
+    return replica
+
+
+def _broadcast(values: np.ndarray, n_runs: int) -> np.ndarray:
+    """Mirror the campaign's fault-free short-circuit re-broadcast."""
+    values = np.asarray(values, dtype=np.float64)
+    if len(values) < n_runs:
+        values = np.full(n_runs, values[0] if len(values) else np.nan)
+    return values[:n_runs]
+
+
+class CampaignService:
+    """Long-lived sharded campaign server on the loopback interface.
+
+    ``start()`` binds (``port=0`` picks a free port, re-read from
+    ``self.port``) and serves connections on background threads;
+    ``serve_forever()`` blocks until ``stop()`` (or a client's
+    ``shutdown`` request).  Sweeps are serialized by a request lock —
+    parallelism lives *inside* a request, across shard workers — while
+    ``ping``/``stats`` stay responsive on their own connections.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        store: Optional[ResultStore] = None,
+        verbose: bool = False,
+    ):
+        self.host = host
+        self.port = port
+        self.workers = max(1, int(workers))
+        self.store = store if store is not None else result_store()
+        self.verbose = verbose
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._stopped = threading.Event()
+        self._sweep_lock = threading.Lock()
+        # Warm (worker, handle) → (model replica, evaluator); the replica
+        # carries traced plans and programmed faults across requests.
+        self._pairs: Dict[Tuple[int, Hashable], Tuple[object, object]] = {}
+        self.requests = 0
+        self.total_served_cells = 0
+        self.total_computed_cells = 0
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "CampaignService":
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(8)
+        self.port = listener.getsockname()[1]
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="serve-accept", daemon=True
+        )
+        self._accept_thread.start()
+        self._log(f"listening on {self.host}:{self.port}")
+        return self
+
+    def serve_forever(self) -> None:
+        if self._listener is None:
+            self.start()
+        self._stopped.wait()
+
+    def stop(self) -> None:
+        self._stopped.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            self._listener = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+    def __enter__(self) -> "CampaignService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def _log(self, message: str) -> None:
+        if self.verbose:
+            print(f"[repro.serve] {message}", file=sys.stderr, flush=True)
+
+    # -- connection handling -------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._stopped.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed by stop()
+            threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            ).start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        with conn:
+            while not self._stopped.is_set():
+                try:
+                    request = recv_message(conn)
+                except (ConnectionError, OSError):
+                    return
+                try:
+                    if not self._dispatch(conn, request):
+                        return
+                except (ConnectionError, OSError):
+                    return
+
+    def _dispatch(self, conn: socket.socket, request: dict) -> bool:
+        """Handle one request; returns False to drop the connection."""
+        op = request.get("op") if isinstance(request, dict) else None
+        if op == "ping":
+            send_message(conn, {"kind": "done", "ok": True, "pong": True,
+                                "workers": self.workers})
+            return True
+        if op == "stats":
+            send_message(conn, {
+                "kind": "done", "ok": True,
+                "requests": self.requests,
+                "served_cells": self.total_served_cells,
+                "computed_cells": self.total_computed_cells,
+                "store": self.store.snapshot(),
+                "warm_pairs": len(self._pairs),
+                "workers": self.workers,
+            })
+            return True
+        if op == "shutdown":
+            send_message(conn, {"kind": "done", "ok": True})
+            self.stop()
+            return False
+        if op == "sweep":
+            try:
+                with self._sweep_lock:
+                    stats = self._handle_sweep(conn, request)
+                send_message(conn, {"kind": "done", "ok": True, "stats": stats})
+            except Exception as exc:  # noqa: BLE001 - reported to the client
+                self._log(f"sweep failed: {exc!r}")
+                send_message(
+                    conn, {"kind": "error", "ok": False, "message": repr(exc)}
+                )
+            return True
+        send_message(
+            conn, {"kind": "error", "ok": False,
+                   "message": f"unknown op {op!r}"}
+        )
+        return True
+
+    # -- sweep execution -----------------------------------------------
+    def _handle_sweep(self, conn: socket.socket, request: dict) -> dict:
+        task: Task = build_task(
+            request["task"], preset=request["preset"], seed=request["seed"]
+        )
+        preset = request["preset"]
+        seed = request["seed"]
+        n_runs = request.get("n_runs") or mc_runs(preset)
+        samples = request.get("samples") or mc_samples(preset)
+        max_eval_samples = request.get("max_eval_samples", -1)
+        if max_eval_samples == -1:
+            max_eval_samples = campaign_eval_cap(preset)
+        methods: Sequence[MethodConfig] = request["methods"]
+        specs: Sequence[FaultSpec] = request["specs"]
+        use_store = bool(request.get("use_store", True))
+        chaos = request.get("chaos")
+        self.requests += 1
+
+        store_before = self.store.snapshot()
+        stats = {
+            "task": {
+                "name": task.name,
+                "metric_name": task.metric_name,
+                "higher_is_better": task.higher_is_better,
+            },
+            "served_cells": 0, "computed_cells": 0, "redundant_cells": 0,
+            "rounds": 0, "reshards": 0, "worker_deaths": 0,
+            "assignments": [], "store_seconds": 0.0, "compute_seconds": 0.0,
+        }
+        per_worker: Dict[int, Dict[str, float]] = {}
+        alive = list(range(self.workers))
+
+        for method in methods:
+            self._sweep_method(
+                conn, task, method, specs, preset, seed, n_runs, samples,
+                max_eval_samples, use_store, chaos, alive, stats, per_worker,
+            )
+
+        store_after = self.store.snapshot()
+        stats["store"] = {
+            k: store_after[k] - store_before[k] for k in store_after
+        }
+        stats["workers"] = [
+            {
+                "worker": wid,
+                "cells": int(row["cells"]),
+                "seconds": row["seconds"],
+                "cells_per_sec": (
+                    row["cells"] / row["seconds"] if row["seconds"] > 0 else 0.0
+                ),
+            }
+            for wid, row in sorted(per_worker.items())
+        ]
+        self.total_served_cells += stats["served_cells"]
+        self.total_computed_cells += stats["computed_cells"]
+        self._log(
+            f"sweep done: served={stats['served_cells']} "
+            f"computed={stats['computed_cells']} "
+            f"redundant={stats['redundant_cells']} rounds={stats['rounds']}"
+        )
+        return stats
+
+    def _sweep_method(
+        self, conn, task, method, specs, preset, seed, n_runs, samples,
+        max_eval_samples, use_store, chaos, alive, stats, per_worker,
+    ) -> None:
+        keys = [
+            campaign_key(task, method, spec, n_runs, samples, seed,
+                         max_eval_samples)
+            for spec in specs
+        ]
+        # Store pre-check: completed scenarios stream back without touching
+        # a worker.
+        pending: List[int] = []
+        for idx, key in enumerate(keys):
+            values = None
+            if use_store:
+                t0 = time.perf_counter()
+                values = self.store.get(key)
+                stats["store_seconds"] += time.perf_counter() - t0
+            if values is not None and len(values) == n_runs:
+                spec = specs[idx]
+                n_eff = 1 if spec.kind == "none" or spec.level == 0.0 \
+                    else n_runs
+                stats["served_cells"] += n_eff
+                send_message(conn, {
+                    "kind": "partial", "method": method.name,
+                    "scenario": idx, "values": values, "source": "store",
+                })
+            else:
+                pending.append(idx)
+        if not pending:
+            return
+
+        # Hermetic grid over the pending scenarios, original indices intact.
+        grid: List[WorkCell] = []
+        for idx in pending:
+            spec = specs[idx]
+            n_eff = 1 if spec.kind == "none" or spec.level == 0.0 else n_runs
+            grid.extend(WorkCell(idx, run, spec) for run in range(n_eff))
+        pending_units = shard_units(grid)
+
+        handle = TaskEvalHandle(
+            task.name, preset, seed, method, samples, max_eval_samples,
+            task.seed,
+        )
+        ctx = {
+            "grid": grid, "keys": keys, "seed": seed, "n_runs": n_runs,
+            "use_store": use_store, "method": method.name,
+        }
+
+        round_no = 0
+        while pending_units:
+            if not alive:
+                raise RuntimeError(
+                    f"all {self.workers} workers died with "
+                    f"{len(pending_units)} shard units unfinished"
+                )
+            assignment = assign_units(pending_units, alive)
+            active = {wid for wid, units in assignment.items() if units}
+            for wid in sorted(active):
+                stats["assignments"].append({
+                    "round": round_no, "method": method.name, "worker": wid,
+                    "units": [u.index for u in assignment[wid]],
+                    "cells": sum(u.n_cells for u in assignment[wid]),
+                })
+                # Replicas are built on this thread (handle builds may touch
+                # the process-global RNG) and kept warm across requests.
+                self._ensure_pair(wid, handle)
+            events: SimpleQueue = SimpleQueue()
+            threads = [
+                threading.Thread(
+                    target=self._worker_round,
+                    args=(wid, assignment[wid], handle, ctx, chaos, round_no,
+                          events),
+                    name=f"serve-worker-{wid}",
+                    daemon=True,
+                )
+                for wid in sorted(active)
+            ]
+            for thread in threads:
+                thread.start()
+            completed: set = set()
+            while active:
+                event = events.get()
+                wid = event["worker"]
+                if event["kind"] == "unit":
+                    completed.add(event["unit"])
+                    row = per_worker.setdefault(
+                        wid, {"cells": 0, "seconds": 0.0}
+                    )
+                    row["cells"] += event["computed"]
+                    row["seconds"] += event["compute_seconds"]
+                    stats["computed_cells"] += event["computed"]
+                    stats["served_cells"] += event["served"]
+                    stats["redundant_cells"] += event["redundant"]
+                    stats["store_seconds"] += event["store_seconds"]
+                    stats["compute_seconds"] += event["compute_seconds"]
+                    for scenario_idx, values in event["payloads"]:
+                        send_message(conn, {
+                            "kind": "partial", "method": ctx["method"],
+                            "scenario": scenario_idx, "values": values,
+                            "source": event["sources"][scenario_idx],
+                            "worker": wid, "round": round_no,
+                        })
+                elif event["kind"] == "exit":
+                    active.discard(wid)
+                elif event["kind"] == "death":
+                    active.discard(wid)
+                    if wid in alive:
+                        alive.remove(wid)
+                    stats["worker_deaths"] += 1
+                    self._log(
+                        f"worker {wid} died in round {round_no}"
+                        + (f": {event['error']}" if event.get("error") else "")
+                    )
+            for thread in threads:
+                thread.join()
+            pending_units = [
+                u for u in pending_units if u.index not in completed
+            ]
+            round_no += 1
+            stats["rounds"] += 1
+            if pending_units:
+                stats["reshards"] += 1
+
+    def _ensure_pair(self, wid: int, handle: TaskEvalHandle) -> None:
+        key = (wid, handle)
+        if key in self._pairs:
+            return
+        model, evaluator = handle.build()
+        # handle.build() returns the shared memory-cached model; fault
+        # hooks are per-model state, so every worker gets a private copy.
+        self._pairs[key] = (_replicate(model), evaluator)
+        self._log(f"built replica for worker {wid} / {handle.method.name}")
+
+    def _worker_round(
+        self, wid: int, units: Sequence[ShardUnit], handle: TaskEvalHandle,
+        ctx: dict, chaos: Optional[dict], round_no: int, events: SimpleQueue,
+    ) -> None:
+        done_units = 0
+        try:
+            for unit in units:
+                if (
+                    chaos is not None
+                    and chaos.get("worker") == wid
+                    and chaos.get("round", 0) == round_no
+                    and done_units >= chaos.get("after_units", 0)
+                ):
+                    events.put({"kind": "death", "worker": wid,
+                                "error": "chaos injection"})
+                    return
+                events.put(self._process_unit(wid, unit, handle, ctx))
+                done_units += 1
+            events.put({"kind": "exit", "worker": wid})
+        except BaseException as exc:  # noqa: BLE001 - death → re-shard
+            events.put({"kind": "death", "worker": wid, "error": repr(exc)})
+
+    def _process_unit(
+        self, wid: int, unit: ShardUnit, handle: TaskEvalHandle, ctx: dict
+    ) -> dict:
+        grid = ctx["grid"]
+        keys = ctx["keys"]
+        n_runs = ctx["n_runs"]
+        model, evaluator = self._pairs[(wid, handle)]
+        event = {
+            "kind": "unit", "worker": wid, "unit": unit.index,
+            "payloads": [], "sources": {}, "computed": 0, "served": 0,
+            "redundant": 0, "store_seconds": 0.0, "compute_seconds": 0.0,
+        }
+        # Per-scenario store re-check: a unit re-issued after a worker
+        # death — or racing an overlapping request — serves what another
+        # worker already landed instead of recomputing it.
+        pending_ranges: List[Tuple[int, int]] = []
+        for start, stop in unit.ranges:
+            scenario_idx = grid[start].scenario_index
+            if ctx["use_store"]:
+                t0 = time.perf_counter()
+                values = self.store.get(keys[scenario_idx])
+                event["store_seconds"] += time.perf_counter() - t0
+                if values is not None and len(values) == n_runs:
+                    event["served"] += stop - start
+                    event["payloads"].append((scenario_idx, values))
+                    event["sources"][scenario_idx] = "store"
+                    continue
+            pending_ranges.append((start, stop))
+        if pending_ranges:
+            cells = [
+                grid[i] for start, stop in pending_ranges
+                for i in range(start, stop)
+            ]
+            t0 = time.perf_counter()
+            values = run_cells(
+                cells, ctx["seed"], model=model, evaluator=evaluator,
+                executor="batched",
+            )
+            event["compute_seconds"] += time.perf_counter() - t0
+            offset = 0
+            for start, stop in pending_ranges:
+                n_cells = stop - start
+                scenario_idx = grid[start].scenario_index
+                full = _broadcast(values[offset:offset + n_cells], n_runs)
+                offset += n_cells
+                event["computed"] += n_cells
+                if ctx["use_store"]:
+                    t0 = time.perf_counter()
+                    newly = self.store.put(keys[scenario_idx], full)
+                    event["store_seconds"] += time.perf_counter() - t0
+                    if not newly:
+                        event["redundant"] += n_cells
+                event["payloads"].append((scenario_idx, full))
+                event["sources"][scenario_idx] = "computed"
+        return event

@@ -1,0 +1,78 @@
+"""Length-prefixed message framing for the campaign service.
+
+Messages are pickled Python dicts preceded by an 8-byte big-endian
+length.  The prefix makes framing self-describing over any stream
+transport (TCP socket, ``socket.socketpair`` pipe), so a reader always
+knows exactly how many payload bytes to consume and partial reads from
+the kernel never split a message.  A hard size cap rejects absurd
+frames before allocating for them — a truncated or garbage prefix
+surfaces as a clean :class:`ProtocolError` instead of an OOM.
+
+The service speaks a small request/response vocabulary of dicts with an
+``op`` field (``ping``, ``stats``, ``sweep``, ``shutdown``); sweep
+responses stream as a sequence of ``{"kind": "partial", ...}`` frames
+terminated by one ``{"kind": "done", ...}`` (or ``{"kind": "error"}``).
+Pickle is safe here because both ends are the same trusted codebase on
+the loopback interface — the daemon binds ``127.0.0.1`` only.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from typing import Any
+
+from ..tensor import plan as _plan
+
+_HEADER = struct.Struct(">Q")
+
+#: Refuse frames above this size (64 MiB) — far beyond any sweep payload.
+MAX_MESSAGE_BYTES = 64 * 1024 * 1024
+
+
+class ProtocolError(ConnectionError):
+    """A malformed frame (oversized, truncated, or unpicklable)."""
+
+
+def send_message(sock: socket.socket, message: Any) -> None:
+    """Frame and send one message (length prefix + pickle payload)."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > MAX_MESSAGE_BYTES:
+        raise ProtocolError(
+            f"refusing to send {len(payload)} byte frame "
+            f"(cap {MAX_MESSAGE_BYTES})"
+        )
+    with _plan.stage("transport"):
+        sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+
+def recv_message(sock: socket.socket) -> Any:
+    """Receive one framed message; raises ``ConnectionError`` on EOF."""
+    with _plan.stage("transport"):
+        header = _recv_exact(sock, _HEADER.size)
+        (length,) = _HEADER.unpack(header)
+        if length > MAX_MESSAGE_BYTES:
+            raise ProtocolError(
+                f"refusing {length} byte frame (cap {MAX_MESSAGE_BYTES})"
+            )
+        payload = _recv_exact(sock, length)
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:  # noqa: BLE001 - any unpickle failure is protocol-fatal
+        raise ProtocolError(f"unpicklable frame: {exc}") from exc
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    """Read exactly ``n`` bytes, looping over short kernel reads."""
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionError(
+                f"connection closed mid-frame ({n - remaining}/{n} bytes read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)

@@ -1,0 +1,92 @@
+"""Deterministic sharding of a campaign grid across service workers.
+
+The unit of work is one *kind group* from the batched executor
+(:func:`repro.faults.executor._kind_groups`): a maximal run of
+same-fault-kind scenario ranges that the scenario-batched engine can
+stack into single vectorized passes.  Sharding at this granularity
+keeps every unit on the engine's fastest path — splitting a kind group
+across workers would forfeit cross-scenario stacking, and joining
+unrelated groups would gain nothing (the engine re-derives per-cell
+hermetic streams either way, so placement never affects values).
+
+Assignment is longest-processing-time greedy with total ordering on
+ties, so it is a pure function of ``(units, worker_ids)``: any two
+schedulers holding the same pending units and the same surviving
+workers — including a re-shard after a worker death — compute the same
+placement.  That determinism is what makes worker failure testable:
+replaying a request with the same death injected yields the same
+rounds, the same assignments, and (because cells are hermetic) the
+same bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..faults.executor import WorkCell, _kind_groups
+
+
+@dataclass(frozen=True)
+class ShardUnit:
+    """One schedulable kind group of a sweep's cell grid.
+
+    ``index`` is the unit's position in the grid's group list (the
+    deterministic identity used for assignment ordering and re-shard
+    bookkeeping), ``kind`` the shared fault kind, ``ranges`` the
+    ``(start, stop)`` cell-index ranges of its scenarios in the flat
+    grid, and ``n_cells`` the total cell count (the LPT weight).
+    """
+
+    index: int
+    kind: str
+    ranges: Tuple[Tuple[int, int], ...]
+    n_cells: int
+
+    @property
+    def start(self) -> int:
+        return self.ranges[0][0]
+
+    @property
+    def stop(self) -> int:
+        return self.ranges[-1][1]
+
+
+def shard_units(cells: Sequence[WorkCell]) -> List[ShardUnit]:
+    """Partition a cell grid into schedulable kind-group units."""
+    units = []
+    for index, group in enumerate(_kind_groups(cells)):
+        start, stop = group[0][0], group[-1][1]
+        units.append(
+            ShardUnit(
+                index=index,
+                kind=cells[start].spec.kind,
+                ranges=tuple(group),
+                n_cells=stop - start,
+            )
+        )
+    return units
+
+
+def assign_units(
+    units: Sequence[ShardUnit], worker_ids: Sequence[int]
+) -> Dict[int, List[ShardUnit]]:
+    """Deterministically place units on workers (LPT greedy).
+
+    Units are considered heaviest-first (ties broken by unit index) and
+    each goes to the currently least-loaded worker (ties broken by the
+    lowest worker id).  Every key of the returned dict is a worker id
+    from ``worker_ids``, present even when its list is empty, so callers
+    can spawn one worker per key unconditionally.
+    """
+    if not worker_ids:
+        raise ValueError("cannot assign shard units to zero workers")
+    if len(set(worker_ids)) != len(worker_ids):
+        raise ValueError(f"duplicate worker ids: {list(worker_ids)}")
+    assignment: Dict[int, List[ShardUnit]] = {wid: [] for wid in worker_ids}
+    load = {wid: 0 for wid in worker_ids}
+    for unit in sorted(units, key=lambda u: (-u.n_cells, u.index)):
+        target = min(load, key=lambda wid: (load[wid], wid))
+        assignment[target].append(unit)
+        load[target] += unit.n_cells
+    return assignment

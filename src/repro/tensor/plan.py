@@ -402,7 +402,9 @@ class Plan:
     """
 
     __slots__ = (
-        "_slots", "_steps", "_entry", "_output", "n_buffers", "opt_stats"
+        "_slots", "_steps", "_tail", "_entry", "_output", "n_buffers",
+        "opt_stats", "_prefix_len", "_prefix_entry", "prefix_hits",
+        "prefix_misses",
     )
 
     def __init__(self, trace: _Trace, output_id: int, optimize: bool = True):
@@ -420,7 +422,12 @@ class Plan:
                 self._slots[sid] = trace.arrays[sid]
         self._entry = trace.entry
         self._output = output_id
+        self._prefix_len = self.opt_stats["prefixed"]
+        self._prefix_entry: Optional[np.ndarray] = None
+        self.prefix_hits = 0
+        self.prefix_misses = 0
         self._steps = self._compile(trace, steps, output_id)
+        self._tail = self._steps[self._prefix_len:]
 
     def _compile(self, trace: _Trace, trace_steps: list, output_id: int) -> list:
         n = len(trace.arrays)
@@ -468,7 +475,12 @@ class Plan:
                         buf = np.empty_like(arr)
                         self.n_buffers += 1
                     end = group_last[find(out_id)]
-                    if end < n_steps:
+                    # A foldable-prefix output read by the tail must keep
+                    # its values across replays (a prefix hit skips the
+                    # steps that would refill it), so its buffer is pinned:
+                    # only slots dying inside the prefix recycle there.
+                    limit = n_steps if idx >= self._prefix_len else self._prefix_len
+                    if end < limit:
                         release_at.setdefault(end, []).append((key, buf))
                 steps.append(("k", kernel, in_ids, out_id, buf))
             else:
@@ -485,10 +497,34 @@ class Plan:
         callers may hold it across later replays.  The loop special-cases
         the dominant one- and two-input kernel arities to avoid per-step
         argument-tuple construction.
+
+        When the optimizer marked a source-free prefix and this entry's
+        *content* equals the last fully-replayed one (Monte Carlo
+        campaigns re-forward the same evaluation batch for every chip and
+        run), the prefix is skipped outright: its outputs persist in
+        pinned slots/buffers from the previous replay, so only the tail —
+        everything at or after the first RNG draw — executes.  The guard
+        compares values, never object identity, so a changed (or NaN)
+        entry always takes the full path; results are bit-identical
+        either way.
         """
         slots = self._slots
         slots[self._entry] = entry
-        for step in self._steps:
+        steps = self._steps
+        if self._prefix_len:
+            cached = self._prefix_entry
+            if (
+                cached is not None
+                and cached.shape == entry.shape
+                and cached.dtype == entry.dtype
+                and np.array_equal(cached, entry)
+            ):
+                self.prefix_hits += 1
+                steps = self._tail
+            else:
+                self.prefix_misses += 1
+                self._prefix_entry = entry.copy()
+        for step in steps:
             if step[0] == "k":
                 _, kernel, in_ids, out_id, buf = step
                 arity = len(in_ids)
@@ -534,7 +570,7 @@ class PlanCache:
         self.fallbacks = 0
         self.opt_counters: Dict[str, int] = {
             "deduped": 0, "folded": 0, "fused": 0,
-            "eliminated": 0, "densified": 0,
+            "eliminated": 0, "densified": 0, "prefixed": 0,
         }
 
     def store(self, key: tuple, entry) -> None:
@@ -674,7 +710,8 @@ def call_planned(module, args: tuple, kwargs: dict):
     plan = Plan(trace, output_id, optimize=_STATE.optimize)
     cache.store(key, plan)
     cache.traces += 1
-    for name in ("deduped", "folded", "fused", "eliminated", "densified"):
+    for name in ("deduped", "folded", "fused", "eliminated", "densified",
+                 "prefixed"):
         cache.opt_counters[name] += plan.opt_stats[name]
     stages = _STATE.profile
     if stages is not None and _STATE.optimize:

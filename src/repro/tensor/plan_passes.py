@@ -4,8 +4,10 @@ A finalized trace (:class:`repro.tensor.plan._Trace`) is a flat compiler
 IR: a slot table (constants + recomputed variables) and a step list of
 kernel steps ``("k", kernel, in_ids, out_id)`` and source steps
 ``("s", thunk, in_ids, out_ids, multi)``.  :func:`optimize_trace` runs
-five passes over that IR once, at trace time, before the plan compiles
-its buffer pool — replay then executes the shorter list forever after.
+five rewriting passes over that IR once, at trace time, before the plan
+compiles its buffer pool — replay then executes the shorter list forever
+after — plus a final analysis (:func:`prefix_length`) that marks the
+source-free prefix replay may skip for content-identical entries.
 
 Pass order (each pass feeds the next):
 
@@ -73,7 +75,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-__all__ = ["FusedKernel", "optimize_trace", "null_stats"]
+__all__ = ["FusedKernel", "optimize_trace", "null_stats", "prefix_length"]
 
 
 def null_stats(n_steps: int) -> Dict[str, int]:
@@ -84,6 +86,7 @@ def null_stats(n_steps: int) -> Dict[str, int]:
         "fused": 0,
         "eliminated": 0,
         "densified": 0,
+        "prefixed": 0,
         "steps_before": n_steps,
         "steps_after": n_steps,
     }
@@ -472,6 +475,77 @@ def _fuse_kernels(steps: list, trace, output_id: int) -> Tuple[list, int]:
 
 
 # ----------------------------------------------------------------------
+# Pass 6: source-free prefix folding
+# ----------------------------------------------------------------------
+#: Prefixes shorter than this are not worth the per-replay entry compare.
+PREFIX_MIN_STEPS = 2
+
+
+def prefix_length(steps: list, entry_id: int, output_id: int) -> int:
+    """Length of the leading step run that is a pure function of the entry.
+
+    A plan's leading kernel steps — everything before the first source
+    step — compute the same values on every replay whose entry has the
+    same *content* (slots are write-once, constants are frozen, kernels
+    are deterministic).  The plan exploits that at replay time: it keeps
+    a private copy of the last fully-replayed entry, and when the next
+    entry compares equal it skips the whole prefix and re-serves the
+    persisted prefix outputs (see :meth:`repro.tensor.plan.Plan.replay`).
+    Monte Carlo campaigns hit this constantly — the evaluation batch is
+    the same array for every chip and run, so every layer ahead of the
+    first RNG draw or live fault hook replays exactly once per plan.
+
+    The guard is content equality, not object identity, so one hazard
+    needs excluding statically: a *view of the entry* produced inside the
+    prefix but read after it would keep referencing the previous entry
+    array, whose owner may have mutated it between calls.  Any such
+    producer is pushed out of the prefix (interval shrink to fixpoint);
+    views of constants or of plan-owned buffers are unaffected — those
+    arrays are stable across replays by construction.
+
+    Source steps never fold into a prefix (their draws are fresh per
+    replay), and prefixes shorter than :data:`PREFIX_MIN_STEPS` return 0
+    — skipping one step cannot pay for the entry comparison.
+    """
+    length = 0
+    for step in steps:
+        if step[0] == "s":
+            break
+        length += 1
+    if length == 0:
+        return 0
+    # Entry-aliased slots and the step index producing each.
+    aliased = {entry_id}
+    produced_at: Dict[int, int] = {}
+    for idx, step in enumerate(steps):
+        if (
+            step[0] == "k"
+            and getattr(step[1], "may_alias", False)
+            and step[2]
+            and step[2][0] in aliased
+        ):
+            aliased.add(step[3])
+            produced_at[step[3]] = idx
+    if produced_at:
+        last_read = {sid: -1 for sid in produced_at}
+        for idx, step in enumerate(steps):
+            for sid in step[2]:
+                if sid in last_read:
+                    last_read[sid] = idx
+        if output_id in last_read:
+            last_read[output_id] = len(steps)
+        intervals = [(produced_at[sid], last_read[sid]) for sid in produced_at]
+        changed = True
+        while changed:
+            changed = False
+            for produced, read in intervals:
+                if produced < length <= read:
+                    length = produced
+                    changed = True
+    return length if length >= PREFIX_MIN_STEPS else 0
+
+
+# ----------------------------------------------------------------------
 # Pipeline
 # ----------------------------------------------------------------------
 def optimize_trace(trace, output_id: int) -> Tuple[list, Dict[str, int]]:
@@ -484,6 +558,12 @@ def optimize_trace(trace, output_id: int) -> Tuple[list, Dict[str, int]]:
     Densification runs after elimination (dead views need no copy) and
     before fusion, so a materialized view becomes an ordinary fusable
     ``out=`` step that can sink into its consumer's chain.
+
+    The final "pass" is analysis only: :func:`prefix_length` measures the
+    source-free prefix (``prefixed`` counter) that replay may skip for
+    content-identical entries — it runs last so fusion has already
+    collapsed the prefix's chains and densification has rewritten its
+    entry views into materializing (non-aliasing) steps.
     """
     before = len(trace.steps)
     steps, deduped = _dedupe_steps(trace.steps, trace, output_id)
@@ -497,6 +577,7 @@ def optimize_trace(trace, output_id: int) -> Tuple[list, Dict[str, int]]:
         "fused": fused,
         "eliminated": eliminated,
         "densified": densified,
+        "prefixed": prefix_length(steps, trace.entry, output_id),
         "steps_before": before,
         "steps_after": len(steps),
     }

@@ -8,6 +8,7 @@ from repro.eval import (
     campaign_key,
     clear_memory_cache,
     load_campaign_values,
+    result_store,
     run_robustness_sweep,
     store_campaign_values,
 )
@@ -69,10 +70,22 @@ class TestCampaignValueCache:
         key = self._key()
         store_campaign_values(key, np.array([1.0]))
         clear_memory_cache()
-        path = isolated_cache / "campaigns" / f"{key}.npy"
+        path = result_store().address(key)
         path.write_bytes(b"not a numpy file")
         assert load_campaign_values(key) is None
         assert not path.exists()  # corrupt entry evicted
+
+    def test_legacy_campaign_layout_is_promoted(self, isolated_cache):
+        """Pre-store ``campaigns/<key>.npy`` entries keep serving."""
+        key = self._key()
+        legacy = isolated_cache / "campaigns"
+        legacy.mkdir()
+        np.save(legacy / f"{key}.npy", np.array([2.5]))
+        clear_memory_cache()
+        values = load_campaign_values(key)
+        assert values is not None and values[0] == 2.5
+        # ... and the hit landed in the content-addressed store.
+        assert result_store().address(key).exists()
 
 
 class TestSweepCaching:

@@ -200,13 +200,14 @@ class TestCacheEquivalence:
         ]
         cached = [load_campaign_values(key) for key in keys]
         assert all(values is not None for values in cached)
-        # A batched re-run is served entirely from the serial run's cache
-        # (same keys), and reproduces the same curves.
-        files_before = sorted(p.name for p in (isolated_cache / "campaigns").iterdir())
+        # A batched re-run is served entirely from the serial run's store
+        # entries (same keys), and reproduces the same curves.
+        store_dir = isolated_cache / "store"
+        files_before = sorted(p.name for p in store_dir.rglob("*.npz"))
         batched = run_robustness_sweep(
             task, methods, specs, preset="tiny", n_runs=3, executor="batched"
         )
-        files_after = sorted(p.name for p in (isolated_cache / "campaigns").iterdir())
+        files_after = sorted(p.name for p in store_dir.rglob("*.npz"))
         assert files_before == files_after
         np.testing.assert_array_equal(
             serial.curves["proposed"].means, batched.curves["proposed"].means

@@ -493,8 +493,8 @@ class TestCacheContract:
         serial = run_robustness_sweep(
             task, [proposed()], specs, executor="serial", **kwargs
         )
-        campaign_files = sorted((tmp_path / "campaigns").glob("*.npy"))
-        assert campaign_files  # serial run populated the cache
+        campaign_files = sorted((tmp_path / "store").rglob("*.npz"))
+        assert campaign_files  # serial run populated the store
         scenario = run_robustness_sweep(
             task, [proposed()], specs, executor="batched",
             scenario_batched=True, **kwargs
@@ -503,7 +503,7 @@ class TestCacheContract:
             serial.curves["proposed"].means, scenario.curves["proposed"].means
         )
         # Same keys: the scenario-batched run wrote nothing new.
-        assert sorted((tmp_path / "campaigns").glob("*.npy")) == campaign_files
+        assert sorted((tmp_path / "store").rglob("*.npz")) == campaign_files
         clear_memory_cache()
 
     def test_fresh_scenario_batched_matches_fresh_serial(

@@ -1,0 +1,94 @@
+"""Framing tests for the campaign-service wire protocol."""
+
+import socket
+import struct
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve import protocol
+from repro.serve.protocol import (
+    MAX_MESSAGE_BYTES,
+    ProtocolError,
+    recv_message,
+    send_message,
+)
+
+
+@pytest.fixture
+def pair():
+    a, b = socket.socketpair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+class TestFraming:
+    def test_round_trip(self, pair):
+        a, b = pair
+        send_message(a, {"op": "ping", "n": 3})
+        assert recv_message(b) == {"op": "ping", "n": 3}
+
+    def test_multiple_frames_stay_separate(self, pair):
+        a, b = pair
+        for i in range(5):
+            send_message(a, {"seq": i})
+        assert [recv_message(b)["seq"] for _ in range(5)] == list(range(5))
+
+    def test_numpy_payload_survives_bit_exact(self, pair):
+        a, b = pair
+        values = np.random.default_rng(0).normal(size=(4, 7))
+        send_message(a, {"values": values})
+        np.testing.assert_array_equal(recv_message(b)["values"], values)
+
+    def test_large_frame_crosses_kernel_buffer(self, pair):
+        """A multi-megabyte frame exercises the short-read loop."""
+        a, b = pair
+        values = np.arange(300_000, dtype=np.float64)
+        done = {}
+
+        def sender():
+            send_message(a, {"values": values})
+            done["sent"] = True
+
+        thread = threading.Thread(target=sender)
+        thread.start()
+        received = recv_message(b)
+        thread.join()
+        assert done["sent"]
+        np.testing.assert_array_equal(received["values"], values)
+
+
+class TestErrors:
+    def test_eof_before_header_raises(self, pair):
+        a, b = pair
+        a.close()
+        with pytest.raises(ConnectionError):
+            recv_message(b)
+
+    def test_eof_mid_frame_raises(self, pair):
+        a, b = pair
+        a.sendall(struct.pack(">Q", 100) + b"only a few bytes")
+        a.close()
+        with pytest.raises(ConnectionError):
+            recv_message(b)
+
+    def test_oversize_header_rejected_before_allocation(self, pair):
+        a, b = pair
+        a.sendall(struct.pack(">Q", MAX_MESSAGE_BYTES + 1))
+        with pytest.raises(ProtocolError):
+            recv_message(b)
+
+    def test_oversize_send_refused(self, pair, monkeypatch):
+        a, _ = pair
+        monkeypatch.setattr(protocol, "MAX_MESSAGE_BYTES", 64)
+        with pytest.raises(ProtocolError):
+            send_message(a, {"blob": b"x" * 1024})
+
+    def test_garbage_payload_is_protocol_error(self, pair):
+        a, b = pair
+        payload = b"\x00not pickle"
+        a.sendall(struct.pack(">Q", len(payload)) + payload)
+        with pytest.raises(ProtocolError):
+            recv_message(b)

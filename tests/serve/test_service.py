@@ -1,0 +1,324 @@
+"""End-to-end campaign-service tests: bit-identity, zero-redundant
+accounting, worker-death re-sharding, and the daemon subprocess.
+
+The module-scoped cache directory keeps trained tiny-preset models warm
+across tests (exactly what a real daemon does); each test that needs an
+isolated result store roots one in its own tmp directory.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.eval import build_task, clear_memory_cache, run_robustness_sweep
+from repro.eval.cache import ResultStore
+from repro.faults import additive_sweep, bitflip_sweep, multiplicative_sweep
+from repro.models import all_methods, proposed
+from repro.serve import CampaignService, ServiceClient
+
+
+@pytest.fixture(scope="module")
+def shared_cache(tmp_path_factory):
+    mp = pytest.MonkeyPatch()
+    path = tmp_path_factory.mktemp("serve_cache")
+    mp.setenv("REPRO_CACHE_DIR", str(path))
+    clear_memory_cache()
+    yield path
+    mp.undo()
+    clear_memory_cache()
+
+
+def _service_pair(tmp_path, workers=2, **kwargs):
+    store = ResultStore(root=tmp_path / "store")
+    service = CampaignService(workers=workers, store=store, **kwargs)
+    return service, store
+
+
+def _assert_sweeps_equal(a, b):
+    assert sorted(a.curves) == sorted(b.curves)
+    for name in a.curves:
+        np.testing.assert_array_equal(a.curves[name].means, b.curves[name].means)
+        np.testing.assert_array_equal(a.curves[name].stds, b.curves[name].stds)
+
+
+class TestServiceSweep:
+    def test_bit_identical_and_zero_redundant_on_repeat(
+        self, shared_cache, tmp_path
+    ):
+        methods = [proposed()]
+        specs = bitflip_sweep([0.0, 0.1, 0.2])
+        task = build_task("audio", preset="tiny", seed=0)
+        reference = run_robustness_sweep(
+            task, methods, specs, preset="tiny", seed=0, n_runs=3,
+            use_cache=False,
+        )
+        service, _ = _service_pair(tmp_path)
+        with service, ServiceClient(service.address) as client:
+            first, stats1 = client.sweep(
+                "audio", methods, specs, preset="tiny", seed=0, n_runs=3
+            )
+            second, stats2 = client.sweep(
+                "audio", methods, specs, preset="tiny", seed=0, n_runs=3
+            )
+        _assert_sweeps_equal(reference, first)
+        _assert_sweeps_equal(reference, second)
+        assert stats1["redundant_cells"] == 0
+        # The repeat is served entirely from the store: nothing computed,
+        # nothing redundant, hit counters prove it.
+        assert stats2["computed_cells"] == 0
+        assert stats2["redundant_cells"] == 0
+        assert stats2["served_cells"] == stats1["served_cells"] + \
+            stats1["computed_cells"]
+        assert stats2["store"]["puts"] == 0 and stats2["store"]["misses"] == 0
+
+    def test_per_worker_throughput_rows(self, shared_cache, tmp_path):
+        methods = [proposed()]
+        specs = bitflip_sweep([0.0, 0.1, 0.2])
+        service, _ = _service_pair(tmp_path, workers=2)
+        with service, ServiceClient(service.address) as client:
+            _, stats = client.sweep(
+                "audio", methods, specs, preset="tiny", seed=0, n_runs=3
+            )
+        assert stats["workers"]  # at least one worker computed something
+        for row in stats["workers"]:
+            assert row["cells"] > 0
+            assert row["cells_per_sec"] > 0
+        assert sum(r["cells"] for r in stats["workers"]) == \
+            stats["computed_cells"]
+
+    def test_partial_frames_stream_per_scenario(self, shared_cache, tmp_path):
+        methods = [proposed()]
+        specs = bitflip_sweep([0.0, 0.1])
+        frames = []
+        service, _ = _service_pair(tmp_path)
+        with service, ServiceClient(service.address) as client:
+            client.sweep("audio", methods, specs, preset="tiny", seed=0,
+                         n_runs=3, on_partial=frames.append)
+            assert sorted(f["scenario"] for f in frames) == [0, 1]
+            assert all(f["source"] == "computed" for f in frames)
+            frames.clear()
+            client.sweep("audio", methods, specs, preset="tiny", seed=0,
+                         n_runs=3, on_partial=frames.append)
+        assert all(f["source"] == "store" for f in frames)
+
+    def test_overlapping_grid_recomputes_only_new_scenarios(
+        self, shared_cache, tmp_path
+    ):
+        methods = [proposed()]
+        service, _ = _service_pair(tmp_path)
+        with service, ServiceClient(service.address) as client:
+            _, stats1 = client.sweep(
+                "audio", methods, bitflip_sweep([0.0, 0.1]),
+                preset="tiny", seed=0, n_runs=3,
+            )
+            # The wider grid overlaps the first two levels exactly.
+            _, stats2 = client.sweep(
+                "audio", methods, bitflip_sweep([0.0, 0.1, 0.2]),
+                preset="tiny", seed=0, n_runs=3,
+            )
+        assert stats2["served_cells"] == stats1["served_cells"] + \
+            stats1["computed_cells"]
+        assert stats2["redundant_cells"] == 0
+        assert stats2["computed_cells"] == 3  # only the new level's cells
+
+    def test_store_and_transport_seconds_accounted(
+        self, shared_cache, tmp_path
+    ):
+        from repro.tensor import plan as _plan
+
+        methods = [proposed()]
+        specs = bitflip_sweep([0.0, 0.1])
+        service, _ = _service_pair(tmp_path)
+        with service, ServiceClient(service.address) as client:
+            with _plan.profiled() as stages:
+                _, stats = client.sweep(
+                    "audio", methods, specs, preset="tiny", seed=0, n_runs=3
+                )
+        assert stages["transport"] > 0  # client-side wire time recorded
+        assert stats["store_seconds"] >= 0
+
+
+class TestWorkerDeath:
+    def test_chaos_death_reshards_deterministically(
+        self, shared_cache, tmp_path
+    ):
+        methods = [proposed()]
+        specs = bitflip_sweep([0.0, 0.1, 0.2, 0.4])
+        chaos = {"worker": 0, "after_units": 0}
+        runs = []
+        for attempt in range(2):
+            service, _ = _service_pair(
+                tmp_path / f"attempt{attempt}", workers=2
+            )
+            with service, ServiceClient(service.address) as client:
+                runs.append(client.sweep(
+                    "audio", methods, specs, preset="tiny", seed=0, n_runs=3,
+                    use_store=False, chaos=chaos,
+                ))
+        (sweep_a, stats_a), (sweep_b, stats_b) = runs
+        assert stats_a["worker_deaths"] == 1
+        assert stats_a["reshards"] >= 1
+        assert stats_a["rounds"] >= 2
+        assert stats_a["assignments"] == stats_b["assignments"]
+        _assert_sweeps_equal(sweep_a, sweep_b)
+
+    def test_death_result_bit_identical_to_clean_run(
+        self, shared_cache, tmp_path
+    ):
+        methods = [proposed()]
+        specs = bitflip_sweep([0.0, 0.1, 0.2, 0.4])
+        service, _ = _service_pair(tmp_path / "chaos", workers=2)
+        with service, ServiceClient(service.address) as client:
+            with_death, stats = client.sweep(
+                "audio", methods, specs, preset="tiny", seed=0, n_runs=3,
+                use_store=False, chaos={"worker": 0, "after_units": 0},
+            )
+        assert stats["worker_deaths"] == 1
+        service, _ = _service_pair(tmp_path / "clean", workers=2)
+        with service, ServiceClient(service.address) as client:
+            clean, _ = client.sweep(
+                "audio", methods, specs, preset="tiny", seed=0, n_runs=3,
+                use_store=False,
+            )
+        _assert_sweeps_equal(with_death, clean)
+
+    def test_all_workers_dead_is_an_error(self, shared_cache, tmp_path):
+        service, _ = _service_pair(tmp_path, workers=1)
+        with service, ServiceClient(service.address) as client:
+            with pytest.raises(RuntimeError, match="service error"):
+                client.sweep(
+                    "audio", [proposed()], bitflip_sweep([0.0, 0.1]),
+                    preset="tiny", seed=0, n_runs=3,
+                    use_store=False, chaos={"worker": 0, "after_units": 0},
+                )
+
+    def test_retry_after_partial_store_is_not_redundant(
+        self, shared_cache, tmp_path
+    ):
+        """A re-issued unit serves scenarios an earlier round landed."""
+        methods = [proposed()]
+        specs = bitflip_sweep([0.0, 0.1, 0.2])
+        store = ResultStore(root=tmp_path / "store")
+        service = CampaignService(workers=2, store=store)
+        with service, ServiceClient(service.address) as client:
+            _, stats1 = client.sweep(
+                "audio", methods, [specs[1]], preset="tiny", seed=0, n_runs=3
+            )
+            _, stats2 = client.sweep(
+                "audio", methods, specs, preset="tiny", seed=0, n_runs=3
+            )
+        assert stats2["redundant_cells"] == 0
+        assert stats2["served_cells"] >= 3  # the pre-landed scenario
+
+
+class TestServiceMisc:
+    def test_ping_and_stats(self, shared_cache, tmp_path):
+        service, _ = _service_pair(tmp_path, workers=3)
+        with service, ServiceClient(service.address) as client:
+            assert client.ping()["workers"] == 3
+            stats = client.stats()
+            assert stats["requests"] == 0
+            client.sweep("audio", [proposed()], bitflip_sweep([0.0, 0.1]),
+                         preset="tiny", seed=0, n_runs=2)
+            assert client.stats()["requests"] == 1
+
+    def test_unknown_op_is_an_error(self, shared_cache, tmp_path):
+        service, _ = _service_pair(tmp_path)
+        with service, ServiceClient(service.address) as client:
+            with pytest.raises(RuntimeError, match="unknown op"):
+                client._roundtrip({"op": "frobnicate"})
+
+    def test_unknown_task_is_an_error_not_a_crash(
+        self, shared_cache, tmp_path
+    ):
+        service, _ = _service_pair(tmp_path)
+        with service, ServiceClient(service.address) as client:
+            with pytest.raises(RuntimeError, match="service error"):
+                client.sweep("nonexistent", [proposed()],
+                             bitflip_sweep([0.0, 0.1]), preset="tiny")
+            # The daemon survives the bad request.
+            assert client.ping()["pong"]
+
+    def test_shutdown_stops_service(self, shared_cache, tmp_path):
+        service, _ = _service_pair(tmp_path)
+        service.start()
+        with ServiceClient(service.address) as client:
+            client.shutdown()
+        assert service._stopped.is_set()
+
+
+_FAULT_SWEEPS = {
+    "bitflip": bitflip_sweep,
+    "additive": additive_sweep,
+    "multiplicative": multiplicative_sweep,
+}
+
+_CONVENTIONAL_NORM = {"image": "batch", "audio": "batch", "co2": "batch",
+                      "vessels": "group"}
+
+
+class TestFullMatrix:
+    """Acceptance sweep: every topology × all methods × fault kinds."""
+
+    @pytest.mark.parametrize("task_name", ["image", "audio", "co2", "vessels"])
+    @pytest.mark.parametrize("fault", ["bitflip", "additive"])
+    def test_topology_matrix_bit_identical_zero_redundant(
+        self, shared_cache, tmp_path, task_name, fault
+    ):
+        methods = all_methods(
+            conventional_norm=_CONVENTIONAL_NORM[task_name]
+        )
+        specs = _FAULT_SWEEPS[fault]([0.0, 0.1])
+        task = build_task(task_name, preset="tiny", seed=0)
+        reference = run_robustness_sweep(
+            task, methods, specs, preset="tiny", seed=0, n_runs=2,
+            use_cache=False,
+        )
+        service, _ = _service_pair(tmp_path, workers=2)
+        with service, ServiceClient(service.address) as client:
+            first, stats1 = client.sweep(
+                task_name, methods, specs, preset="tiny", seed=0, n_runs=2
+            )
+            second, stats2 = client.sweep(
+                task_name, methods, specs, preset="tiny", seed=0, n_runs=2
+            )
+        _assert_sweeps_equal(reference, first)
+        _assert_sweeps_equal(reference, second)
+        assert stats1["redundant_cells"] == 0
+        assert stats2["computed_cells"] == 0
+        assert stats2["redundant_cells"] == 0
+
+
+class TestDaemonSubprocess:
+    def test_python_m_repro_serve_round_trip(self, shared_cache, tmp_path):
+        """The real daemon process serves a sweep and shuts down cleanly."""
+        env = {
+            "REPRO_CACHE_DIR": str(shared_cache),
+            "PYTHONPATH": str(Path(__file__).resolve().parents[2] / "src"),
+            "PATH": "/usr/bin:/bin",
+        }
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.serve", "--port", "0",
+             "--workers", "2"],
+            stdout=subprocess.PIPE, text=True, env=env, cwd=str(tmp_path),
+        )
+        try:
+            banner = proc.stdout.readline()
+            address = banner.strip().rsplit(" ", 1)[-1]
+            with ServiceClient(address) as client:
+                assert client.ping()["pong"]
+                sweep, stats = client.sweep(
+                    "audio", [proposed()], bitflip_sweep([0.0, 0.1]),
+                    preset="tiny", seed=0, n_runs=2,
+                )
+                assert stats["redundant_cells"] == 0
+                assert set(sweep.curves) == {"proposed"}
+                client.shutdown()
+            assert proc.wait(timeout=30) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()

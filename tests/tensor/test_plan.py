@@ -641,6 +641,194 @@ class TestProfiling:
         assert "(20 -> 11 steps)" in text
 
 
+class TestPrefixFold:
+    """Entry-stable prefix skipping: analysis bounds and replay identity."""
+
+    @staticmethod
+    def _kernel(may_alias=False):
+        import types
+
+        return types.SimpleNamespace(may_alias=may_alias)
+
+    def test_prefix_length_counts_leading_kernels(self):
+        from repro.tensor.plan_passes import prefix_length
+
+        k = self._kernel()
+        steps = [("k", k, (0,), 1), ("k", k, (1,), 2), ("k", k, (2,), 3)]
+        assert prefix_length(steps, entry_id=0, output_id=3) == 3
+
+    def test_source_step_bounds_the_prefix(self):
+        from repro.tensor.plan_passes import prefix_length
+
+        k = self._kernel()
+        steps = [
+            ("k", k, (0,), 1),
+            ("k", k, (1,), 2),
+            ("s", lambda: None, (), 3),
+            ("k", k, (2, 3), 4),
+        ]
+        assert prefix_length(steps, entry_id=0, output_id=4) == 2
+
+    def test_short_prefix_not_worth_the_comparison(self):
+        from repro.tensor.plan_passes import prefix_length
+
+        k = self._kernel()
+        steps = [("k", k, (0,), 1), ("s", lambda: None, (), 2)]
+        assert prefix_length(steps, entry_id=0, output_id=1) == 0
+
+    def test_entry_view_read_past_boundary_shrinks_prefix(self):
+        """A view of the entry consumed after the prefix would replay
+        against a stale entry array — its producer must leave the prefix."""
+        from repro.tensor.plan_passes import prefix_length
+
+        view = self._kernel(may_alias=True)
+        k = self._kernel()
+        steps = [
+            ("k", view, (0,), 1),  # entry view
+            ("k", k, (0,), 2),
+            ("s", lambda: None, (), 3),
+            ("k", k, (1, 3), 4),  # reads the view after the boundary
+        ]
+        assert prefix_length(steps, entry_id=0, output_id=4) == 0
+
+    def test_entry_view_as_output_shrinks_prefix(self):
+        from repro.tensor.plan_passes import prefix_length
+
+        view = self._kernel(may_alias=True)
+        k = self._kernel()
+        steps = [
+            ("k", k, (0,), 1),
+            ("k", k, (1,), 2),
+            ("k", view, (0,), 3),  # the plan output aliases the entry
+        ]
+        assert prefix_length(steps, entry_id=0, output_id=3) == 2
+
+    def test_entry_view_consumed_inside_prefix_is_fine(self):
+        from repro.tensor.plan_passes import prefix_length
+
+        view = self._kernel(may_alias=True)
+        k = self._kernel()
+        steps = [
+            ("k", view, (0,), 1),
+            ("k", k, (1,), 2),  # view read inside the prefix: safe
+            ("k", k, (2,), 3),
+        ]
+        assert prefix_length(steps, entry_id=0, output_id=3) == 3
+
+    def test_non_entry_view_does_not_shrink(self):
+        """Views of constants/pool buffers are stable across replays."""
+        from repro.tensor.plan_passes import prefix_length
+
+        view = self._kernel(may_alias=True)
+        k = self._kernel()
+        steps = [
+            ("k", k, (0,), 1),
+            ("k", view, (5,), 2),  # view of a constant slot, not the entry
+            ("s", lambda: None, (), 3),
+            ("k", k, (1, 2, 3), 4),
+        ]
+        assert prefix_length(steps, entry_id=0, output_id=4) == 2
+
+    def test_deterministic_stack_skips_prefix_on_repeat(self):
+        manual_seed(0)
+        model = nn.Sequential(nn.Linear(6, 8), nn.ReLU(), nn.Linear(8, 4))
+        model.eval()
+        x = np.random.default_rng(3).normal(size=(5, 6))
+        with no_grad():
+            interpreted = model(Tensor(x)).data
+        traced = planned_forward(model, x, optimize=True)
+        first = planned_forward(model, x, optimize=True)  # prefix miss
+        second = planned_forward(model, x, optimize=True)  # prefix hit
+        np.testing.assert_array_equal(traced, interpreted)
+        np.testing.assert_array_equal(first, interpreted)
+        np.testing.assert_array_equal(second, interpreted)
+        cache = plan_mod.plan_stats(model)
+        (entry,) = cache.plans.values()
+        assert entry.opt_stats["prefixed"] == entry._prefix_len > 0
+        assert entry.prefix_misses == 1 and entry.prefix_hits == 1
+        assert cache.opt_counters["prefixed"] == entry._prefix_len
+
+    def test_changed_entry_misses_and_recomputes(self):
+        manual_seed(0)
+        # ReLU keeps the stack multi-step: a fully fused single-kernel
+        # plan is (by design) below PREFIX_MIN_STEPS and never prefixes.
+        model = nn.Sequential(nn.Linear(4, 4), nn.ReLU(), nn.Linear(4, 2))
+        model.eval()
+        rng = np.random.default_rng(4)
+        x1 = rng.normal(size=(3, 4))
+        x2 = rng.normal(size=(3, 4))
+        planned_forward(model, x1, optimize=True)  # trace
+        planned_forward(model, x1, optimize=True)  # miss, caches x1
+        a = planned_forward(model, x1, optimize=True)  # hit
+        b = planned_forward(model, x2, optimize=True)  # miss: new content
+        c = planned_forward(model, x2, optimize=True)  # hit on x2
+        with no_grad():
+            ref1 = model(Tensor(x1)).data
+            ref2 = model(Tensor(x2)).data
+        np.testing.assert_array_equal(a, ref1)
+        np.testing.assert_array_equal(b, ref2)
+        np.testing.assert_array_equal(c, ref2)
+        (entry,) = plan_mod.plan_stats(model).plans.values()
+        assert entry.prefix_hits == 2 and entry.prefix_misses == 2
+
+    def test_stochastic_stack_prefix_stops_at_source(self):
+        """Layers ahead of the first RNG draw skip; draws stay fresh."""
+        manual_seed(0)
+        from repro.core.bayesian import enable_stochastic_inference
+
+        model = nn.Sequential(
+            nn.Linear(4, 6), nn.ReLU(), nn.Linear(6, 4), nn.Dropout(0.5)
+        )
+        model.eval()
+        enable_stochastic_inference(model, True)
+        x = np.ones((3, 4))
+        with no_grad(), scoped_rng(np.random.default_rng(42)):
+            with plan_mod.plan_execution(True, optimize=True):
+                outs = [model(Tensor(x)).data for _ in range(4)]
+        with no_grad(), scoped_rng(np.random.default_rng(42)):
+            refs = [model(Tensor(x)).data for _ in range(4)]
+        for out, ref in zip(outs, refs):
+            np.testing.assert_array_equal(out, ref)
+        (entry,) = plan_mod.plan_stats(model).plans.values()
+        assert 0 < entry._prefix_len < len(entry._steps)
+        assert entry.prefix_hits == 2 and entry.prefix_misses == 1
+
+    def test_optimize_false_disables_prefixing(self):
+        manual_seed(0)
+        model = nn.Sequential(nn.Linear(3, 3), nn.ReLU(), nn.Linear(3, 3))
+        model.eval()
+        x = np.zeros((2, 3))
+        planned_forward(model, x, optimize=False)
+        planned_forward(model, x, optimize=False)
+        (entry,) = plan_mod.plan_stats(model).plans.values()
+        assert entry.opt_stats["prefixed"] == 0
+        assert entry._prefix_len == 0
+        assert entry.prefix_hits == 0 and entry.prefix_misses == 0
+
+    def test_prefixed_counter_reaches_profile_stages(self):
+        manual_seed(0)
+        model = nn.Sequential(nn.Linear(3, 3), nn.ReLU(), nn.Linear(3, 3))
+        model.eval()
+        x = np.zeros((2, 3))
+        with plan_mod.profiled() as stages:
+            planned_forward(model, x, optimize=True)
+        assert stages.get("opt.prefixed", 0) > 0
+
+    def test_format_profile_renders_prefixed_counter(self):
+        from repro.eval.reporting import format_profile
+
+        text = format_profile(
+            {
+                "attach": 0.01, "metric": 0.06,
+                "opt.deduped": 0.0, "opt.folded": 1.0, "opt.fused": 0.0,
+                "opt.eliminated": 0.0, "opt.densified": 0.0,
+                "opt.prefixed": 3.0,
+                "opt.steps_before": 5.0, "opt.steps_after": 4.0,
+            }
+        )
+        assert "3 prefixed" in text
+
+
 class TestClearPlans:
     def test_clear_plans_resets_module_cache(self):
         manual_seed(0)
