@@ -109,6 +109,11 @@ def cmd_sweep(args) -> None:
     if args.connect is not None or args.serve is not None:
         _cmd_sweep_service(args, specs)
         return
+    _cmd_sweep_local(args, specs)
+
+
+def _cmd_sweep_local(args, specs) -> None:
+    """The in-process sweep path (also the --fallback-local target)."""
     task = build_task(args.task, preset=args.preset, seed=args.seed)
     meter = ProgressMeter(label=f"{args.task}/{args.fault}")
     with contextlib.ExitStack() as stack:
@@ -148,43 +153,86 @@ def _cmd_sweep_service(args, specs) -> None:
     down on exit); ``--connect`` targets a running daemon.  Results are
     bit-identical to the in-process driver; the service stats line below
     the tables shows store/compute accounting and per-worker throughput.
+
+    Client deadlines and retries come from ``--connect-timeout`` /
+    ``--request-timeout`` / ``--retries``.  With ``--fallback-local``,
+    a service that stays unreachable after every retry degrades to the
+    in-process engine instead of failing the invocation — safe because
+    both paths are bit-identical.
     """
-    from ..serve import CampaignService, ServiceClient
+    from ..serve import CampaignService, ServiceClient, ServiceUnavailable
 
     methods = _methods_for(args.task)
-    with contextlib.ExitStack() as stack:
-        stages = stack.enter_context(_plan.profiled()) if args.profile else None
-        if args.connect is not None:
-            client = stack.enter_context(ServiceClient(args.connect))
-        else:
-            service = stack.enter_context(
-                CampaignService(workers=args.serve, verbose=args.verbose)
+    try:
+        with contextlib.ExitStack() as stack:
+            stages = (
+                stack.enter_context(_plan.profiled()) if args.profile else None
             )
-            client = stack.enter_context(ServiceClient(service.address))
-        on_partial = None
-        if args.verbose:
-            def on_partial(frame):
-                print(f"[{args.task}/{frame['method']}] scenario "
-                      f"{frame['scenario']} <- {frame['source']}")
-        sweep, stats = client.sweep(
-            args.task,
-            methods,
-            specs,
-            preset=args.preset,
-            seed=args.seed,
-            n_runs=args.runs,
-            use_store=not args.no_cache,
-            on_partial=on_partial,
-        )
-        if stages is not None:
-            stages["store"] = (
-                stages.get("store", 0.0) + stats.get("store_seconds", 0.0)
+            client_options = {
+                "connect_timeout": args.connect_timeout,
+                "request_timeout": args.request_timeout,
+                "retries": args.retries,
+            }
+            if args.connect is not None:
+                client = stack.enter_context(
+                    ServiceClient(args.connect, **client_options)
+                )
+            else:
+                service = stack.enter_context(
+                    CampaignService(workers=args.serve, verbose=args.verbose)
+                )
+                client = stack.enter_context(
+                    ServiceClient(service.address, **client_options)
+                )
+            on_partial = None
+            if args.verbose:
+                def on_partial(frame):
+                    print(f"[{args.task}/{frame['method']}] scenario "
+                          f"{frame['scenario']} <- {frame['source']}")
+            sweep, stats = client.sweep(
+                args.task,
+                methods,
+                specs,
+                preset=args.preset,
+                seed=args.seed,
+                n_runs=args.runs,
+                use_store=not args.no_cache,
+                on_partial=on_partial,
             )
+            if stages is not None:
+                stages["store"] = (
+                    stages.get("store", 0.0) + stats.get("store_seconds", 0.0)
+                )
+    except ServiceUnavailable as exc:
+        if not args.fallback_local:
+            raise
+        print(f"service unavailable ({exc}); falling back to the "
+              "in-process engine")
+        _cmd_sweep_local(args, specs)
+        return
     print(format_sweep(sweep))
     print(summarize_improvements(sweep))
     print(format_service_stats(stats))
     if stages is not None:
         print(format_profile(stages))
+
+
+def cmd_store_gc(args) -> None:
+    """Garbage-collect the content-addressed result store.
+
+    Always retires entries written under a different RNG contract
+    (unreachable since a contract bump changes every key); with
+    ``--max-entries`` additionally evicts least-recently-served entries
+    down to the cap.  Prints the counters so service hosts can cron it.
+    """
+    from .cache import result_store
+
+    store = result_store()
+    retired = store.retire_stale()
+    evicted = store.evict(args.max_entries) if args.max_entries is not None \
+        else 0
+    print(f"store-gc: {retired} stale entries retired, "
+          f"{evicted} evicted, {len(store)} remaining")
 
 
 def cmd_fig7(args) -> None:
@@ -335,6 +383,42 @@ def build_parser() -> argparse.ArgumentParser:
                  "daemon (python -m repro.serve); keeps models, plans, "
                  "and fault programs warm across invocations",
         )
+        p.add_argument(
+            "--connect-timeout", type=float, default=5.0, metavar="SECONDS",
+            help="TCP connect deadline per service attempt (default 5)",
+        )
+        p.add_argument(
+            "--request-timeout", type=float, default=600.0, metavar="SECONDS",
+            help="deadline on every blocking service read/write — a "
+                 "stalled reply frame trips it and triggers a retry "
+                 "(default 600)",
+        )
+        p.add_argument(
+            "--retries", type=int, default=2,
+            help="additional attempts after a transport failure "
+                 "(reconnect with exponential backoff + deterministic "
+                 "jitter; the retried request re-sends the same "
+                 "idempotent request id, so nothing is double-counted; "
+                 "default 2)",
+        )
+        p.add_argument(
+            "--fallback-local", action="store_true",
+            help="if the service stays unreachable after every retry, "
+                 "run the sweep on the in-process engine instead of "
+                 "failing (bit-identical results either way)",
+        )
+
+    pgc = sub.add_parser(
+        "store-gc",
+        help="bound the content-addressed result store on long-lived hosts",
+    )
+    _add_common(pgc, suppress=True)
+    pgc.add_argument(
+        "--max-entries", type=int, default=None, metavar="N",
+        help="evict least-recently-served entries down to N "
+             "(recency = entry mtime, refreshed on every verified read; "
+             "omit to only retire stale-contract entries)",
+    )
 
     p7 = sub.add_parser("fig7", help="Fig. 7 OOD shift sweep")
     _add_common(p7, suppress=True)
@@ -349,6 +433,8 @@ def main(argv: List[str] | None = None) -> None:
         cmd_table1(args)
     elif args.command in ("fig5", "fig6", "campaign"):
         cmd_sweep(args)
+    elif args.command == "store-gc":
+        cmd_store_gc(args)
     elif args.command == "fig7":
         cmd_fig7(args)
 

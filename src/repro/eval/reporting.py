@@ -152,7 +152,9 @@ def format_service_stats(stats: Dict) -> str:
     One summary line — cells served from the content-addressed store vs
     freshly computed, redundant computations (cells whose store entry
     already existed; zero on a healthy repeat), and scheduling counters —
-    followed by one throughput row per shard worker.
+    then a recovery line when any fault-tolerance counter fired (worker
+    hangs, respawns, retried units/attempts, chaos-shimmed frames), and
+    one throughput row per shard worker.
     """
     lines = [
         "service: "
@@ -162,6 +164,16 @@ def format_service_stats(stats: Dict) -> str:
         f"(rounds={stats['rounds']}, reshards={stats['reshards']}, "
         f"deaths={stats['worker_deaths']})"
     ]
+    recovery = {
+        key: int(stats.get(key, 0))
+        for key in ("hangs", "respawns", "retries", "frames_dropped",
+                    "frames_delayed", "frames_corrupted")
+    }
+    if any(recovery.values()):
+        lines.append(
+            "  recovery: "
+            + ", ".join(f"{key}={value}" for key, value in recovery.items())
+        )
     for row in stats.get("workers", []):
         lines.append(
             f"  worker {row['worker']}: {row['cells']} cells in "

@@ -15,15 +15,30 @@ with :class:`~repro.serve.client.ServiceClient` or the CLI's
 one invocation.
 """
 
-from .client import ServiceClient, service_sweep
+from .chaos import ChaosSchedule, LegacyKill
+from .client import (
+    IncompleteSweepError,
+    ServiceClient,
+    ServiceUnavailable,
+    service_sweep,
+)
 from .daemon import CampaignService
-from .shard import ShardUnit, assign_units, shard_units
+from .protocol import ChecksumError, ConnectionClosed, ProtocolError
+from .shard import ShardUnit, assign_units, revive_workers, shard_units
 
 __all__ = [
     "CampaignService",
+    "ChaosSchedule",
+    "ChecksumError",
+    "ConnectionClosed",
+    "IncompleteSweepError",
+    "LegacyKill",
+    "ProtocolError",
     "ServiceClient",
+    "ServiceUnavailable",
     "ShardUnit",
     "assign_units",
+    "revive_workers",
     "service_sweep",
     "shard_units",
 ]

@@ -25,12 +25,20 @@ def main(argv: Optional[List[str]] = None) -> None:
                         help="TCP port (0 = pick a free one, printed below)")
     parser.add_argument("--workers", type=int, default=2,
                         help="shard workers per sweep request (default 2)")
+    parser.add_argument("--unit-deadline", type=float, default=300.0,
+                        help="per-unit watchdog deadline in seconds; a "
+                             "worker silent this long is declared dead "
+                             "(default 300)")
+    parser.add_argument("--max-respawns", type=int, default=1,
+                        help="respawn budget per dead worker per sweep "
+                             "before degrading to survivors (default 1)")
     parser.add_argument("--verbose", action="store_true",
                         help="log requests and worker events to stderr")
     args = parser.parse_args(argv)
     service = CampaignService(
         host=args.host, port=args.port, workers=args.workers,
-        verbose=args.verbose,
+        verbose=args.verbose, unit_deadline=args.unit_deadline,
+        max_respawns=args.max_respawns,
     ).start()
     print(f"repro campaign service listening on "
           f"{service.host}:{service.port}", flush=True)

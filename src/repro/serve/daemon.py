@@ -23,15 +23,32 @@ A sweep request is served in rounds:
    round already landed), runs its units on the batched engine, lands
    fresh values in the store, and streams one partial frame per
    scenario as soon as it completes;
-4. a worker death (or injected chaos, for tests) returns its unfinished
-   units to the pool; survivors get a deterministic re-shard and the
-   round counter advances.  Assignments of every round are recorded in
-   the reply stats so re-shard determinism is directly assertable.
+4. a worker death — a raised exception, an injected chaos kill, or a
+   **hang** declared by the per-unit watchdog (no heartbeat for
+   ``unit_deadline`` seconds) — returns its unfinished units to the
+   pool; survivors get a deterministic re-shard, dead workers with
+   respawn budget left (``max_respawns`` per worker per sweep) are
+   revived with a **fresh replica** (re-warmed plans and fault programs
+   on first use), and the round counter advances.  Assignments of every
+   round are recorded in the reply stats so re-shard determinism is
+   directly assertable.
+
+Fault recovery is supervised from the sweep's connection thread: it
+drains worker events with a watchdog tick, declares hung workers dead
+(their late events are discarded — an abandoned worker can never
+corrupt a round it no longer belongs to), and re-shards exactly as for
+a clean crash.  Injected faults come from a deterministic
+:class:`~repro.serve.chaos.ChaosSchedule` (worker kill/hang, frame
+drop/delay/corrupt through the protocol shim), so every recovery path
+is replayable bit-for-bit.
 
 The reply's ``stats`` carry per-request store-counter deltas
 (hit/miss/put/merge), ``redundant_cells`` (cells computed whose store
 entry already existed — the quantity the acceptance criteria pin to
-zero), and per-worker ``cells``/``seconds``/``cells_per_sec`` rows.
+zero), recovery counters (``worker_deaths`` / ``hangs`` / ``respawns``
+/ ``retries`` / ``frames_dropped``, accumulated across retried
+attempts of one idempotent ``request_id``), and per-worker
+``cells``/``seconds``/``cells_per_sec`` rows.
 """
 
 from __future__ import annotations
@@ -40,8 +57,9 @@ import socket
 import sys
 import threading
 import time
-from queue import SimpleQueue
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from collections import OrderedDict
+from queue import Empty, SimpleQueue
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -51,8 +69,25 @@ from ..models import MethodConfig
 from ..eval.cache import ResultStore, campaign_key, result_store
 from ..eval.campaigns import TaskEvalHandle, campaign_eval_cap
 from ..eval.tasks import Task, build_task, mc_runs, mc_samples
-from .protocol import recv_message, send_message
-from .shard import ShardUnit, assign_units, shard_units
+from .chaos import as_schedule
+from .protocol import ConnectionClosed, recv_message, send_message
+from .shard import ShardUnit, assign_units, revive_workers, shard_units
+
+#: Recovery counters accumulated across retried attempts of one
+#: idempotent ``request_id`` (the client re-sends the same id, so the
+#: final reply accounts for everything its earlier attempts triggered).
+RECOVERY_COUNTERS = (
+    "worker_deaths",
+    "hangs",
+    "respawns",
+    "reshards",
+    "frames_dropped",
+    "frames_delayed",
+    "frames_corrupted",
+)
+
+#: Remembered request ids / counter carry-overs (FIFO-bounded).
+MAX_REMEMBERED_REQUESTS = 256
 
 
 def _replicate(model):
@@ -83,6 +118,13 @@ class CampaignService:
     ``shutdown`` request).  Sweeps are serialized by a request lock —
     parallelism lives *inside* a request, across shard workers — while
     ``ping``/``stats`` stay responsive on their own connections.
+
+    ``unit_deadline`` is the per-unit watchdog: a worker that has not
+    heartbeat for that many seconds while holding a unit is declared
+    dead exactly as if it had crashed (default 300 s — far beyond any
+    tiny/small unit; chaos tests shrink it).  ``max_respawns`` bounds
+    how many times each dead worker is revived per sweep before the
+    service degrades to the survivors (0 disables respawn entirely).
     """
 
     def __init__(
@@ -92,22 +134,39 @@ class CampaignService:
         workers: int = 2,
         store: Optional[ResultStore] = None,
         verbose: bool = False,
+        unit_deadline: float = 300.0,
+        max_respawns: int = 1,
+        watchdog_tick: float = 0.05,
     ):
         self.host = host
         self.port = port
         self.workers = max(1, int(workers))
         self.store = store if store is not None else result_store()
         self.verbose = verbose
+        self.unit_deadline = float(unit_deadline)
+        self.max_respawns = max(0, int(max_respawns))
+        self.watchdog_tick = float(watchdog_tick)
         self._listener: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
         self._stopped = threading.Event()
         self._sweep_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._conns: Set[socket.socket] = set()
         # Warm (worker, handle) → (model replica, evaluator); the replica
         # carries traced plans and programmed faults across requests.
         self._pairs: Dict[Tuple[int, Hashable], Tuple[object, object]] = {}
         self.requests = 0
+        self.retried_requests = 0
+        self.conn_errors = 0
         self.total_served_cells = 0
         self.total_computed_cells = 0
+        self.recovery_totals: Dict[str, int] = {
+            k: 0 for k in RECOVERY_COUNTERS
+        }
+        self._request_attempts: "OrderedDict[str, int]" = OrderedDict()
+        self._request_counters: "OrderedDict[str, Dict[str, int]]" = (
+            OrderedDict()
+        )
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> "CampaignService":
@@ -130,13 +189,50 @@ class CampaignService:
         self._stopped.wait()
 
     def stop(self) -> None:
+        """Stop accepting, close live connections, interrupt sweeps.
+
+        Closing the tracked connections wakes every handler blocked in a
+        read and fails every in-flight sweep's next frame send, so a
+        stop with a sweep in flight winds down promptly instead of
+        serving from a half-dead daemon; workers notice the flag at
+        their next unit boundary.
+        """
         self._stopped.set()
-        if self._listener is not None:
+        listener, self._listener = self._listener, None
+        if listener is not None:
+            # shutdown() first: close() alone does not wake a thread
+            # blocked in accept(), and the blocked syscall would keep the
+            # kernel socket alive — the port would stay bound and a
+            # restart on the same port would fail with EADDRINUSE.
             try:
-                self._listener.close()
+                listener.shutdown(socket.SHUT_RDWR)
             except OSError:
                 pass
-            self._listener = None
+            try:
+                listener.close()
+            except OSError:
+                pass
+        thread = self._accept_thread
+        if (
+            thread is not None
+            and thread is not threading.current_thread()
+            and thread.is_alive()
+        ):
+            thread.join(timeout=5.0)
+        # Wait for an in-flight sweep to wind down (its next frame send
+        # fails now that the connection is closed, and its workers stop
+        # at their unit boundary).  Without this, a successor daemon
+        # sharing the store would race the old workers' final puts.
+        if self._sweep_lock.acquire(timeout=60.0):
+            self._sweep_lock.release()
+        with self._state_lock:
+            live = list(self._conns)
+            self._conns.clear()
+        for conn in live:
+            try:
+                conn.close()
+            except OSError:
+                pass
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -157,24 +253,49 @@ class CampaignService:
         while not self._stopped.is_set():
             try:
                 conn, _ = self._listener.accept()
-            except OSError:
-                return  # listener closed by stop()
+            except (OSError, AttributeError):
+                if self._stopped.is_set():
+                    return  # listener closed by stop()
+                self._conn_error("accept", "listener error")
+                return
+            with self._state_lock:
+                self._conns.add(conn)
             threading.Thread(
                 target=self._serve_connection, args=(conn,), daemon=True
             ).start()
 
+    def _conn_error(self, where: str, exc) -> None:
+        """Count and log one connection-level failure (flaky client, dead
+        socket, mid-frame EOF).  Sockets closed by our own ``stop()`` are
+        expected teardown, not errors."""
+        if self._stopped.is_set():
+            return
+        with self._state_lock:
+            self.conn_errors += 1
+        self._log(f"connection error during {where}: {exc!r}")
+
     def _serve_connection(self, conn: socket.socket) -> None:
-        with conn:
-            while not self._stopped.is_set():
-                try:
-                    request = recv_message(conn)
-                except (ConnectionError, OSError):
-                    return
-                try:
-                    if not self._dispatch(conn, request):
+        try:
+            with conn:
+                while not self._stopped.is_set():
+                    try:
+                        request = recv_message(conn)
+                    except ConnectionClosed:
+                        return  # orderly client close between frames
+                    except (ConnectionError, OSError) as exc:
+                        self._conn_error("recv", exc)
                         return
-                except (ConnectionError, OSError):
-                    return
+                    if self._stopped.is_set():
+                        return
+                    try:
+                        if not self._dispatch(conn, request):
+                            return
+                    except (ConnectionError, OSError) as exc:
+                        self._conn_error("send", exc)
+                        return
+        finally:
+            with self._state_lock:
+                self._conns.discard(conn)
 
     def _dispatch(self, conn: socket.socket, request: dict) -> bool:
         """Handle one request; returns False to drop the connection."""
@@ -187,14 +308,22 @@ class CampaignService:
             send_message(conn, {
                 "kind": "done", "ok": True,
                 "requests": self.requests,
+                "retried_requests": self.retried_requests,
+                "conn_errors": self.conn_errors,
                 "served_cells": self.total_served_cells,
                 "computed_cells": self.total_computed_cells,
+                "recovery": dict(self.recovery_totals),
                 "store": self.store.snapshot(),
                 "warm_pairs": len(self._pairs),
                 "workers": self.workers,
+                "unit_deadline": self.unit_deadline,
+                "max_respawns": self.max_respawns,
             })
             return True
         if op == "shutdown":
+            # Flag first, reply second: a client that saw the reply can
+            # rely on the service being observably stopping.
+            self._stopped.set()
             send_message(conn, {"kind": "done", "ok": True})
             self.stop()
             return False
@@ -203,7 +332,14 @@ class CampaignService:
                 with self._sweep_lock:
                     stats = self._handle_sweep(conn, request)
                 send_message(conn, {"kind": "done", "ok": True, "stats": stats})
+            except (ConnectionError, OSError):
+                raise  # the client is gone; no error frame can reach it
             except Exception as exc:  # noqa: BLE001 - reported to the client
+                if self._stopped.is_set():
+                    # A stopping service is unavailable, not a judge of
+                    # the request: drop the connection so the client
+                    # classifies this as retryable transport failure.
+                    raise ConnectionError("service stopping") from exc
                 self._log(f"sweep failed: {exc!r}")
                 send_message(
                     conn, {"kind": "error", "ok": False, "message": repr(exc)}
@@ -214,6 +350,47 @@ class CampaignService:
                    "message": f"unknown op {op!r}"}
         )
         return True
+
+    # -- idempotent request accounting ---------------------------------
+    def _register_attempt(self, request_id: Optional[str]) -> int:
+        """Record one attempt of ``request_id``; returns prior attempts.
+
+        The id makes retries idempotent in the accounting: ``requests``
+        counts logical requests once however often the client re-sends,
+        and recovery counters carry over so the final reply reports
+        everything earlier attempts triggered.
+        """
+        if request_id is None:
+            self.requests += 1
+            return 0
+        prior = self._request_attempts.get(request_id, 0)
+        self._request_attempts[request_id] = prior + 1
+        while len(self._request_attempts) > MAX_REMEMBERED_REQUESTS:
+            self._request_attempts.popitem(last=False)
+        if prior == 0:
+            self.requests += 1
+        else:
+            self.retried_requests += 1
+        return prior
+
+    def _carried_counters(self, request_id: Optional[str]) -> Dict[str, int]:
+        if request_id is None:
+            return {k: 0 for k in RECOVERY_COUNTERS}
+        saved = self._request_counters.get(request_id, {})
+        return {k: saved.get(k, 0) for k in RECOVERY_COUNTERS}
+
+    def _save_counters(
+        self, request_id: Optional[str], stats: dict, carried: Dict[str, int]
+    ) -> None:
+        for k in RECOVERY_COUNTERS:
+            self.recovery_totals[k] += stats.get(k, 0) - carried.get(k, 0)
+        if request_id is None:
+            return
+        self._request_counters[request_id] = {
+            k: stats.get(k, 0) for k in RECOVERY_COUNTERS
+        }
+        while len(self._request_counters) > MAX_REMEMBERED_REQUESTS:
+            self._request_counters.popitem(last=False)
 
     # -- sweep execution -----------------------------------------------
     def _handle_sweep(self, conn: socket.socket, request: dict) -> dict:
@@ -230,8 +407,11 @@ class CampaignService:
         methods: Sequence[MethodConfig] = request["methods"]
         specs: Sequence[FaultSpec] = request["specs"]
         use_store = bool(request.get("use_store", True))
-        chaos = request.get("chaos")
-        self.requests += 1
+        chaos = as_schedule(request.get("chaos"))
+        request_id = request.get("request_id")
+        attempt = int(request.get("attempt") or 0)
+        prior_attempts = self._register_attempt(request_id)
+        carried = self._carried_counters(request_id)
 
         store_before = self.store.snapshot()
         stats = {
@@ -241,17 +421,29 @@ class CampaignService:
                 "higher_is_better": task.higher_is_better,
             },
             "served_cells": 0, "computed_cells": 0, "redundant_cells": 0,
-            "rounds": 0, "reshards": 0, "worker_deaths": 0,
-            "assignments": [], "store_seconds": 0.0, "compute_seconds": 0.0,
+            "rounds": 0, "attempt": attempt,
+            "retries": prior_attempts,
+            "store_seconds": 0.0, "compute_seconds": 0.0,
+            "assignments": [],
         }
+        stats.update(carried)
         per_worker: Dict[int, Dict[str, float]] = {}
         alive = list(range(self.workers))
+        # Per-sweep worker health, shared across the method loop so a
+        # worker's respawn budget spans the whole request.
+        health = {"dead": set(), "respawns_used": {}}
 
-        for method in methods:
-            self._sweep_method(
-                conn, task, method, specs, preset, seed, n_runs, samples,
-                max_eval_samples, use_store, chaos, alive, stats, per_worker,
-            )
+        try:
+            for method in methods:
+                if self._stopped.is_set():
+                    raise RuntimeError("service stopping")
+                self._sweep_method(
+                    conn, task, method, specs, preset, seed, n_runs, samples,
+                    max_eval_samples, use_store, chaos, attempt, alive,
+                    health, stats, per_worker,
+                )
+        finally:
+            self._save_counters(request_id, stats, carried)
 
         store_after = self.store.snapshot()
         stats["store"] = {
@@ -277,9 +469,46 @@ class CampaignService:
         )
         return stats
 
+    def _send_frame(
+        self, conn, frame: dict, chaos, attempt: int, stats: dict
+    ) -> None:
+        """Single send site for partial frames — the chaos protocol shim.
+
+        A ``frame_drop`` event swallows the frame (the client notices
+        the missing scenario at ``done`` and retries), ``frame_delay``
+        sleeps past the schedule's ``delay`` before sending (tripping a
+        client request deadline when one is armed), and
+        ``frame_corrupt`` sends a payload that fails its CRC-32
+        client-side.  All three are counted in the reply stats.
+        """
+        event = None
+        if chaos is not None:
+            event = chaos.frame_event(attempt, frame["method"], frame["scenario"])
+        if event == "frame_drop":
+            stats["frames_dropped"] += 1
+            self._log(
+                f"chaos: dropping frame {frame['method']}/{frame['scenario']}"
+            )
+            return
+        if event == "frame_delay":
+            stats["frames_delayed"] += 1
+            self._log(
+                f"chaos: delaying frame {frame['method']}/{frame['scenario']} "
+                f"by {chaos.delay:.2f}s"
+            )
+            time.sleep(chaos.delay)
+        corrupt = event == "frame_corrupt"
+        if corrupt:
+            stats["frames_corrupted"] += 1
+            self._log(
+                f"chaos: corrupting frame {frame['method']}/{frame['scenario']}"
+            )
+        send_message(conn, frame, corrupt=corrupt)
+
     def _sweep_method(
         self, conn, task, method, specs, preset, seed, n_runs, samples,
-        max_eval_samples, use_store, chaos, alive, stats, per_worker,
+        max_eval_samples, use_store, chaos, attempt, alive, health, stats,
+        per_worker,
     ) -> None:
         keys = [
             campaign_key(task, method, spec, n_runs, samples, seed,
@@ -300,10 +529,10 @@ class CampaignService:
                 n_eff = 1 if spec.kind == "none" or spec.level == 0.0 \
                     else n_runs
                 stats["served_cells"] += n_eff
-                send_message(conn, {
+                self._send_frame(conn, {
                     "kind": "partial", "method": method.name,
                     "scenario": idx, "values": values, "source": "store",
-                })
+                }, chaos, attempt, stats)
             else:
                 pending.append(idx)
         if not pending:
@@ -328,6 +557,8 @@ class CampaignService:
 
         round_no = 0
         while pending_units:
+            if self._stopped.is_set():
+                raise RuntimeError("service stopping")
             if not alive:
                 raise RuntimeError(
                     f"all {self.workers} workers died with "
@@ -342,64 +573,160 @@ class CampaignService:
                     "cells": sum(u.n_cells for u in assignment[wid]),
                 })
                 # Replicas are built on this thread (handle builds may touch
-                # the process-global RNG) and kept warm across requests.
+                # the process-global RNG) and kept warm across requests; a
+                # respawned worker's pair was dropped on death, so this is
+                # where its replica re-warms.
                 self._ensure_pair(wid, handle)
-            events: SimpleQueue = SimpleQueue()
-            threads = [
-                threading.Thread(
-                    target=self._worker_round,
-                    args=(wid, assignment[wid], handle, ctx, chaos, round_no,
-                          events),
-                    name=f"serve-worker-{wid}",
-                    daemon=True,
-                )
-                for wid in sorted(active)
-            ]
-            for thread in threads:
-                thread.start()
-            completed: set = set()
-            while active:
-                event = events.get()
-                wid = event["worker"]
-                if event["kind"] == "unit":
-                    completed.add(event["unit"])
-                    row = per_worker.setdefault(
-                        wid, {"cells": 0, "seconds": 0.0}
-                    )
-                    row["cells"] += event["computed"]
-                    row["seconds"] += event["compute_seconds"]
-                    stats["computed_cells"] += event["computed"]
-                    stats["served_cells"] += event["served"]
-                    stats["redundant_cells"] += event["redundant"]
-                    stats["store_seconds"] += event["store_seconds"]
-                    stats["compute_seconds"] += event["compute_seconds"]
-                    for scenario_idx, values in event["payloads"]:
-                        send_message(conn, {
-                            "kind": "partial", "method": ctx["method"],
-                            "scenario": scenario_idx, "values": values,
-                            "source": event["sources"][scenario_idx],
-                            "worker": wid, "round": round_no,
-                        })
-                elif event["kind"] == "exit":
-                    active.discard(wid)
-                elif event["kind"] == "death":
-                    active.discard(wid)
-                    if wid in alive:
-                        alive.remove(wid)
-                    stats["worker_deaths"] += 1
-                    self._log(
-                        f"worker {wid} died in round {round_no}"
-                        + (f": {event['error']}" if event.get("error") else "")
-                    )
-            for thread in threads:
-                thread.join()
+            completed = self._run_round(
+                conn, assignment, active, handle, ctx, chaos, attempt,
+                round_no, alive, health, stats, per_worker,
+            )
             pending_units = [
                 u for u in pending_units if u.index not in completed
             ]
             round_no += 1
             stats["rounds"] += 1
             if pending_units:
-                stats["reshards"] += 1
+                stats["reshards"] = stats.get("reshards", 0) + 1
+                # Units going back to the pool are the service-side retries.
+                stats["retries"] += len(pending_units)
+                for wid in revive_workers(
+                    sorted(health["dead"]), health["respawns_used"],
+                    self.max_respawns,
+                ):
+                    health["respawns_used"][wid] = (
+                        health["respawns_used"].get(wid, 0) + 1
+                    )
+                    health["dead"].discard(wid)
+                    alive.append(wid)
+                    stats["respawns"] += 1
+                    self._log(
+                        f"respawning worker {wid} "
+                        f"({health['respawns_used'][wid]}/{self.max_respawns} "
+                        "respawns used)"
+                    )
+                alive.sort()
+
+    def _run_round(
+        self, conn, assignment, active, handle, ctx, chaos, attempt,
+        round_no, alive, health, stats, per_worker,
+    ) -> set:
+        """Supervise one shard round; returns the completed unit indices.
+
+        The sweep thread is the supervisor: it drains worker events with
+        a ``watchdog_tick`` timeout and, whenever the queue stays quiet,
+        checks every active worker's heartbeat against ``unit_deadline``.
+        A worker past the deadline is *declared dead* — its ``abandoned``
+        event is set (waking a chaos-simulated hang immediately), it is
+        removed from the alive pool exactly like a crashed worker, and
+        any event it emits later is discarded, so an abandoned worker can
+        never corrupt the accounting of a round it was evicted from.
+        """
+        events: SimpleQueue = SimpleQueue()
+        hearts: Dict[int, float] = {
+            wid: time.monotonic() for wid in sorted(active)
+        }
+        abandoned: Dict[int, threading.Event] = {
+            wid: threading.Event() for wid in sorted(active)
+        }
+        threads = {
+            wid: threading.Thread(
+                target=self._worker_round,
+                args=(wid, assignment[wid], handle, ctx, chaos, round_no,
+                      events, hearts, abandoned[wid]),
+                name=f"serve-worker-{wid}",
+                daemon=True,
+            )
+            for wid in sorted(active)
+        }
+        for thread in threads.values():
+            thread.start()
+        completed: set = set()
+        declared: set = set()
+        try:
+            self._drain_round(
+                conn, events, hearts, abandoned, active, completed, declared,
+                handle, ctx, chaos, attempt, round_no, alive, health, stats,
+                per_worker,
+            )
+        except (ConnectionError, OSError):
+            # The client is gone (or stop() closed its socket).  Wind the
+            # round down before unwinding: a worker left running here
+            # would share its warm replica with a retried attempt's round
+            # and race on per-model fault-hook state.
+            for wid in sorted(active):
+                abandoned[wid].set()
+            for wid, thread in threads.items():
+                if wid not in declared:
+                    thread.join()
+            raise
+        for wid, thread in threads.items():
+            if wid not in declared:
+                thread.join()
+        return completed
+
+    def _drain_round(
+        self, conn, events, hearts, abandoned, active, completed, declared,
+        handle, ctx, chaos, attempt, round_no, alive, health, stats,
+        per_worker,
+    ) -> None:
+        while active:
+            try:
+                event = events.get(timeout=self.watchdog_tick)
+            except Empty:
+                now = time.monotonic()
+                for wid in sorted(active):
+                    if now - hearts.get(wid, now) <= self.unit_deadline:
+                        continue
+                    declared.add(wid)
+                    abandoned[wid].set()
+                    active.discard(wid)
+                    if wid in alive:
+                        alive.remove(wid)
+                    health["dead"].add(wid)
+                    self._pairs.pop((wid, handle), None)
+                    stats["hangs"] += 1
+                    self._log(
+                        f"worker {wid} hung in round {round_no} (no "
+                        f"heartbeat for {self.unit_deadline:.1f}s); "
+                        "declared dead"
+                    )
+                continue
+            wid = event["worker"]
+            if wid in declared:
+                continue  # late event from an abandoned worker
+            if event["kind"] == "unit":
+                completed.add(event["unit"])
+                row = per_worker.setdefault(
+                    wid, {"cells": 0, "seconds": 0.0}
+                )
+                row["cells"] += event["computed"]
+                row["seconds"] += event["compute_seconds"]
+                stats["computed_cells"] += event["computed"]
+                stats["served_cells"] += event["served"]
+                stats["redundant_cells"] += event["redundant"]
+                stats["store_seconds"] += event["store_seconds"]
+                stats["compute_seconds"] += event["compute_seconds"]
+                for scenario_idx, values in event["payloads"]:
+                    self._send_frame(conn, {
+                        "kind": "partial", "method": ctx["method"],
+                        "scenario": scenario_idx, "values": values,
+                        "source": event["sources"][scenario_idx],
+                        "worker": wid, "round": round_no,
+                    }, chaos, attempt, stats)
+            elif event["kind"] == "exit":
+                active.discard(wid)
+            elif event["kind"] == "death":
+                active.discard(wid)
+                if wid in alive:
+                    alive.remove(wid)
+                health["dead"].add(wid)
+                self._pairs.pop((wid, handle), None)
+                stats["worker_deaths"] += 1
+                self._log(
+                    f"worker {wid} died in round {round_no}"
+                    + (f": {event['error']}" if event.get("error") else "")
+                )
 
     def _ensure_pair(self, wid: int, handle: TaskEvalHandle) -> None:
         key = (wid, handle)
@@ -413,19 +740,30 @@ class CampaignService:
 
     def _worker_round(
         self, wid: int, units: Sequence[ShardUnit], handle: TaskEvalHandle,
-        ctx: dict, chaos: Optional[dict], round_no: int, events: SimpleQueue,
+        ctx: dict, chaos, round_no: int, events: SimpleQueue,
+        hearts: Dict[int, float], abandoned: threading.Event,
     ) -> None:
         done_units = 0
         try:
             for unit in units:
-                if (
-                    chaos is not None
-                    and chaos.get("worker") == wid
-                    and chaos.get("round", 0) == round_no
-                    and done_units >= chaos.get("after_units", 0)
-                ):
+                if abandoned.is_set():
+                    return  # declared dead; the round moved on without us
+                if self._stopped.is_set():
+                    break
+                hearts[wid] = time.monotonic()
+                event = (
+                    chaos.worker_event(wid, round_no, done_units)
+                    if chaos is not None else None
+                )
+                if event == "kill":
                     events.put({"kind": "death", "worker": wid,
-                                "error": "chaos injection"})
+                                "error": "chaos kill"})
+                    return
+                if event == "hang":
+                    # Stop heartbeating and go quiet; the watchdog will
+                    # declare us dead and set `abandoned`, at which point
+                    # we exit without emitting anything.
+                    abandoned.wait(timeout=self.unit_deadline * 4.0 + 1.0)
                     return
                 events.put(self._process_unit(wid, unit, handle, ctx))
                 done_units += 1

@@ -68,6 +68,25 @@ def shard_units(cells: Sequence[WorkCell]) -> List[ShardUnit]:
     return units
 
 
+def revive_workers(
+    dead: Sequence[int],
+    respawns_used: Dict[int, int],
+    max_respawns: int,
+) -> List[int]:
+    """Dead worker ids eligible for a respawn, in deterministic order.
+
+    A worker may be respawned at most ``max_respawns`` times per sweep
+    (``respawns_used`` counts what it has already consumed); past the
+    budget the service degrades to the survivors.  The returned order is
+    sorted by id so that — like :func:`assign_units` — the revive step
+    is a pure function of its inputs and a replayed chaos run rebuilds
+    the identical ``alive`` list round for round.
+    """
+    return sorted(
+        wid for wid in dead if respawns_used.get(wid, 0) < max_respawns
+    )
+
+
 def assign_units(
     units: Sequence[ShardUnit], worker_ids: Sequence[int]
 ) -> Dict[int, List[ShardUnit]]:

@@ -195,3 +195,109 @@ class TestExecution:
         labels = self._profile_stage_labels(out)
         assert "trace" in labels and "replay" in labels
         assert "plan optimizer:" in out
+
+
+class TestServiceFlags:
+    def test_client_deadline_and_retry_flags_parse(self):
+        args = build_parser().parse_args(
+            ["campaign", "--task", "audio", "--connect", "127.0.0.1:9",
+             "--connect-timeout", "1.5", "--request-timeout", "30",
+             "--retries", "4", "--fallback-local"]
+        )
+        assert args.connect_timeout == 1.5
+        assert args.request_timeout == 30.0
+        assert args.retries == 4
+        assert args.fallback_local is True
+
+    def test_client_flag_defaults(self):
+        args = build_parser().parse_args(["campaign", "--task", "audio"])
+        assert args.connect_timeout == 5.0
+        assert args.request_timeout == 600.0
+        assert args.retries == 2
+        assert args.fallback_local is False
+
+    def test_fallback_local_degrades_to_in_process(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        from repro.eval import clear_memory_cache
+
+        clear_memory_cache()
+        import socket
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            dead_port = probe.getsockname()[1]
+        main([
+            "--preset", "tiny",
+            "campaign", "--task", "audio", "--fault", "bitflip",
+            "--levels", "0", "0.2", "--runs", "2",
+            "--connect", f"127.0.0.1:{dead_port}",
+            "--retries", "0", "--connect-timeout", "0.5",
+            "--fallback-local",
+        ])
+        out = capsys.readouterr().out
+        assert "falling back to the in-process engine" in out
+        assert "audio / bitflip" in out  # the sweep still ran
+
+    def test_unreachable_service_without_fallback_raises(self, monkeypatch):
+        import socket
+
+        from repro.serve import ServiceUnavailable
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            dead_port = probe.getsockname()[1]
+        with pytest.raises(ServiceUnavailable):
+            main([
+                "--preset", "tiny",
+                "campaign", "--task", "audio",
+                "--levels", "0", "0.2", "--runs", "2",
+                "--connect", f"127.0.0.1:{dead_port}",
+                "--retries", "0", "--connect-timeout", "0.5",
+            ])
+
+
+class TestStoreGC:
+    def test_store_gc_parses(self):
+        args = build_parser().parse_args(["store-gc", "--max-entries", "100"])
+        assert args.command == "store-gc"
+        assert args.max_entries == 100
+        assert build_parser().parse_args(["store-gc"]).max_entries is None
+
+    def test_store_gc_reports_and_bounds_the_store(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        import numpy as np
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        from repro.eval import clear_memory_cache
+        from repro.eval.cache import result_store
+
+        clear_memory_cache()
+        store = result_store()
+        for i in range(4):
+            store.put(f"gc-test-{i}", np.arange(3, dtype=np.float64) + i)
+        assert len(store) == 4
+        main(["store-gc", "--max-entries", "2"])
+        out = capsys.readouterr().out
+        assert "0 stale entries retired" in out
+        assert "2 evicted" in out
+        assert "2 remaining" in out
+        assert len(store) == 2
+
+    def test_store_gc_without_cap_only_retires(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        import numpy as np
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        from repro.eval import clear_memory_cache
+        from repro.eval.cache import result_store
+
+        clear_memory_cache()
+        result_store().put("gc-keep", np.ones(2))
+        main(["store-gc"])
+        out = capsys.readouterr().out
+        assert "0 evicted" in out
+        assert "1 remaining" in out

@@ -1,0 +1,147 @@
+"""Client-side fault-tolerance tests: deadlines, deterministic backoff,
+the retry loop, and error classification — no daemon required except
+where a real socket is the point.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.serve import (
+    ChecksumError,
+    IncompleteSweepError,
+    ProtocolError,
+    ServiceClient,
+    ServiceUnavailable,
+)
+from repro.serve.client import backoff_delay
+
+
+def _free_port():
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+class TestBackoff:
+    def test_deterministic_per_request_and_attempt(self):
+        assert backoff_delay("req", 0, 0.25) == backoff_delay("req", 0, 0.25)
+        assert backoff_delay("req", 0, 0.25) != backoff_delay("req", 1, 0.25)
+        assert backoff_delay("req", 0, 0.25) != backoff_delay("other", 0, 0.25)
+
+    def test_exponential_envelope_with_jitter(self):
+        for attempt in range(5):
+            delay = backoff_delay("req", attempt, 0.25)
+            assert 0.5 * 0.25 * 2**attempt <= delay < 0.25 * 2**attempt
+
+    def test_cap_bounds_the_wait(self):
+        assert backoff_delay("req", 30, 1.0, cap=2.0) <= 2.0
+
+
+class TestRetryLoop:
+    def test_transient_failure_recovers(self, monkeypatch):
+        monkeypatch.setattr("repro.serve.client.time.sleep", lambda s: None)
+        client = ServiceClient(("127.0.0.1", 1), retries=2)
+        calls = []
+
+        def flaky(attempt):
+            calls.append(attempt)
+            if attempt < 2:
+                raise ConnectionResetError("transient")
+            return {"ok": True}
+
+        assert client._with_retries("rid", flaky) == {"ok": True}
+        assert calls == [0, 1, 2]  # attempt number increments each retry
+
+    def test_exhaustion_raises_service_unavailable_with_cause(
+        self, monkeypatch
+    ):
+        monkeypatch.setattr("repro.serve.client.time.sleep", lambda s: None)
+        client = ServiceClient(("127.0.0.1", 1), retries=1)
+
+        def always_down(attempt):
+            raise ConnectionRefusedError("nope")
+
+        with pytest.raises(ServiceUnavailable) as excinfo:
+            client._with_retries("rid", always_down)
+        assert isinstance(excinfo.value.__cause__, ConnectionRefusedError)
+
+    def test_application_errors_are_not_retried(self, monkeypatch):
+        monkeypatch.setattr("repro.serve.client.time.sleep", lambda s: None)
+        client = ServiceClient(("127.0.0.1", 1), retries=5)
+        calls = []
+
+        def bad_request(attempt):
+            calls.append(attempt)
+            raise RuntimeError("service error: unknown task")
+
+        with pytest.raises(RuntimeError, match="unknown task"):
+            client._with_retries("rid", bad_request)
+        assert calls == [0]  # re-sending a bad request cannot help
+
+    def test_retries_zero_fails_fast(self, monkeypatch):
+        monkeypatch.setattr("repro.serve.client.time.sleep", lambda s: None)
+        client = ServiceClient(("127.0.0.1", 1), retries=0)
+        calls = []
+
+        def down(attempt):
+            calls.append(attempt)
+            raise ConnectionRefusedError
+
+        with pytest.raises(ServiceUnavailable):
+            client._with_retries("rid", down)
+        assert calls == [0]
+
+
+class TestDeadlines:
+    def test_connect_refused_surfaces_as_unavailable(self):
+        client = ServiceClient(
+            ("127.0.0.1", _free_port()), connect_timeout=0.5, retries=0
+        )
+        with pytest.raises(ServiceUnavailable):
+            client.ping()
+        assert client._sock is None  # the failed attempt reset the socket
+
+    def test_request_timeout_trips_on_a_silent_server(self):
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        accepted = []
+        thread = threading.Thread(
+            target=lambda: accepted.append(listener.accept()[0]), daemon=True
+        )
+        thread.start()
+        client = ServiceClient(
+            listener.getsockname(), request_timeout=0.2, retries=0,
+        )
+        try:
+            with pytest.raises(ServiceUnavailable) as excinfo:
+                client.ping()  # the server accepts but never replies
+            assert isinstance(excinfo.value.__cause__, socket.timeout)
+        finally:
+            client.close()
+            thread.join()
+            for sock in accepted:
+                sock.close()
+            listener.close()
+
+
+class TestErrorTaxonomy:
+    def test_retryable_hierarchy(self):
+        # Everything the retry loop must catch is a ConnectionError.
+        for exc_type in (ChecksumError, ProtocolError, IncompleteSweepError,
+                         ServiceUnavailable):
+            assert issubclass(exc_type, ConnectionError)
+
+    def test_incomplete_reply_raises_retryable_error(self):
+        from repro.faults import bitflip_sweep
+        from repro.models import proposed
+
+        specs = bitflip_sweep([0.0, 0.1])
+        stats = {"task": {"name": "audio", "metric_name": "acc",
+                          "higher_is_better": True}}
+        with pytest.raises(IncompleteSweepError, match="missing"):
+            ServiceClient._assemble(
+                [proposed()], specs, stats, {"proposed": {0: [1.0]}}
+            )

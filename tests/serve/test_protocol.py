@@ -1,8 +1,10 @@
 """Framing tests for the campaign-service wire protocol."""
 
+import pickle
 import socket
 import struct
 import threading
+import zlib
 
 import numpy as np
 import pytest
@@ -10,10 +12,21 @@ import pytest
 from repro.serve import protocol
 from repro.serve.protocol import (
     MAX_MESSAGE_BYTES,
+    ChecksumError,
+    ConnectionClosed,
     ProtocolError,
     recv_message,
     send_message,
 )
+
+_HEADER = struct.Struct(">QI")
+
+
+def _frame(payload: bytes, checksum=None) -> bytes:
+    """Hand-craft one wire frame (checksum defaults to the correct CRC)."""
+    if checksum is None:
+        checksum = zlib.crc32(payload)
+    return _HEADER.pack(len(payload), checksum) + payload
 
 
 @pytest.fixture
@@ -61,22 +74,31 @@ class TestFraming:
 
 
 class TestErrors:
-    def test_eof_before_header_raises(self, pair):
+    def test_eof_before_header_is_orderly_close(self, pair):
         a, b = pair
         a.close()
-        with pytest.raises(ConnectionError):
+        with pytest.raises(ConnectionClosed):
             recv_message(b)
 
-    def test_eof_mid_frame_raises(self, pair):
+    def test_eof_mid_frame_raises_plain_connection_error(self, pair):
         a, b = pair
-        a.sendall(struct.pack(">Q", 100) + b"only a few bytes")
+        a.sendall(_HEADER.pack(100, 0) + b"only a few bytes")
         a.close()
-        with pytest.raises(ConnectionError):
+        with pytest.raises(ConnectionError) as excinfo:
             recv_message(b)
+        assert not isinstance(excinfo.value, ConnectionClosed)
+
+    def test_eof_mid_header_raises_plain_connection_error(self, pair):
+        a, b = pair
+        a.sendall(b"\x00\x00\x00")  # a torn header is mid-frame, not orderly
+        a.close()
+        with pytest.raises(ConnectionError) as excinfo:
+            recv_message(b)
+        assert not isinstance(excinfo.value, ConnectionClosed)
 
     def test_oversize_header_rejected_before_allocation(self, pair):
         a, b = pair
-        a.sendall(struct.pack(">Q", MAX_MESSAGE_BYTES + 1))
+        a.sendall(_HEADER.pack(MAX_MESSAGE_BYTES + 1, 0))
         with pytest.raises(ProtocolError):
             recv_message(b)
 
@@ -88,7 +110,45 @@ class TestErrors:
 
     def test_garbage_payload_is_protocol_error(self, pair):
         a, b = pair
-        payload = b"\x00not pickle"
-        a.sendall(struct.pack(">Q", len(payload)) + payload)
+        a.sendall(_frame(b"\x00not pickle"))
         with pytest.raises(ProtocolError):
             recv_message(b)
+
+
+class TestChecksum:
+    def test_checksum_mismatch_raises_before_unpickle(self, pair):
+        a, b = pair
+        payload = pickle.dumps({"op": "ping"})
+        a.sendall(_frame(payload, checksum=zlib.crc32(payload) ^ 0xDEADBEEF))
+        with pytest.raises(ChecksumError):
+            recv_message(b)
+
+    def test_checksum_error_is_retryable_protocol_error(self):
+        assert issubclass(ChecksumError, ProtocolError)
+        assert issubclass(ProtocolError, ConnectionError)
+
+    def test_flipped_payload_byte_fails_crc_not_unpickle(self, pair):
+        a, b = pair
+        payload = bytearray(pickle.dumps({"values": list(range(50))}))
+        payload[len(payload) // 2] ^= 0xFF
+        a.sendall(
+            _HEADER.pack(len(payload), zlib.crc32(b"")) + bytes(payload)
+        )
+        with pytest.raises(ChecksumError):
+            recv_message(b)
+
+    def test_corrupt_shim_triggers_checksum_error(self, pair):
+        """The chaos shim damages the payload after CRC — the receiver's
+        integrity check fires exactly as for real in-flight corruption."""
+        a, b = pair
+        send_message(a, {"op": "ping", "n": 3}, corrupt=True)
+        with pytest.raises(ChecksumError):
+            recv_message(b)
+
+    def test_clean_frame_after_corrupt_one_still_parses(self, pair):
+        a, b = pair
+        send_message(a, {"seq": 0}, corrupt=True)
+        send_message(a, {"seq": 1})
+        with pytest.raises(ChecksumError):
+            recv_message(b)
+        assert recv_message(b) == {"seq": 1}

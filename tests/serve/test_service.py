@@ -17,7 +17,7 @@ from repro.eval import build_task, clear_memory_cache, run_robustness_sweep
 from repro.eval.cache import ResultStore
 from repro.faults import additive_sweep, bitflip_sweep, multiplicative_sweep
 from repro.models import all_methods, proposed
-from repro.serve import CampaignService, ServiceClient
+from repro.serve import CampaignService, ServiceClient, ServiceUnavailable
 
 
 @pytest.fixture(scope="module")
@@ -186,7 +186,9 @@ class TestWorkerDeath:
         _assert_sweeps_equal(with_death, clean)
 
     def test_all_workers_dead_is_an_error(self, shared_cache, tmp_path):
-        service, _ = _service_pair(tmp_path, workers=1)
+        # max_respawns=0: with any respawn budget the lone worker would
+        # simply be revived and the sweep would succeed.
+        service, _ = _service_pair(tmp_path, workers=1, max_respawns=0)
         with service, ServiceClient(service.address) as client:
             with pytest.raises(RuntimeError, match="service error"):
                 client.sweep(
@@ -248,6 +250,106 @@ class TestServiceMisc:
         with ServiceClient(service.address) as client:
             client.shutdown()
         assert service._stopped.is_set()
+
+
+class TestFaultRecovery:
+    def test_shutdown_with_sweep_in_flight_fails_cleanly(
+        self, shared_cache, tmp_path
+    ):
+        """stop() mid-sweep closes the connection and winds workers down
+        instead of serving from a half-dead daemon."""
+        # Two methods: the stop lands while the first method's frames
+        # stream, so the second method's are guaranteed still pending
+        # (not yet computed, so they cannot sit in the socket buffer).
+        methods = all_methods(conventional_norm="batch")[:2]
+        specs = bitflip_sweep([0.0, 0.1, 0.2])
+        service, store = _service_pair(tmp_path, workers=2)
+        service.start()
+        killed = []
+
+        def kill_on_first_frame(frame):
+            if not killed:
+                killed.append(frame)
+                service.stop()
+
+        with ServiceClient(service.address, retries=0) as client:
+            with pytest.raises(ServiceUnavailable):
+                client.sweep(
+                    "audio", methods, specs, preset="tiny", seed=0, n_runs=3,
+                    on_partial=kill_on_first_frame,
+                )
+        assert killed  # the sweep was genuinely in flight
+        assert service._stopped.is_set()
+        # A fresh daemon over the same store serves the re-issued sweep
+        # without recomputing anything a landed unit already stored.
+        service2 = CampaignService(workers=2, store=store)
+        with service2, ServiceClient(service2.address) as client:
+            sweep, stats = client.sweep(
+                "audio", methods, specs, preset="tiny", seed=0, n_runs=3
+            )
+        assert stats["redundant_cells"] == 0
+        task = build_task("audio", preset="tiny", seed=0)
+        reference = run_robustness_sweep(
+            task, methods, specs, preset="tiny", seed=0, n_runs=3,
+            use_cache=False,
+        )
+        _assert_sweeps_equal(reference, sweep)
+
+    def test_client_reconnects_after_daemon_restart(
+        self, shared_cache, tmp_path
+    ):
+        """One client object spans a daemon restart on the same port: the
+        retry loop re-dials, and the re-issued sweep is entirely
+        store-served — zero computed, zero redundant cells."""
+        methods = [proposed()]
+        specs = bitflip_sweep([0.0, 0.1, 0.2])
+        store = ResultStore(root=tmp_path / "store")
+        service1 = CampaignService(workers=2, store=store).start()
+        port = service1.port
+        client = ServiceClient(service1.address, retries=3, backoff=0.05)
+        try:
+            first, stats1 = client.sweep(
+                "audio", methods, specs, preset="tiny", seed=0, n_runs=3
+            )
+            assert stats1["computed_cells"] > 0
+            service1.stop()
+            service2 = CampaignService(
+                port=port, workers=2, store=ResultStore(root=tmp_path / "store")
+            ).start()
+            try:
+                # The client still holds the dead socket; the retry loop
+                # must notice and reconnect transparently.
+                assert client.ping()["pong"]
+                second, stats2 = client.sweep(
+                    "audio", methods, specs, preset="tiny", seed=0, n_runs=3
+                )
+            finally:
+                service2.stop()
+        finally:
+            client.close()
+            service1.stop()
+        _assert_sweeps_equal(first, second)
+        assert stats2["computed_cells"] == 0
+        assert stats2["redundant_cells"] == 0
+        assert stats2["served_cells"] == \
+            stats1["served_cells"] + stats1["computed_cells"]
+
+    def test_failed_request_resets_socket_for_next_call(
+        self, shared_cache, tmp_path
+    ):
+        service, _ = _service_pair(tmp_path)
+        service.start()
+        port = service.port
+        with ServiceClient(service.address, retries=0) as client:
+            assert client.ping()["pong"]
+            service.stop()
+            with pytest.raises(ServiceUnavailable):
+                client.ping()
+            assert client._sock is None  # close()-after-error reset it
+            service2, _ = _service_pair(tmp_path / "again")
+            service2.port = port
+            with service2:
+                assert client.ping()["pong"]  # fresh dial, same client
 
 
 _FAULT_SWEEPS = {

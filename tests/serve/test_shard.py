@@ -88,3 +88,24 @@ class TestAssignment:
     def test_duplicate_worker_ids_rejected(self):
         with pytest.raises(ValueError):
             assign_units(self._units([1]), [0, 0])
+
+
+class TestReviveWorkers:
+    def test_budget_gates_revival(self):
+        from repro.serve import revive_workers
+
+        assert revive_workers([0, 2], {}, max_respawns=1) == [0, 2]
+        assert revive_workers([0, 2], {0: 1}, max_respawns=1) == [2]
+        assert revive_workers([0, 2], {0: 1, 2: 1}, max_respawns=1) == []
+        assert revive_workers([0, 2], {0: 1, 2: 1}, max_respawns=2) == [0, 2]
+
+    def test_zero_budget_never_revives(self):
+        from repro.serve import revive_workers
+
+        assert revive_workers([0, 1, 2], {}, max_respawns=0) == []
+
+    def test_order_is_deterministic(self):
+        from repro.serve import revive_workers
+
+        assert revive_workers([3, 1, 2], {}, max_respawns=1) == [1, 2, 3]
+        assert revive_workers((2, 0), {}, 1) == revive_workers([0, 2], {}, 1)
